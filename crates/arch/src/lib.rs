@@ -1,0 +1,37 @@
+//! # cmam-arch — CGRA architecture model
+//!
+//! Models the target CGRA of the paper: a grid of tiles (processing
+//! elements) interconnected through a 2D-mesh **torus** network. Each tile
+//! contains an ALU, a regular register file (RRF), a constant register file
+//! (CRF) and its own **context memory** (CM) holding the instructions the
+//! tile executes. Some tiles additionally contain a load/store unit (LSU)
+//! connected to the shared data memory (TCDM) through a logarithmic
+//! interconnect.
+//!
+//! The crate provides:
+//!
+//! * [`Geometry`] — torus topology, neighbourhood and hop distances;
+//! * [`TileConfig`] / [`CgraConfig`] — per-tile resources and the four
+//!   context-memory configurations of Table I (`HOM64`, `HOM32`, `HET1`,
+//!   `HET2`);
+//! * [`tedg`] — the time-extended directed graph (TEDG) of Section III-A,
+//!   the resource/time target graph mappings are expressed against.
+//!
+//! ```
+//! use cmam_arch::{CgraConfig, TileId};
+//!
+//! let het1 = CgraConfig::het1();
+//! assert_eq!(het1.total_cm_words(), 576); // Table I
+//! assert!(het1.tile(TileId(0)).has_lsu);
+//! assert_eq!(het1.tile(TileId(9)).cm_words, 16);
+//! ```
+
+pub mod config;
+pub mod geometry;
+pub mod tedg;
+pub mod tile;
+
+pub use config::{CgraConfig, CgraConfigBuilder, ConfigError};
+pub use geometry::{Direction, Geometry, Pos};
+pub use tedg::{Tedg, TedgEdge, TedgNode};
+pub use tile::{TileClass, TileConfig, TileId};

@@ -1,0 +1,310 @@
+//! Time-extended directed graph (TEDG) of Section III-A.
+//!
+//! The TEDG unrolls the CGRA's resources over cycles: every node is a
+//! `(resource, cycle)` pair where the resource is either a tile's functional
+//! unit (FU) or its register file (RF), and edges encode which resource can
+//! feed which in the *next* cycle. A valid mapping of a data-flow graph is a
+//! graph morphism into the TEDG: every DFG dependency must follow TEDG
+//! edges (possibly through RF-hold chains and `move` operations).
+//!
+//! The mapper in `cmam-core` performs the reachability arithmetic directly
+//! for speed, but this module materialises the TEDG explicitly so that the
+//! formal object of the paper exists, can be inspected, and is used by the
+//! test-suite to cross-check the mapper's feasibility rules.
+//!
+//! Timing model (shared with the simulator):
+//! * an FU at cycle `c` reads operands from its own RF state *at the start
+//!   of* `c`, or from a torus neighbour's RF state at the start of `c`;
+//! * its result is written to the local RF at the end of `c`, usable from
+//!   cycle `c + 1` on;
+//! * RF contents persist cycle to cycle until overwritten.
+
+use crate::geometry::Geometry;
+use crate::tile::TileId;
+use petgraph::graph::{DiGraph, NodeIndex};
+use petgraph::visit::EdgeRef;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A resource at a given cycle — one TEDG node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TedgNode {
+    /// The functional unit of `tile` at `cycle`.
+    Fu {
+        /// Owning tile.
+        tile: TileId,
+        /// Cycle index within the unrolled window.
+        cycle: usize,
+    },
+    /// The register file of `tile` at `cycle` (its state at the *start* of
+    /// the cycle).
+    Rf {
+        /// Owning tile.
+        tile: TileId,
+        /// Cycle index within the unrolled window.
+        cycle: usize,
+    },
+}
+
+impl TedgNode {
+    /// The tile owning the resource.
+    pub fn tile(&self) -> TileId {
+        match *self {
+            TedgNode::Fu { tile, .. } | TedgNode::Rf { tile, .. } => tile,
+        }
+    }
+
+    /// The cycle of the node.
+    pub fn cycle(&self) -> usize {
+        match *self {
+            TedgNode::Fu { cycle, .. } | TedgNode::Rf { cycle, .. } => cycle,
+        }
+    }
+}
+
+impl fmt::Display for TedgNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TedgNode::Fu { tile, cycle } => write!(f, "FU({tile})@{cycle}"),
+            TedgNode::Rf { tile, cycle } => write!(f, "RF({tile})@{cycle}"),
+        }
+    }
+}
+
+/// Kind of connection between two TEDG nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TedgEdge {
+    /// FU result written into the local RF (usable next cycle).
+    WriteBack,
+    /// RF value persisting into the next cycle.
+    Hold,
+    /// FU operand read from the tile's own RF.
+    LocalRead,
+    /// FU operand read from a direct torus neighbour's RF.
+    NeighborRead,
+}
+
+/// Materialised TEDG over a window of `cycles` cycles.
+///
+/// ```
+/// use cmam_arch::{Geometry, Tedg, TileId};
+/// let tedg = Tedg::unroll(Geometry::new(2, 2), 3);
+/// // A value produced on tile 0 at cycle 0 can feed tile 1's FU at cycle 1.
+/// assert!(tedg.value_can_flow(TileId(0), 0, TileId(1), 1));
+/// // ...but never an FU two hops away: RF holds do not cross tiles, so
+/// // covering distance > 1 requires explicit `move` instructions.
+/// let far = Tedg::unroll(Geometry::new(4, 4), 4);
+/// assert!(!far.value_can_flow(TileId(0), 0, TileId(2), 1));
+/// assert!(!far.value_can_flow(TileId(0), 0, TileId(2), 3));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tedg {
+    geometry: Geometry,
+    cycles: usize,
+    graph: DiGraph<TedgNode, TedgEdge>,
+    index: HashMap<TedgNode, NodeIndex>,
+}
+
+impl Tedg {
+    /// Unrolls the resources of `geometry` over `cycles` cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles == 0`.
+    pub fn unroll(geometry: Geometry, cycles: usize) -> Self {
+        assert!(cycles > 0, "TEDG window must cover at least one cycle");
+        let mut graph = DiGraph::new();
+        let mut index = HashMap::new();
+        for c in 0..cycles {
+            for t in geometry.tiles() {
+                for node in [TedgNode::Fu { tile: t, cycle: c }, TedgNode::Rf { tile: t, cycle: c }] {
+                    let ix = graph.add_node(node);
+                    index.insert(node, ix);
+                }
+            }
+        }
+        let at = |index: &HashMap<TedgNode, NodeIndex>, n: TedgNode| index[&n];
+        for c in 0..cycles {
+            for t in geometry.tiles() {
+                let fu = at(&index, TedgNode::Fu { tile: t, cycle: c });
+                let rf = at(&index, TedgNode::Rf { tile: t, cycle: c });
+                // Operand reads within cycle c.
+                graph.add_edge(rf, fu, TedgEdge::LocalRead);
+                for (_, n) in geometry.neighbors(t) {
+                    let nrf = at(&index, TedgNode::Rf { tile: n, cycle: c });
+                    graph.add_edge(nrf, fu, TedgEdge::NeighborRead);
+                }
+                if c + 1 < cycles {
+                    let rf_next = at(&index, TedgNode::Rf { tile: t, cycle: c + 1 });
+                    graph.add_edge(fu, rf_next, TedgEdge::WriteBack);
+                    graph.add_edge(rf, rf_next, TedgEdge::Hold);
+                }
+            }
+        }
+        Tedg {
+            geometry,
+            cycles,
+            graph,
+            index,
+        }
+    }
+
+    /// The geometry the TEDG was unrolled from.
+    pub fn geometry(&self) -> Geometry {
+        self.geometry
+    }
+
+    /// Number of unrolled cycles.
+    pub fn cycles(&self) -> usize {
+        self.cycles
+    }
+
+    /// Total node count (`2 * tiles * cycles`).
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Total edge count.
+    pub fn edge_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+
+    /// Looks up the petgraph index of a node, if it is inside the window.
+    pub fn node(&self, node: TedgNode) -> Option<NodeIndex> {
+        self.index.get(&node).copied()
+    }
+
+    /// Successor nodes of `node` together with the edge kinds.
+    pub fn successors(&self, node: TedgNode) -> Vec<(TedgNode, TedgEdge)> {
+        let Some(ix) = self.node(node) else {
+            return Vec::new();
+        };
+        let mut out: Vec<(TedgNode, TedgEdge)> = self
+            .graph
+            .edges(ix)
+            .map(|e| (self.graph[e.target()], *e.weight()))
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Whether a value produced by the FU of `from` at cycle `from_cycle`
+    /// can reach (through write-back, RF holds and RF-to-FU reads, without
+    /// any extra `move` instruction) the FU of `to` as an operand at cycle
+    /// `to_cycle`.
+    ///
+    /// This is exactly "the consumer's tile is the producer's tile or a
+    /// direct neighbour, and at least one cycle has passed" — the rule the
+    /// mapper uses; here it is answered by walking the materialised graph so
+    /// tests can cross-check the two.
+    pub fn value_can_flow(
+        &self,
+        from: TileId,
+        from_cycle: usize,
+        to: TileId,
+        to_cycle: usize,
+    ) -> bool {
+        if to_cycle <= from_cycle || to_cycle >= self.cycles {
+            return false;
+        }
+        // BFS from the write-back target RF(from, from_cycle+1).
+        let start = TedgNode::Rf {
+            tile: from,
+            cycle: from_cycle + 1,
+        };
+        let goal = TedgNode::Fu {
+            tile: to,
+            cycle: to_cycle,
+        };
+        let Some(start_ix) = self.node(start) else {
+            return false;
+        };
+        let Some(goal_ix) = self.node(goal) else {
+            return false;
+        };
+        // Restrict the walk to Hold / LocalRead / NeighborRead edges: a
+        // value sitting in an RF flows without executing any instruction.
+        let mut stack = vec![start_ix];
+        let mut seen = vec![false; self.graph.node_count()];
+        seen[start_ix.index()] = true;
+        while let Some(ix) = stack.pop() {
+            if ix == goal_ix {
+                return true;
+            }
+            for e in self.graph.edges(ix) {
+                let ok = matches!(
+                    e.weight(),
+                    TedgEdge::Hold | TedgEdge::LocalRead | TedgEdge::NeighborRead
+                );
+                if ok && !seen[e.target().index()] {
+                    seen[e.target().index()] = true;
+                    stack.push(e.target());
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_and_edge_counts() {
+        let g = Geometry::new(2, 2);
+        let tedg = Tedg::unroll(g, 3);
+        assert_eq!(tedg.node_count(), 2 * 4 * 3);
+        // Per tile per cycle: 1 local read + deg neighbor reads, plus
+        // write-back + hold for all but the last cycle. On 2x2 torus the
+        // dedup'ed degree is 2.
+        let per_cycle = 4 * (1 + 2);
+        let transitions = 4 * 2;
+        assert_eq!(tedg.edge_count(), per_cycle * 3 + transitions * 2);
+    }
+
+    #[test]
+    fn same_tile_flow_needs_one_cycle() {
+        let tedg = Tedg::unroll(Geometry::new(4, 4), 4);
+        assert!(!tedg.value_can_flow(TileId(0), 0, TileId(0), 0));
+        assert!(tedg.value_can_flow(TileId(0), 0, TileId(0), 1));
+        assert!(tedg.value_can_flow(TileId(0), 0, TileId(0), 3));
+    }
+
+    #[test]
+    fn neighbor_flow_needs_one_cycle() {
+        let tedg = Tedg::unroll(Geometry::new(4, 4), 4);
+        assert!(tedg.value_can_flow(TileId(0), 0, TileId(1), 1));
+        assert!(tedg.value_can_flow(TileId(0), 0, TileId(12), 1)); // torus wrap
+    }
+
+    #[test]
+    fn distant_flow_is_impossible_without_moves() {
+        let tedg = Tedg::unroll(Geometry::new(4, 4), 6);
+        // Tile 10 is 4 hops from tile 0: without moves the value never
+        // reaches it, no matter how many cycles pass (RF holds do not
+        // propagate across tiles).
+        assert!(!tedg.value_can_flow(TileId(0), 0, TileId(10), 5));
+        // But a 2-hop tile is also unreachable: neighbour reads only span
+        // one hop.
+        assert!(!tedg.value_can_flow(TileId(0), 0, TileId(2), 5));
+    }
+
+    #[test]
+    fn flow_respects_window_bounds() {
+        let tedg = Tedg::unroll(Geometry::new(2, 2), 2);
+        assert!(!tedg.value_can_flow(TileId(0), 1, TileId(0), 2));
+    }
+
+    #[test]
+    fn successors_of_fu_contain_writeback() {
+        let tedg = Tedg::unroll(Geometry::new(2, 2), 2);
+        let succ = tedg.successors(TedgNode::Fu {
+            tile: TileId(0),
+            cycle: 0,
+        });
+        assert!(succ
+            .iter()
+            .any(|(n, e)| *e == TedgEdge::WriteBack && n.tile() == TileId(0) && n.cycle() == 1));
+    }
+}

@@ -1,0 +1,122 @@
+//! Per-tile resources: ALU, register files, context memory, optional LSU.
+
+use std::fmt;
+
+/// Identifier of a tile (processing element). 0-based, row-major.
+///
+/// The paper numbers tiles 1..=16; [`TileId::display_index`] gives that
+/// 1-based number for reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct TileId(pub usize);
+
+impl TileId {
+    /// 1-based index as used in the paper's figures and Table I.
+    pub fn display_index(self) -> usize {
+        self.0 + 1
+    }
+}
+
+impl fmt::Display for TileId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.display_index())
+    }
+}
+
+/// Broad classification of a tile used in reports (Table I groups tiles by
+/// their context-memory size and LSU capability).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TileClass {
+    /// Tile with a load/store unit attached to the data-memory interconnect.
+    LoadStore,
+    /// Compute-only tile.
+    Compute,
+}
+
+impl fmt::Display for TileClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TileClass::LoadStore => f.write_str("load-store"),
+            TileClass::Compute => f.write_str("compute"),
+        }
+    }
+}
+
+/// Static resources of one tile.
+///
+/// Defaults follow the experimental setup of Section IV-C: a regular
+/// register file of 8 words, a constant register file of 16 words, and a
+/// 64-word context memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TileConfig {
+    /// Whether the tile has a load/store unit (can execute `load`/`store`).
+    pub has_lsu: bool,
+    /// Context-memory capacity in instruction words.
+    pub cm_words: usize,
+    /// Regular register file capacity in words (live values).
+    pub rf_words: usize,
+    /// Constant register file capacity in words (immediates).
+    pub crf_words: usize,
+}
+
+impl TileConfig {
+    /// A compute tile with the given context-memory size and default
+    /// register files (RRF 8 words, CRF 16 words).
+    pub fn compute(cm_words: usize) -> Self {
+        TileConfig {
+            has_lsu: false,
+            cm_words,
+            rf_words: 8,
+            crf_words: 16,
+        }
+    }
+
+    /// A load/store tile with the given context-memory size.
+    pub fn load_store(cm_words: usize) -> Self {
+        TileConfig {
+            has_lsu: true,
+            ..TileConfig::compute(cm_words)
+        }
+    }
+
+    /// The tile's class for reporting.
+    pub fn class(&self) -> TileClass {
+        if self.has_lsu {
+            TileClass::LoadStore
+        } else {
+            TileClass::Compute
+        }
+    }
+}
+
+impl Default for TileConfig {
+    fn default() -> Self {
+        TileConfig::compute(64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_index_is_one_based() {
+        assert_eq!(TileId(0).display_index(), 1);
+        assert_eq!(TileId(15).display_index(), 16);
+        assert_eq!(TileId(7).to_string(), "T8");
+    }
+
+    #[test]
+    fn constructors_set_class() {
+        assert_eq!(TileConfig::compute(32).class(), TileClass::Compute);
+        assert_eq!(TileConfig::load_store(64).class(), TileClass::LoadStore);
+    }
+
+    #[test]
+    fn default_matches_paper_setup() {
+        let t = TileConfig::default();
+        assert_eq!(t.cm_words, 64);
+        assert_eq!(t.rf_words, 8);
+        assert_eq!(t.crf_words, 16);
+        assert!(!t.has_lsu);
+    }
+}

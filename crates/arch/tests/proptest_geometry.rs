@@ -1,0 +1,55 @@
+//! Property tests: the torus geometry is a metric space and paths are
+//! consistent with distances.
+
+use cmam_arch::{Direction, Geometry, TileId};
+use proptest::prelude::*;
+
+fn geometry() -> impl Strategy<Value = Geometry> {
+    (1usize..=6, 1usize..=6).prop_map(|(r, c)| Geometry::new(r, c))
+}
+
+proptest! {
+    #[test]
+    fn distance_is_a_metric((g, a, b, c) in geometry().prop_flat_map(|g| {
+        let n = g.num_tiles();
+        (Just(g), 0..n, 0..n, 0..n)
+    })) {
+        let (a, b, c) = (TileId(a), TileId(b), TileId(c));
+        // Identity, symmetry, triangle inequality.
+        prop_assert_eq!(g.distance(a, a), 0);
+        prop_assert_eq!(g.distance(a, b), g.distance(b, a));
+        prop_assert!(g.distance(a, c) <= g.distance(a, b) + g.distance(b, c));
+        // Bounded by the torus diameter.
+        prop_assert!(g.distance(a, b) <= g.rows() / 2 + g.cols() / 2);
+    }
+
+    #[test]
+    fn shortest_paths_realize_distances((g, a, b) in geometry().prop_flat_map(|g| {
+        let n = g.num_tiles();
+        (Just(g), 0..n, 0..n)
+    })) {
+        let (a, b) = (TileId(a), TileId(b));
+        let path = g.shortest_path(a, b);
+        prop_assert_eq!(path.len(), g.distance(a, b));
+        let mut cur = a;
+        for d in path {
+            cur = g.neighbor(cur, d);
+        }
+        prop_assert_eq!(cur, b);
+    }
+
+    #[test]
+    fn neighbors_are_mutual((g, t) in geometry().prop_flat_map(|g| {
+        let n = g.num_tiles();
+        (Just(g), 0..n)
+    })) {
+        let t = TileId(t);
+        for (_, n) in g.neighbors(t) {
+            prop_assert!(g.neighbors(n).iter().any(|&(_, m)| m == t));
+            prop_assert_eq!(g.distance(t, n), 1);
+        }
+        for d in Direction::ALL {
+            prop_assert_eq!(g.neighbor(g.neighbor(t, d), d.opposite()), t);
+        }
+    }
+}

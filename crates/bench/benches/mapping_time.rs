@@ -1,0 +1,38 @@
+//! Criterion bench behind Fig 9: compilation (mapping) time per flow
+//! variant. The paper reports the full context-aware flow at ~1.8x the
+//! basic flow's time; this bench measures the same ratio on this
+//! implementation (DC filter and FFT as the small/medium workloads so the
+//! bench stays fast).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cmam_arch::CgraConfig;
+use cmam_core::{FlowVariant, Mapper};
+
+fn bench_mapping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mapping_time");
+    group.sample_size(10);
+    for (kname, spec) in [
+        ("dc", cmam_kernels::dc::spec()),
+        ("fft", cmam_kernels::fft::spec()),
+    ] {
+        for variant in [FlowVariant::Basic, FlowVariant::Acmap, FlowVariant::Cab] {
+            let config = if variant == FlowVariant::Basic {
+                CgraConfig::hom64()
+            } else {
+                CgraConfig::het1()
+            };
+            group.bench_with_input(BenchmarkId::new(kname, variant), &spec, |b, spec| {
+                b.iter(|| {
+                    let mapper = Mapper::new(variant.options());
+                    black_box(mapper.map(black_box(&spec.cdfg), &config))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mapping);
+criterion_main!(benches);

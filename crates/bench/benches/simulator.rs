@@ -1,0 +1,43 @@
+//! Criterion bench of the cycle-level simulator and the assembler: the
+//! substrate costs behind every latency/energy figure. Reported per
+//! kernel-execution so throughput regressions in the simulator or the
+//! assembler are visible independently of mapper changes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cmam_arch::CgraConfig;
+use cmam_core::{FlowVariant, Mapper};
+use cmam_sim::{simulate, SimOptions};
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(20);
+    let config = CgraConfig::hom64();
+    for spec in [cmam_kernels::dc::spec(), cmam_kernels::fir::spec()] {
+        let mapper = Mapper::new(FlowVariant::Basic.options());
+        let result = mapper.map(&spec.cdfg, &config).expect("maps");
+        let (binary, _) = cmam_isa::assemble(&spec.cdfg, &result.mapping, &config).expect("asm");
+        group.bench_with_input(
+            BenchmarkId::new("simulate", spec.name),
+            &binary,
+            |b, binary| {
+                b.iter(|| {
+                    let mut mem = spec.mem.clone();
+                    black_box(simulate(binary, &config, &mut mem, SimOptions::default()))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("assemble", spec.name),
+            &result.mapping,
+            |b, mapping| {
+                b.iter(|| black_box(cmam_isa::assemble(&spec.cdfg, mapping, &config)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,8 @@
+//! Fig 7: latency with basic + ACMAP + ECMAP.
+
+fn main() {
+    cmam_bench::latency_sweep(
+        "Fig 7: latency, basic + ACMAP + ECMAP",
+        cmam_core::FlowVariant::Ecmap,
+    );
+}

@@ -1,0 +1,8 @@
+//! Fig 8: latency with the full flow (basic + ACMAP + ECMAP + CAB).
+
+fn main() {
+    cmam_bench::latency_sweep(
+        "Fig 8: latency, basic + ACMAP + ECMAP + CAB",
+        cmam_core::FlowVariant::Cab,
+    );
+}

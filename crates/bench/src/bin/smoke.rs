@@ -1,0 +1,39 @@
+use cmam_arch::CgraConfig;
+use cmam_core::{FlowVariant, Mapper};
+use cmam_sim::{simulate, SimOptions};
+use std::time::Instant;
+
+fn main() {
+    for spec in cmam_kernels::all() {
+        for (variant, config) in [
+            (FlowVariant::Basic, CgraConfig::hom64()),
+            (FlowVariant::Cab, CgraConfig::het1()),
+            (FlowVariant::Cab, CgraConfig::het2()),
+        ] {
+            let t0 = Instant::now();
+            let mapper = Mapper::new(variant.options());
+            match mapper.map(&spec.cdfg, &config) {
+                Err(e) => println!("{:<14} {:<8} {:<22} MAP-FAIL {e}", spec.name, config.name(), variant.to_string()),
+                Ok(r) => match cmam_isa::assemble(&spec.cdfg, &r.mapping, &config) {
+                    Err(e) => println!("{:<14} {:<8} {:<22} ASM-FAIL {e}", spec.name, config.name(), variant.to_string()),
+                    Ok((bin, rep)) => {
+                        let mut mem = spec.mem.clone();
+                        match simulate(&bin, &config, &mut mem, SimOptions::default()) {
+                            Err(e) => println!("{:<14} {:<8} {:<22} SIM-FAIL {e}", spec.name, config.name(), variant.to_string()),
+                            Ok(st) => {
+                                let ok = spec.check(&mem).is_ok();
+                                println!(
+                                    "{:<14} {:<8} {:<22} {} cycles={} maxwords={} moves={} pnops={} t={:?}",
+                                    spec.name, config.name(), variant.to_string(),
+                                    if ok { "OK " } else { "WRONG-RESULT" },
+                                    st.cycles, bin.max_context_words(), rep.total_moves(), rep.total_pnops(),
+                                    t0.elapsed()
+                                );
+                            }
+                        }
+                    }
+                },
+            }
+        }
+    }
+}

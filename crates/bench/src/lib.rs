@@ -1,0 +1,212 @@
+//! # cmam-bench — experiment harness
+//!
+//! Shared plumbing for the per-figure binaries (`tab1_configs`,
+//! `fig2_occupancy`, `fig5_traversal`, `fig6_acmap`, `fig7_ecmap`,
+//! `fig8_cab`, `fig9_compile_time`, `fig10_speedup`, `fig11_area`,
+//! `tab2_energy`) and the Criterion benches. Every binary regenerates one
+//! table or figure of the paper; `EXPERIMENTS.md` records paper-vs-measured
+//! for each.
+
+use cmam_arch::CgraConfig;
+use cmam_cdfg::{Cdfg, Opcode};
+use cmam_core::{FlowVariant, MapError, Mapper};
+use cmam_cpu::{CpuModel, CpuStats};
+use cmam_energy::{cpu_energy, EnergyBreakdown, EnergyParams};
+use cmam_isa::{AsmReport, CgraBinary};
+use cmam_kernels::KernelSpec;
+use cmam_sim::{simulate, SimOptions, SimStats};
+use std::time::{Duration, Instant};
+
+/// Everything measured for one (kernel, flow, configuration) run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Executed cycles (including stalls).
+    pub cycles: u64,
+    /// Simulator activity counters.
+    pub sim: SimStats,
+    /// Context-word accounting.
+    pub report: AsmReport,
+    /// The assembled binary.
+    pub binary: CgraBinary,
+    /// Wall-clock mapping time.
+    pub compile_time: Duration,
+    /// Mapper search statistics.
+    pub map_stats: cmam_core::MapStats,
+}
+
+/// Why a run produced no data point (the "zero bars" of Figs 6-8).
+#[derive(Debug, Clone)]
+pub enum RunFailure {
+    /// The mapper found no solution under the given constraints.
+    Map(MapError),
+    /// The mapping violated a constraint at assembly (only possible for
+    /// memory-unaware flows on constrained configurations).
+    Assemble(cmam_isa::AssembleError),
+    /// Simulation failed or produced wrong results (always a bug).
+    Execution(String),
+}
+
+impl std::fmt::Display for RunFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunFailure::Map(e) => write!(f, "no mapping: {e}"),
+            RunFailure::Assemble(e) => write!(f, "does not fit: {e}"),
+            RunFailure::Execution(e) => write!(f, "execution failure: {e}"),
+        }
+    }
+}
+
+/// Maps, assembles, simulates and checks one kernel with one flow variant
+/// on one configuration.
+pub fn run_flow(
+    spec: &KernelSpec,
+    variant: FlowVariant,
+    config: &CgraConfig,
+) -> Result<RunOutcome, RunFailure> {
+    let mapper = Mapper::new(variant.options());
+    let t0 = Instant::now();
+    let result = mapper.map(&spec.cdfg, config).map_err(RunFailure::Map)?;
+    let compile_time = t0.elapsed();
+    let (binary, report) =
+        cmam_isa::assemble(&spec.cdfg, &result.mapping, config).map_err(RunFailure::Assemble)?;
+    let mut mem = spec.mem.clone();
+    let sim = simulate(&binary, config, &mut mem, SimOptions::default())
+        .map_err(|e| RunFailure::Execution(e.to_string()))?;
+    spec.check(&mem)
+        .map_err(|(i, got, want)| RunFailure::Execution(format!("mem[{i}] = {got}, want {want}")))?;
+    Ok(RunOutcome {
+        cycles: sim.cycles,
+        sim,
+        report,
+        binary,
+        compile_time,
+        map_stats: result.stats,
+    })
+}
+
+/// Runs the CPU baseline for a kernel, returning the profile and checking
+/// the outputs against the reference.
+pub fn run_cpu(spec: &KernelSpec) -> (CpuStats, EnergyBreakdown) {
+    let model = CpuModel::default();
+    let mut mem = spec.mem.clone();
+    let (stats, _) = model
+        .run(&spec.cdfg, &mut mem, 100_000_000)
+        .expect("kernels terminate");
+    spec.check(&mem)
+        .unwrap_or_else(|(i, got, want)| panic!("CPU run wrong: mem[{i}]={got}, want {want}"));
+    let energy = cpu_energy(&EnergyParams::default(), &stats);
+    (stats, energy)
+}
+
+/// Static fraction of multiply operations among a kernel's ALU operations
+/// (weights the CGRA datapath energy).
+pub fn mul_fraction(cdfg: &Cdfg) -> f64 {
+    let mut alu = 0usize;
+    let mut mul = 0usize;
+    for b in cdfg.block_ids() {
+        for op in cdfg.dfg(b).ops() {
+            if !op.opcode.is_memory() {
+                alu += 1;
+                if op.opcode == Opcode::Mul {
+                    mul += 1;
+                }
+            }
+        }
+    }
+    if alu == 0 {
+        0.0
+    } else {
+        mul as f64 / alu as f64
+    }
+}
+
+/// CGRA energy of a run outcome under the default parameters.
+pub fn cgra_energy_of(spec: &KernelSpec, config: &CgraConfig, out: &RunOutcome) -> EnergyBreakdown {
+    cmam_energy::cgra_energy(
+        &EnergyParams::default(),
+        config,
+        &out.sim,
+        mul_fraction(&spec.cdfg),
+    )
+}
+
+/// Renders a markdown-style table: a header row plus data rows.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut s = String::from("|");
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!(" {:<w$} |", c, w = widths[i]));
+        }
+        println!("{s}");
+    };
+    line(headers.iter().map(|h| h.to_string()).collect());
+    let mut sep = String::from("|");
+    for w in &widths {
+        sep.push_str(&format!("{}|", "-".repeat(w + 2)));
+    }
+    println!("{sep}");
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Formats a ratio as e.g. `2.31x`, or `-` for a missing data point.
+pub fn ratio(value: Option<f64>) -> String {
+    match value {
+        Some(v) => format!("{v:.2}x"),
+        None => "-".to_owned(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mul_fraction_counts_static_ops() {
+        let spec = cmam_kernels::fir::spec();
+        let f = mul_fraction(&spec.cdfg);
+        assert!(f > 0.1 && f < 0.5, "{f}");
+    }
+
+    #[test]
+    fn run_cpu_produces_cycles_and_energy() {
+        let spec = cmam_kernels::dc::spec();
+        let (stats, energy) = run_cpu(&spec);
+        assert!(stats.cycles > 0);
+        assert!(energy.total() > 0.0);
+    }
+}
+
+/// Shared driver for Figs 6-8: latency of one flow variant on the
+/// constrained configurations (HOM32, HET1, HET2), normalised to the
+/// basic mapping on HOM64. Failures print as `0 (none)` — the zero bars
+/// of the paper's charts.
+pub fn latency_sweep(title: &str, variant: FlowVariant) {
+    println!("# {title} (flow: {variant})\n");
+    let configs = [CgraConfig::hom32(), CgraConfig::het1(), CgraConfig::het2()];
+    let mut rows = Vec::new();
+    for spec in cmam_kernels::all() {
+        let base =
+            run_flow(&spec, FlowVariant::Basic, &CgraConfig::hom64()).expect("basic maps on HOM64");
+        let mut row = vec![spec.name.to_owned(), base.cycles.to_string()];
+        for config in &configs {
+            match run_flow(&spec, variant, config) {
+                Ok(out) => row.push(format!("{:.2}", out.cycles as f64 / base.cycles as f64)),
+                Err(e) => {
+                    row.push("0 (none)".to_owned());
+                    eprintln!("  [{}] {}: {e}", config.name(), spec.name);
+                }
+            }
+        }
+        rows.push(row);
+    }
+    print_table(&["Kernel", "base cyc", "HOM32", "HET1", "HET2"], &rows);
+    println!("\n(latency normalised to basic mapping on HOM64; 0 = no mapping found)");
+}

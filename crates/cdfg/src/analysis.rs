@@ -1,0 +1,359 @@
+//! Per-block scheduling analyses and CDFG traversal orders.
+//!
+//! Provides the ingredients of the paper's list scheduler — ASAP/ALAP
+//! levels, **mobility**, fan-outs and memory-order edges — plus the two
+//! CDFG traversal strategies compared in Section III-D.1: the basic flow's
+//! *forward* traversal and the proposed *weighted* traversal ordered by
+//! `Wbb = n(s) + Σ_{s} f_s`.
+
+use crate::cdfg::{BlockId, Cdfg};
+use crate::dfg::{Dfg, OpId};
+use crate::value::ValueKind;
+use std::collections::HashMap;
+
+/// Dependency edges of one block: data edges plus memory-order edges.
+///
+/// Memory ordering (per alias class, in program order): a store depends on
+/// every earlier load and store of its class; a load depends on the latest
+/// earlier store of its class. Loads of the same class may reorder freely
+/// between stores.
+#[derive(Debug, Clone, Default)]
+pub struct DepGraph {
+    /// Predecessors: `op` -> ops that must execute strictly before it.
+    pub preds: HashMap<OpId, Vec<OpId>>,
+    /// Successors: inverse of `preds`.
+    pub succs: HashMap<OpId, Vec<OpId>>,
+}
+
+impl DepGraph {
+    /// Builds the dependency graph of a block.
+    pub fn build(dfg: &Dfg<'_>) -> DepGraph {
+        let mut preds: HashMap<OpId, Vec<OpId>> = HashMap::new();
+        let mut succs: HashMap<OpId, Vec<OpId>> = HashMap::new();
+        for &id in dfg.op_ids() {
+            preds.entry(id).or_default();
+            succs.entry(id).or_default();
+        }
+        let add = |preds: &mut HashMap<OpId, Vec<OpId>>,
+                       succs: &mut HashMap<OpId, Vec<OpId>>,
+                       from: OpId,
+                       to: OpId| {
+            let p = preds.entry(to).or_default();
+            if !p.contains(&from) {
+                p.push(from);
+            }
+            let s = succs.entry(from).or_default();
+            if !s.contains(&to) {
+                s.push(to);
+            }
+        };
+
+        // Data edges.
+        for op in dfg.ops() {
+            for p in dfg.data_preds(op.id) {
+                add(&mut preds, &mut succs, p, op.id);
+            }
+        }
+        // Memory-order edges.
+        for (from, to) in order_edges(dfg) {
+            add(&mut preds, &mut succs, from, to);
+        }
+        DepGraph { preds, succs }
+    }
+
+    /// Predecessors of `op` (empty slice when none).
+    pub fn preds_of(&self, op: OpId) -> &[OpId] {
+        self.preds.get(&op).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Successors of `op` (empty slice when none).
+    pub fn succs_of(&self, op: OpId) -> &[OpId] {
+        self.succs.get(&op).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+/// Memory-order edges of a block (see [`DepGraph`] for the rule).
+pub fn order_edges(dfg: &Dfg<'_>) -> Vec<(OpId, OpId)> {
+    use crate::op::Opcode;
+    let mut edges = Vec::new();
+    let mut last_store: HashMap<u32, OpId> = HashMap::new();
+    let mut loads_since_store: HashMap<u32, Vec<OpId>> = HashMap::new();
+    for op in dfg.ops() {
+        let Some(class) = op.alias else { continue };
+        match op.opcode {
+            Opcode::Load => {
+                if let Some(&st) = last_store.get(&class.0) {
+                    edges.push((st, op.id));
+                }
+                loads_since_store.entry(class.0).or_default().push(op.id);
+            }
+            Opcode::Store => {
+                if let Some(&st) = last_store.get(&class.0) {
+                    edges.push((st, op.id));
+                }
+                for &ld in loads_since_store.get(&class.0).map(Vec::as_slice).unwrap_or(&[]) {
+                    edges.push((ld, op.id));
+                }
+                loads_since_store.insert(class.0, Vec::new());
+                last_store.insert(class.0, op.id);
+            }
+            _ => {}
+        }
+    }
+    edges
+}
+
+/// ASAP levels (earliest cycle per op assuming unit latency and unlimited
+/// resources). Level 0 = sources.
+pub fn asap(dfg: &Dfg<'_>, deps: &DepGraph) -> HashMap<OpId, usize> {
+    let mut level = HashMap::new();
+    // Program order is topological (validated), so one pass suffices.
+    for &id in dfg.op_ids() {
+        let l = deps
+            .preds_of(id)
+            .iter()
+            .map(|p| level[p] + 1)
+            .max()
+            .unwrap_or(0);
+        level.insert(id, l);
+    }
+    level
+}
+
+/// ALAP levels for a schedule of `length` cycles (latest feasible cycle).
+///
+/// # Panics
+///
+/// Panics if `length` is smaller than the critical path requires.
+pub fn alap(dfg: &Dfg<'_>, deps: &DepGraph, length: usize) -> HashMap<OpId, usize> {
+    let mut level = HashMap::new();
+    for &id in dfg.op_ids().iter().rev() {
+        let l = deps
+            .succs_of(id)
+            .iter()
+            .map(|s| {
+                let sl: usize = level[s];
+                assert!(sl > 0, "schedule length too small for critical path");
+                sl - 1
+            })
+            .min()
+            .unwrap_or(length.saturating_sub(1));
+        level.insert(id, l);
+    }
+    level
+}
+
+/// Critical-path length of a block in cycles (the minimum schedule length
+/// with unlimited resources).
+pub fn critical_path(dfg: &Dfg<'_>, deps: &DepGraph) -> usize {
+    let levels = asap(dfg, deps);
+    levels.values().map(|&l| l + 1).max().unwrap_or(0)
+}
+
+/// Mobility per op: `alap - asap` for the critical-path-length schedule.
+/// Critical ops have mobility 0.
+pub fn mobility(dfg: &Dfg<'_>, deps: &DepGraph) -> HashMap<OpId, usize> {
+    let len = critical_path(dfg, deps);
+    let a = asap(dfg, deps);
+    let l = alap(dfg, deps, len.max(1));
+    a.iter().map(|(&op, &av)| (op, l[&op] - av)).collect()
+}
+
+/// The paper's block weight `Wbb = n(s) + Σ_{s ∈ b} f_s`, where `n(s)` is
+/// the number of symbol variables present in the block and `f_s` the
+/// fan-out of each: the number of operand slots reading the symbol within
+/// the block, plus one if the block writes it.
+pub fn block_weight(cdfg: &Cdfg, block: BlockId) -> usize {
+    let dfg = cdfg.dfg(block);
+    let mut symbols: Vec<u32> = Vec::new();
+    let mut fanout_total = 0usize;
+
+    // Reads.
+    for op in dfg.ops() {
+        for &a in &op.args {
+            if let ValueKind::SymbolUse(s) = cdfg.value(a).kind {
+                if !symbols.contains(&s.0) {
+                    symbols.push(s.0);
+                }
+                fanout_total += 1;
+            }
+        }
+    }
+    // Writes.
+    for op in dfg.ops() {
+        if let Some(s) = op.writes_symbol {
+            if !symbols.contains(&s.0) {
+                symbols.push(s.0);
+            }
+            fanout_total += 1;
+        }
+    }
+    symbols.len() + fanout_total
+}
+
+/// Forward CDFG traversal of the basic flow: reverse post-order from the
+/// entry, so every block is visited before its (non-back-edge) successors.
+pub fn forward_order(cdfg: &Cdfg) -> Vec<BlockId> {
+    let n = cdfg.num_blocks();
+    let mut visited = vec![false; n];
+    let mut post = Vec::with_capacity(n);
+    // Iterative DFS with explicit stack.
+    let mut stack: Vec<(BlockId, usize)> = vec![(cdfg.entry(), 0)];
+    visited[cdfg.entry().0 as usize] = true;
+    while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+        let succs = cdfg.successors(b);
+        if *i < succs.len() {
+            let nxt = succs[*i];
+            *i += 1;
+            if !visited[nxt.0 as usize] {
+                visited[nxt.0 as usize] = true;
+                stack.push((nxt, 0));
+            }
+        } else {
+            post.push(b);
+            stack.pop();
+        }
+    }
+    post.reverse();
+    post
+}
+
+/// The proposed weighted traversal (Section III-D.1): blocks in descending
+/// [`block_weight`]; ties broken by forward order so the result is
+/// deterministic.
+pub fn weighted_order(cdfg: &Cdfg) -> Vec<BlockId> {
+    let fwd = forward_order(cdfg);
+    let rank: HashMap<BlockId, usize> = fwd.iter().enumerate().map(|(i, &b)| (b, i)).collect();
+    let mut order = fwd.clone();
+    order.sort_by_key(|&b| (std::cmp::Reverse(block_weight(cdfg, b)), rank[&b]));
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CdfgBuilder;
+    use crate::op::Opcode;
+
+    /// entry -> body(loop) -> exit, body has symbols i, acc.
+    fn looped() -> (Cdfg, BlockId, BlockId, BlockId) {
+        let mut b = CdfgBuilder::new("t");
+        let b0 = b.block("entry");
+        let b1 = b.block("body");
+        let b2 = b.block("exit");
+        let i = b.symbol("i");
+        let acc = b.symbol("acc");
+        b.select(b0);
+        b.mov_const_to_symbol(0, i);
+        b.mov_const_to_symbol(0, acc);
+        b.jump(b1);
+        b.select(b1);
+        let iv = b.use_symbol(i);
+        let av = b.use_symbol(acc);
+        let x = b.load_name(iv, "x");
+        let t = b.op(Opcode::Mul, &[x, x]);
+        let a2 = b.op(Opcode::Add, &[av, t]);
+        b.write_symbol(a2, acc);
+        let one = b.constant(1);
+        let i2 = b.op(Opcode::Add, &[iv, one]);
+        b.write_symbol(i2, i);
+        let n = b.constant(8);
+        let c = b.op(Opcode::Lt, &[i2, n]);
+        b.branch(c, b1, b2);
+        b.select(b2);
+        let av = b.use_symbol(acc);
+        let z = b.constant(100);
+        b.store(z, av, "out");
+        b.ret();
+        (b.finish().unwrap(), b0, b1, b2)
+    }
+
+    #[test]
+    fn asap_alap_mobility_basics() {
+        let (cdfg, _, b1, _) = looped();
+        let dfg = cdfg.dfg(b1);
+        let deps = DepGraph::build(&dfg);
+        let a = asap(&dfg, &deps);
+        let cp = critical_path(&dfg, &deps);
+        // load -> mul -> add(acc) is the critical chain: length >= 3.
+        assert!(cp >= 3, "cp = {cp}");
+        let m = mobility(&dfg, &deps);
+        // Some op on the critical path has zero mobility.
+        assert!(m.values().any(|&x| x == 0));
+        // ASAP of the load (first op) is 0.
+        let load = dfg.op_ids()[0];
+        assert_eq!(a[&load], 0);
+        // All mobilities are bounded by cp-1.
+        assert!(m.values().all(|&x| x < cp));
+    }
+
+    #[test]
+    fn order_edges_serialize_same_class_stores() {
+        let mut b = CdfgBuilder::new("t");
+        let bb = b.block("b");
+        b.select(bb);
+        let a0 = b.constant(0);
+        let a1 = b.constant(1);
+        let v = b.load_name(a0, "m");
+        b.store(a1, v, "m");
+        let w = b.load_name(a0, "m");
+        b.store(a0, w, "m");
+        b.ret();
+        let cdfg = b.finish().unwrap();
+        let dfg = cdfg.dfg(bb);
+        let edges = order_edges(&dfg);
+        let ids = dfg.op_ids();
+        // load0 -> store1, store1 -> load2, load2 -> store3, store1 -> store3
+        assert!(edges.contains(&(ids[0], ids[1])));
+        assert!(edges.contains(&(ids[1], ids[2])));
+        assert!(edges.contains(&(ids[2], ids[3])));
+        assert!(edges.contains(&(ids[1], ids[3])));
+    }
+
+    #[test]
+    fn different_alias_classes_do_not_serialize() {
+        let mut b = CdfgBuilder::new("t");
+        let bb = b.block("b");
+        b.select(bb);
+        let a0 = b.constant(0);
+        let v = b.load_name(a0, "x");
+        b.store(a0, v, "y");
+        let w = b.load_name(a0, "x");
+        b.store(a0, w, "z");
+        b.ret();
+        let cdfg = b.finish().unwrap();
+        let edges = order_edges(&cdfg.dfg(bb));
+        assert!(edges.is_empty());
+    }
+
+    #[test]
+    fn block_weights_favor_symbol_heavy_blocks() {
+        let (cdfg, b0, b1, b2) = looped();
+        let w0 = block_weight(&cdfg, b0);
+        let w1 = block_weight(&cdfg, b1);
+        let w2 = block_weight(&cdfg, b2);
+        // Body reads i, acc and writes both: heaviest.
+        assert!(w1 > w0, "w1={w1} w0={w0}");
+        assert!(w1 > w2, "w1={w1} w2={w2}");
+        // entry: writes i and acc, no reads: n(s)=2 + fanouts 2 = 4.
+        assert_eq!(w0, 4);
+        // exit: reads acc once: n(s)=1 + 1 = 2.
+        assert_eq!(w2, 2);
+    }
+
+    #[test]
+    fn traversal_orders() {
+        let (cdfg, b0, b1, b2) = looped();
+        assert_eq!(forward_order(&cdfg), vec![b0, b1, b2]);
+        let w = weighted_order(&cdfg);
+        assert_eq!(w[0], b1, "heaviest block first");
+        assert_eq!(w, vec![b1, b0, b2]);
+    }
+
+    #[test]
+    fn forward_order_visits_all_blocks_once() {
+        let (cdfg, ..) = looped();
+        let f = forward_order(&cdfg);
+        assert_eq!(f.len(), cdfg.num_blocks());
+    }
+}

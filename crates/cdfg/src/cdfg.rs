@@ -1,0 +1,301 @@
+//! The control-data flow graph container.
+
+use crate::dfg::{AliasClass, Dfg, Op, OpId};
+use crate::validate::ValidateError;
+use crate::value::{Symbol, SymbolId, Value, ValueId};
+use std::fmt;
+
+/// Identifier of a basic block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// How control leaves a basic block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Terminator {
+    /// Unconditional jump; handled by the CGRA's global controller without
+    /// consuming an instruction slot.
+    Jump(BlockId),
+    /// Two-way branch decided by the block's [`crate::Opcode::Br`]
+    /// operation `op`: control goes to `taken` when the condition is
+    /// non-zero, `fallthrough` otherwise.
+    Branch {
+        /// The `Br` operation computing/latching the decision.
+        op: OpId,
+        /// Successor when the condition is non-zero.
+        taken: BlockId,
+        /// Successor when the condition is zero.
+        fallthrough: BlockId,
+    },
+    /// Kernel end.
+    Return,
+}
+
+impl Terminator {
+    /// The control-flow successors of the block.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match *self {
+            Terminator::Jump(b) => vec![b],
+            Terminator::Branch {
+                taken, fallthrough, ..
+            } => vec![taken, fallthrough],
+            Terminator::Return => Vec::new(),
+        }
+    }
+}
+
+/// A basic block: a name, its operations in program order, and the
+/// terminator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// Identity.
+    pub id: BlockId,
+    /// Human-readable name.
+    pub name: String,
+    /// Operations in program order.
+    pub ops: Vec<OpId>,
+    /// The block's terminator. `None` only while under construction;
+    /// [`crate::Cdfg::validate`] rejects it.
+    pub terminator: Option<Terminator>,
+}
+
+/// A whole kernel: basic blocks, control-flow edges, operation and value
+/// arenas, symbol variables and memory alias classes.
+///
+/// Construct with [`crate::CdfgBuilder`]; inspect per-block data flow with
+/// [`Cdfg::dfg`].
+#[derive(Debug, Clone)]
+pub struct Cdfg {
+    pub(crate) name: String,
+    pub(crate) blocks: Vec<BasicBlock>,
+    pub(crate) ops: Vec<Op>,
+    pub(crate) values: Vec<Value>,
+    pub(crate) value_block: Vec<BlockId>,
+    pub(crate) symbols: Vec<Symbol>,
+    pub(crate) alias_names: Vec<String>,
+    pub(crate) entry: BlockId,
+}
+
+impl Cdfg {
+    /// Kernel name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The entry block.
+    pub fn entry(&self) -> BlockId {
+        self.entry
+    }
+
+    /// Number of basic blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// All block ids in creation order (the "forward" order of the paper's
+    /// basic traversal).
+    pub fn block_ids(&self) -> impl Iterator<Item = BlockId> + '_ {
+        self.blocks.iter().map(|b| b.id)
+    }
+
+    /// A block by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn block(&self, id: BlockId) -> &BasicBlock {
+        &self.blocks[id.0 as usize]
+    }
+
+    /// An operation by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn op(&self, id: OpId) -> &Op {
+        &self.ops[id.0 as usize]
+    }
+
+    /// A value by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn value(&self, id: ValueId) -> &Value {
+        &self.values[id.0 as usize]
+    }
+
+    /// The block in which a value was created.
+    pub fn value_block(&self, id: ValueId) -> BlockId {
+        self.value_block[id.0 as usize]
+    }
+
+    /// A symbol by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn symbol(&self, id: SymbolId) -> &Symbol {
+        &self.symbols[id.0 as usize]
+    }
+
+    /// All symbols with ids.
+    pub fn symbols(&self) -> impl Iterator<Item = (SymbolId, &Symbol)> + '_ {
+        self.symbols
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (SymbolId(i as u32), s))
+    }
+
+    /// Number of symbol variables.
+    pub fn num_symbols(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// Name of a memory alias class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is out of range.
+    pub fn alias_name(&self, class: AliasClass) -> &str {
+        &self.alias_names[class.0 as usize]
+    }
+
+    /// The per-block data-flow view.
+    pub fn dfg(&self, block: BlockId) -> Dfg<'_> {
+        Dfg::new(self, block)
+    }
+
+    /// Total number of operation nodes over all blocks (`Σ n(Vo)`).
+    pub fn total_ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Control-flow successors of a block.
+    pub fn successors(&self, block: BlockId) -> Vec<BlockId> {
+        self.block(block)
+            .terminator
+            .as_ref()
+            .map(|t| t.successors())
+            .unwrap_or_default()
+    }
+
+    /// Control-flow predecessors of a block.
+    pub fn predecessors(&self, block: BlockId) -> Vec<BlockId> {
+        self.block_ids()
+            .filter(|&b| self.successors(b).contains(&block))
+            .collect()
+    }
+
+    /// Structural validation; see [`crate::validate`] for the rule list.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ValidateError`] found.
+    pub fn validate(&self) -> Result<(), ValidateError> {
+        crate::validate::validate(self)
+    }
+}
+
+impl fmt::Display for Cdfg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "cdfg {} ({} blocks, {} ops, {} symbols)",
+            self.name,
+            self.num_blocks(),
+            self.total_ops(),
+            self.num_symbols()
+        )?;
+        for bb in &self.blocks {
+            let term = match &bb.terminator {
+                Some(Terminator::Jump(b)) => format!("jump {b}"),
+                Some(Terminator::Branch {
+                    taken, fallthrough, ..
+                }) => format!("branch {taken} / {fallthrough}"),
+                Some(Terminator::Return) => "return".to_owned(),
+                None => "<unterminated>".to_owned(),
+            };
+            writeln!(f, "  {} \"{}\": {} ops, {}", bb.id, bb.name, bb.ops.len(), term)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::CdfgBuilder;
+    use crate::cdfg::Terminator;
+    use crate::op::Opcode;
+
+    fn diamond() -> crate::Cdfg {
+        // entry -> (then | else) -> exit
+        let mut b = CdfgBuilder::new("diamond");
+        let entry = b.block("entry");
+        let then_b = b.block("then");
+        let else_b = b.block("else");
+        let exit = b.block("exit");
+        let s = b.symbol("x");
+
+        b.select(entry);
+        let c = b.constant(1);
+        let z = b.constant(0);
+        let cond = b.op(Opcode::Gt, &[c, z]);
+        b.mov_const_to_symbol(5, s);
+        b.branch(cond, then_b, else_b);
+
+        b.select(then_b);
+        let x = b.use_symbol(s);
+        let one = b.constant(1);
+        let r = b.op(Opcode::Add, &[x, one]);
+        b.write_symbol(r, s);
+        b.jump(exit);
+
+        b.select(else_b);
+        let x = b.use_symbol(s);
+        let two = b.constant(2);
+        let r = b.op(Opcode::Add, &[x, two]);
+        b.write_symbol(r, s);
+        b.jump(exit);
+
+        b.select(exit);
+        let x = b.use_symbol(s);
+        let a = b.constant(0);
+        b.store(a, x, "out");
+        b.ret();
+
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn successors_and_predecessors() {
+        let c = diamond();
+        let ids: Vec<_> = c.block_ids().collect();
+        assert_eq!(c.successors(ids[0]), vec![ids[1], ids[2]]);
+        assert_eq!(c.predecessors(ids[3]), vec![ids[1], ids[2]]);
+        assert_eq!(c.successors(ids[3]), vec![]);
+    }
+
+    #[test]
+    fn terminator_successors() {
+        assert_eq!(Terminator::Return.successors(), vec![]);
+        assert_eq!(
+            Terminator::Jump(crate::BlockId(3)).successors(),
+            vec![crate::BlockId(3)]
+        );
+    }
+
+    #[test]
+    fn display_contains_structure() {
+        let c = diamond();
+        let s = c.to_string();
+        assert!(s.contains("diamond"));
+        assert!(s.contains("branch"));
+        assert!(s.contains("return"));
+    }
+}

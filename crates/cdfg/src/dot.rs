@@ -1,0 +1,150 @@
+//! Graphviz (DOT) export of CDFGs — the standard way to inspect what the
+//! mapper is being asked to place. Two levels: the control-flow graph
+//! ([`cfg_dot`]) and a full per-block data-flow rendering ([`cdfg_dot`])
+//! with operation nodes, data edges and symbol reads/writes.
+
+use crate::cdfg::{Cdfg, Terminator};
+use crate::value::ValueKind;
+use std::fmt::Write;
+
+/// Renders the control-flow graph: one node per basic block (labelled
+/// with its name and op count), edges for jumps and branches.
+pub fn cfg_dot(cdfg: &Cdfg) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}_cfg\" {{", cdfg.name());
+    let _ = writeln!(out, "  node [shape=box, fontname=\"monospace\"];");
+    for b in cdfg.block_ids() {
+        let bb = cdfg.block(b);
+        let _ = writeln!(
+            out,
+            "  {b} [label=\"{b} {}\\n{} ops\"];",
+            bb.name,
+            bb.ops.len()
+        );
+        match bb.terminator.as_ref().expect("validated cdfg") {
+            Terminator::Jump(t) => {
+                let _ = writeln!(out, "  {b} -> {t};");
+            }
+            Terminator::Branch {
+                taken, fallthrough, ..
+            } => {
+                let _ = writeln!(out, "  {b} -> {taken} [label=\"T\"];");
+                let _ = writeln!(out, "  {b} -> {fallthrough} [label=\"F\"];");
+            }
+            Terminator::Return => {
+                let _ = writeln!(out, "  {b} -> exit_{b} [style=dashed];");
+                let _ = writeln!(out, "  exit_{b} [label=\"return\", shape=plaintext];");
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders the full CDFG: clusters per block with operation nodes, data
+/// edges, constants and symbol reads/writes.
+pub fn cdfg_dot(cdfg: &Cdfg) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", cdfg.name());
+    let _ = writeln!(out, "  node [fontname=\"monospace\"];");
+    for b in cdfg.block_ids() {
+        let bb = cdfg.block(b);
+        let _ = writeln!(out, "  subgraph cluster_{b} {{");
+        let _ = writeln!(out, "    label=\"{b} {}\";", bb.name);
+        for &oid in &bb.ops {
+            let op = cdfg.op(oid);
+            let mut label = format!("{} {}", oid, op.opcode);
+            if let Some(s) = op.writes_symbol {
+                let _ = write!(label, " →{}", cdfg.symbol(s).name);
+            }
+            let _ = writeln!(out, "    {oid} [label=\"{label}\", shape=ellipse];");
+        }
+        let _ = writeln!(out, "  }}");
+        // Data edges (drawn outside the cluster bodies for readability).
+        for &oid in &bb.ops {
+            let op = cdfg.op(oid);
+            for &a in &op.args {
+                match cdfg.value(a).kind {
+                    ValueKind::Def(p) => {
+                        let _ = writeln!(out, "  {p} -> {oid};");
+                    }
+                    ValueKind::Const(c) => {
+                        let cn = format!("const_{}_{}", oid, c.unsigned_abs());
+                        let _ = writeln!(out, "  {cn} [label=\"{c}\", shape=plaintext];");
+                        let _ = writeln!(out, "  {cn} -> {oid};");
+                    }
+                    ValueKind::SymbolUse(s) => {
+                        let sn = format!("sym_{}_{}", b, s.0);
+                        let _ = writeln!(
+                            out,
+                            "  {sn} [label=\"{}\", shape=diamond];",
+                            cdfg.symbol(s).name
+                        );
+                        let _ = writeln!(out, "  {sn} -> {oid};");
+                    }
+                }
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CdfgBuilder;
+    use crate::op::Opcode;
+
+    fn looped() -> Cdfg {
+        let mut b = CdfgBuilder::new("loopy");
+        let b0 = b.block("entry");
+        let b1 = b.block("body");
+        let b2 = b.block("exit");
+        let i = b.symbol("i");
+        b.select(b0);
+        b.mov_const_to_symbol(0, i);
+        b.jump(b1);
+        b.select(b1);
+        let iv = b.use_symbol(i);
+        let one = b.constant(1);
+        let i2 = b.op(Opcode::Add, &[iv, one]);
+        b.write_symbol(i2, i);
+        let n = b.constant(4);
+        let c = b.op(Opcode::Lt, &[i2, n]);
+        b.branch(c, b1, b2);
+        b.select(b2);
+        b.ret();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn cfg_dot_contains_all_blocks_and_edges() {
+        let dot = cfg_dot(&looped());
+        assert!(dot.starts_with("digraph"));
+        for needle in ["bb0", "bb1", "bb2", "label=\"T\"", "label=\"F\"", "return"] {
+            assert!(dot.contains(needle), "missing {needle} in:\n{dot}");
+        }
+        // Loop back-edge present.
+        assert!(dot.contains("bb1 -> bb1"));
+    }
+
+    #[test]
+    fn cdfg_dot_renders_ops_symbols_and_constants() {
+        let dot = cdfg_dot(&looped());
+        for needle in ["cluster_bb1", "add", "lt", "shape=diamond", "→i"] {
+            assert!(dot.contains(needle), "missing {needle} in:\n{dot}");
+        }
+        // Data edge from the add to the compare.
+        assert!(dot.contains("o1 -> o2"));
+    }
+
+    #[test]
+    fn dot_is_balanced() {
+        for dot in [cfg_dot(&looped()), cdfg_dot(&looped())] {
+            let open = dot.matches('{').count();
+            let close = dot.matches('}').count();
+            assert_eq!(open, close);
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! Operation opcodes and their static properties.
+
+use std::fmt;
+
+/// Opcode of an operation node.
+///
+/// All operations are single-cycle on the CGRA's multi-operation functional
+/// units (the paper's IPA-style ALU). `Load`/`Store` additionally require a
+/// tile with a load/store unit; at run time they may incur global stall
+/// cycles on TCDM bank conflicts, but their *mapped* latency is one cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Opcode {
+    /// Two's-complement addition.
+    Add,
+    /// Two's-complement subtraction.
+    Sub,
+    /// Two's-complement multiplication (low 32 bits).
+    Mul,
+    /// Logical shift left (`a << (b & 31)`).
+    Shl,
+    /// Arithmetic shift right (`a >> (b & 31)`, sign-extending).
+    Shr,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Signed minimum.
+    Min,
+    /// Signed maximum.
+    Max,
+    /// Absolute value (one operand).
+    Abs,
+    /// Equality compare, produces 1 or 0.
+    Eq,
+    /// Inequality compare, produces 1 or 0.
+    Ne,
+    /// Signed less-than, produces 1 or 0.
+    Lt,
+    /// Signed less-or-equal, produces 1 or 0.
+    Le,
+    /// Signed greater-than, produces 1 or 0.
+    Gt,
+    /// Signed greater-or-equal, produces 1 or 0.
+    Ge,
+    /// `select(c, a, b) = if c != 0 { a } else { b }`.
+    Select,
+    /// Copy of the single operand. Emitted by the builder for symbol
+    /// initialisation and by the mapper's re-routing transformation.
+    Mov,
+    /// Word load from data memory (operand: word address). LSU tiles only.
+    Load,
+    /// Word store to data memory (operands: word address, value).
+    /// LSU tiles only. Produces no result.
+    Store,
+    /// Conditional-branch operation: consumes the block's branch condition
+    /// and drives the CGRA controller's next-block selection ("control"
+    /// instructions in the paper's instruction taxonomy). Produces no
+    /// result.
+    Br,
+}
+
+impl Opcode {
+    /// All opcodes, for exhaustive tests and random program generation.
+    pub const ALL: [Opcode; 22] = [
+        Opcode::Add,
+        Opcode::Sub,
+        Opcode::Mul,
+        Opcode::Shl,
+        Opcode::Shr,
+        Opcode::And,
+        Opcode::Or,
+        Opcode::Xor,
+        Opcode::Min,
+        Opcode::Max,
+        Opcode::Abs,
+        Opcode::Eq,
+        Opcode::Ne,
+        Opcode::Lt,
+        Opcode::Le,
+        Opcode::Gt,
+        Opcode::Ge,
+        Opcode::Select,
+        Opcode::Mov,
+        Opcode::Load,
+        Opcode::Store,
+        Opcode::Br,
+    ];
+
+    /// Number of value operands the opcode consumes.
+    pub fn arity(self) -> usize {
+        match self {
+            Opcode::Abs | Opcode::Mov | Opcode::Load | Opcode::Br => 1,
+            Opcode::Select => 3,
+            Opcode::Store => 2,
+            _ => 2,
+        }
+    }
+
+    /// Whether the opcode produces a result value.
+    pub fn has_result(self) -> bool {
+        !matches!(self, Opcode::Store | Opcode::Br)
+    }
+
+    /// Whether the opcode touches data memory (must map to an LSU tile).
+    pub fn is_memory(self) -> bool {
+        matches!(self, Opcode::Load | Opcode::Store)
+    }
+
+    /// Whether the opcode is the control operation closing a block.
+    pub fn is_branch(self) -> bool {
+        matches!(self, Opcode::Br)
+    }
+
+    /// Evaluates the opcode on concrete operands (the interpreter's and the
+    /// simulator's shared ALU semantics). `Load`, `Store` and `Br` are
+    /// handled by their callers; for uniformity `Mov` returns its operand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called with the wrong operand count or on a memory/branch
+    /// opcode.
+    pub fn eval(self, args: &[i32]) -> i32 {
+        assert_eq!(
+            args.len(),
+            self.arity(),
+            "opcode {self} expects {} operands",
+            self.arity()
+        );
+        let bool2i = |b: bool| if b { 1 } else { 0 };
+        match self {
+            Opcode::Add => args[0].wrapping_add(args[1]),
+            Opcode::Sub => args[0].wrapping_sub(args[1]),
+            Opcode::Mul => args[0].wrapping_mul(args[1]),
+            Opcode::Shl => args[0].wrapping_shl(args[1] as u32 & 31),
+            Opcode::Shr => args[0].wrapping_shr(args[1] as u32 & 31),
+            Opcode::And => args[0] & args[1],
+            Opcode::Or => args[0] | args[1],
+            Opcode::Xor => args[0] ^ args[1],
+            Opcode::Min => args[0].min(args[1]),
+            Opcode::Max => args[0].max(args[1]),
+            Opcode::Abs => args[0].wrapping_abs(),
+            Opcode::Eq => bool2i(args[0] == args[1]),
+            Opcode::Ne => bool2i(args[0] != args[1]),
+            Opcode::Lt => bool2i(args[0] < args[1]),
+            Opcode::Le => bool2i(args[0] <= args[1]),
+            Opcode::Gt => bool2i(args[0] > args[1]),
+            Opcode::Ge => bool2i(args[0] >= args[1]),
+            Opcode::Select => {
+                if args[0] != 0 {
+                    args[1]
+                } else {
+                    args[2]
+                }
+            }
+            Opcode::Mov => args[0],
+            Opcode::Load | Opcode::Store | Opcode::Br => {
+                panic!("{self} is not a pure ALU opcode")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Opcode::Add => "add",
+            Opcode::Sub => "sub",
+            Opcode::Mul => "mul",
+            Opcode::Shl => "shl",
+            Opcode::Shr => "shr",
+            Opcode::And => "and",
+            Opcode::Or => "or",
+            Opcode::Xor => "xor",
+            Opcode::Min => "min",
+            Opcode::Max => "max",
+            Opcode::Abs => "abs",
+            Opcode::Eq => "eq",
+            Opcode::Ne => "ne",
+            Opcode::Lt => "lt",
+            Opcode::Le => "le",
+            Opcode::Gt => "gt",
+            Opcode::Ge => "ge",
+            Opcode::Select => "select",
+            Opcode::Mov => "mov",
+            Opcode::Load => "load",
+            Opcode::Store => "store",
+            Opcode::Br => "br",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_and_result() {
+        assert_eq!(Opcode::Add.arity(), 2);
+        assert_eq!(Opcode::Select.arity(), 3);
+        assert_eq!(Opcode::Load.arity(), 1);
+        assert_eq!(Opcode::Store.arity(), 2);
+        assert!(!Opcode::Store.has_result());
+        assert!(!Opcode::Br.has_result());
+        assert!(Opcode::Load.has_result());
+    }
+
+    #[test]
+    fn memory_classification() {
+        assert!(Opcode::Load.is_memory());
+        assert!(Opcode::Store.is_memory());
+        assert!(!Opcode::Add.is_memory());
+        assert!(!Opcode::Br.is_memory());
+    }
+
+    #[test]
+    fn eval_arithmetic() {
+        assert_eq!(Opcode::Add.eval(&[3, 4]), 7);
+        assert_eq!(Opcode::Sub.eval(&[3, 4]), -1);
+        assert_eq!(Opcode::Mul.eval(&[3, 4]), 12);
+        assert_eq!(Opcode::Add.eval(&[i32::MAX, 1]), i32::MIN); // wrapping
+        assert_eq!(Opcode::Min.eval(&[-2, 5]), -2);
+        assert_eq!(Opcode::Max.eval(&[-2, 5]), 5);
+        assert_eq!(Opcode::Abs.eval(&[-7]), 7);
+    }
+
+    #[test]
+    fn eval_shifts_mask_count() {
+        assert_eq!(Opcode::Shl.eval(&[1, 33]), 2); // 33 & 31 == 1
+        assert_eq!(Opcode::Shr.eval(&[-8, 1]), -4); // arithmetic
+    }
+
+    #[test]
+    fn eval_compares_produce_bool_ints() {
+        assert_eq!(Opcode::Lt.eval(&[1, 2]), 1);
+        assert_eq!(Opcode::Ge.eval(&[1, 2]), 0);
+        assert_eq!(Opcode::Eq.eval(&[5, 5]), 1);
+        assert_eq!(Opcode::Ne.eval(&[5, 5]), 0);
+    }
+
+    #[test]
+    fn eval_select_and_mov() {
+        assert_eq!(Opcode::Select.eval(&[1, 10, 20]), 10);
+        assert_eq!(Opcode::Select.eval(&[0, 10, 20]), 20);
+        assert_eq!(Opcode::Mov.eval(&[42]), 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 2 operands")]
+    fn eval_wrong_arity_panics() {
+        Opcode::Add.eval(&[1]);
+    }
+
+    #[test]
+    fn all_list_is_exhaustive_on_arity() {
+        for op in Opcode::ALL {
+            assert!(op.arity() >= 1 && op.arity() <= 3);
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Structural validation of [`Cdfg`]s.
+//!
+//! Rules enforced:
+//!
+//! 1. at least one block; every block terminated;
+//! 2. terminator targets exist; a `Branch` terminator names a `br` op of
+//!    its own block, and every `br` op is named by its block's terminator;
+//! 3. operand arity matches the opcode; all referenced values/ops/symbols/
+//!    alias classes exist;
+//! 4. SSA locality: an operation only consumes values created in its own
+//!    block (cross-block communication goes through symbols);
+//! 5. program order is topological: every data predecessor of an op
+//!    appears earlier in its block's op list;
+//! 6. memory ops carry an alias class, non-memory ops do not;
+//! 7. a symbol is written at most once per block, by an op of that block;
+//! 8. all blocks are reachable from the entry.
+
+use crate::cdfg::{Cdfg, Terminator};
+use crate::dfg::OpId;
+use crate::value::ValueKind;
+use crate::{BlockId, SymbolId};
+use std::error::Error;
+use std::fmt;
+
+/// A structural problem found by [`validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateError {
+    /// The CDFG has no blocks.
+    Empty,
+    /// A block has no terminator.
+    Unterminated(BlockId),
+    /// A terminator names a block that does not exist.
+    BadTarget(BlockId),
+    /// A `Branch` terminator does not name a `br` op of its block, or a
+    /// `br` op is not referenced by its block's terminator.
+    BranchMismatch(BlockId),
+    /// Wrong operand count for an opcode.
+    Arity(OpId),
+    /// An operation consumes a value created in a different block.
+    CrossBlockUse(OpId),
+    /// An operation appears before one of its data predecessors.
+    OrderViolation(OpId),
+    /// A memory op without alias class, or a non-memory op with one.
+    AliasMismatch(OpId),
+    /// A symbol is written more than once in one block.
+    DoubleSymbolWrite(BlockId, SymbolId),
+    /// A block is unreachable from the entry.
+    Unreachable(BlockId),
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::Empty => f.write_str("cdfg has no basic blocks"),
+            ValidateError::Unterminated(b) => write!(f, "block {b} has no terminator"),
+            ValidateError::BadTarget(b) => write!(f, "block {b} jumps to a nonexistent block"),
+            ValidateError::BranchMismatch(b) => {
+                write!(f, "block {b} branch terminator and br op disagree")
+            }
+            ValidateError::Arity(o) => write!(f, "operation {o} has wrong operand count"),
+            ValidateError::CrossBlockUse(o) => {
+                write!(f, "operation {o} uses a value from another block")
+            }
+            ValidateError::OrderViolation(o) => {
+                write!(f, "operation {o} appears before its producer")
+            }
+            ValidateError::AliasMismatch(o) => {
+                write!(f, "operation {o} has inconsistent alias-class annotation")
+            }
+            ValidateError::DoubleSymbolWrite(b, s) => {
+                write!(f, "symbol {s} written twice in block {b}")
+            }
+            ValidateError::Unreachable(b) => write!(f, "block {b} is unreachable from entry"),
+        }
+    }
+}
+
+impl Error for ValidateError {}
+
+pub(crate) fn validate(cdfg: &Cdfg) -> Result<(), ValidateError> {
+    if cdfg.blocks.is_empty() {
+        return Err(ValidateError::Empty);
+    }
+    let nblocks = cdfg.blocks.len() as u32;
+
+    for bb in &cdfg.blocks {
+        let term = bb
+            .terminator
+            .as_ref()
+            .ok_or(ValidateError::Unterminated(bb.id))?;
+        for t in term.successors() {
+            if t.0 >= nblocks {
+                return Err(ValidateError::BadTarget(bb.id));
+            }
+        }
+        // Branch terminator <-> br op bijection.
+        let br_ops: Vec<OpId> = bb
+            .ops
+            .iter()
+            .copied()
+            .filter(|&o| cdfg.op(o).opcode.is_branch())
+            .collect();
+        match term {
+            Terminator::Branch { op, .. } => {
+                if br_ops != vec![*op] {
+                    return Err(ValidateError::BranchMismatch(bb.id));
+                }
+            }
+            _ => {
+                if !br_ops.is_empty() {
+                    return Err(ValidateError::BranchMismatch(bb.id));
+                }
+            }
+        }
+
+        // Per-block op checks.
+        let mut seen_writes: Vec<SymbolId> = Vec::new();
+        for (pos, &oid) in bb.ops.iter().enumerate() {
+            let op = cdfg.op(oid);
+            if op.args.len() != op.opcode.arity() {
+                return Err(ValidateError::Arity(oid));
+            }
+            if op.opcode.is_memory() != op.alias.is_some() {
+                return Err(ValidateError::AliasMismatch(oid));
+            }
+            if let Some(a) = op.alias {
+                if a.0 as usize >= cdfg.alias_names.len() {
+                    return Err(ValidateError::AliasMismatch(oid));
+                }
+            }
+            for &arg in &op.args {
+                if cdfg.value_block(arg) != bb.id {
+                    return Err(ValidateError::CrossBlockUse(oid));
+                }
+                if let ValueKind::Def(p) = cdfg.value(arg).kind {
+                    let ppos = bb.ops.iter().position(|&x| x == p);
+                    match ppos {
+                        Some(pp) if pp < pos => {}
+                        _ => return Err(ValidateError::OrderViolation(oid)),
+                    }
+                }
+            }
+            if let Some(s) = op.writes_symbol {
+                if seen_writes.contains(&s) {
+                    return Err(ValidateError::DoubleSymbolWrite(bb.id, s));
+                }
+                seen_writes.push(s);
+            }
+        }
+    }
+
+    // Reachability from entry.
+    let mut seen = vec![false; cdfg.blocks.len()];
+    let mut stack = vec![cdfg.entry];
+    seen[cdfg.entry.0 as usize] = true;
+    while let Some(b) = stack.pop() {
+        for s in cdfg.successors(b) {
+            if !seen[s.0 as usize] {
+                seen[s.0 as usize] = true;
+                stack.push(s);
+            }
+        }
+    }
+    if let Some(i) = seen.iter().position(|&r| !r) {
+        return Err(ValidateError::Unreachable(BlockId(i as u32)));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CdfgBuilder;
+    use crate::op::Opcode;
+
+    #[test]
+    fn unterminated_block_rejected() {
+        let mut b = CdfgBuilder::new("t");
+        let _ = b.block("b0");
+        assert!(matches!(
+            b.finish(),
+            Err(ValidateError::Unterminated(BlockId(0)))
+        ));
+    }
+
+    #[test]
+    fn unreachable_block_rejected() {
+        let mut b = CdfgBuilder::new("t");
+        let b0 = b.block("b0");
+        let _orphan = b.block("orphan");
+        b.select(b0);
+        b.ret();
+        // terminate orphan too so the failure is specifically reachability
+        b.select(BlockId(1));
+        b.ret();
+        assert!(matches!(
+            b.finish(),
+            Err(ValidateError::Unreachable(BlockId(1)))
+        ));
+    }
+
+    #[test]
+    fn valid_loop_accepted() {
+        let mut b = CdfgBuilder::new("t");
+        let b0 = b.block("entry");
+        let b1 = b.block("body");
+        let b2 = b.block("exit");
+        let i = b.symbol("i");
+        b.select(b0);
+        b.mov_const_to_symbol(0, i);
+        b.jump(b1);
+        b.select(b1);
+        let iv = b.use_symbol(i);
+        let one = b.constant(1);
+        let inext = b.op(Opcode::Add, &[iv, one]);
+        b.write_symbol(inext, i);
+        let n = b.constant(10);
+        let c = b.op(Opcode::Lt, &[inext, n]);
+        b.branch(c, b1, b2);
+        b.select(b2);
+        b.ret();
+        assert!(b.finish().is_ok());
+    }
+}

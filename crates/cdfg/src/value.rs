@@ -1,0 +1,118 @@
+//! Data nodes (`Vd` in the paper) and symbol variables.
+
+use std::fmt;
+
+/// Identifier of a value (data node) within one [`crate::Cdfg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ValueId(pub u32);
+
+impl fmt::Display for ValueId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Identifier of a symbol variable (cross-block value).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SymbolId(pub u32);
+
+impl fmt::Display for SymbolId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// A symbol variable: a value carrying a dependency across basic blocks.
+///
+/// The mapper pins every symbol to one register-file slot on a *home tile*;
+/// this is the "location constraint" of Section III-B whose routing cost
+/// motivates the weighted traversal of Section III-D.1.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Symbol {
+    /// Human-readable name (e.g. the source variable `i`).
+    pub name: String,
+}
+
+/// How a value comes into existence inside a block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValueKind {
+    /// An immediate constant, materialised from the tile's constant
+    /// register file (CRF) — no producing operation.
+    Const(i32),
+    /// The value of a symbol variable at block entry (read from the
+    /// symbol's home register-file slot).
+    SymbolUse(SymbolId),
+    /// The result of operation `0` of the owning block (see
+    /// [`crate::dfg::Dfg`]); the `u32` is the operation index.
+    Def(crate::dfg::OpId),
+}
+
+/// A data node: its id plus how it is produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Value {
+    /// Identity of the node.
+    pub id: ValueId,
+    /// Producer kind.
+    pub kind: ValueKind,
+}
+
+impl Value {
+    /// The constant payload if this is a [`ValueKind::Const`].
+    pub fn as_const(&self) -> Option<i32> {
+        match self.kind {
+            ValueKind::Const(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// The symbol if this is a [`ValueKind::SymbolUse`].
+    pub fn as_symbol_use(&self) -> Option<SymbolId> {
+        match self.kind {
+            ValueKind::SymbolUse(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The defining operation if this is a [`ValueKind::Def`].
+    pub fn as_def(&self) -> Option<crate::dfg::OpId> {
+        match self.kind {
+            ValueKind::Def(o) => Some(o),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfg::OpId;
+
+    #[test]
+    fn accessors_match_kind() {
+        let c = Value {
+            id: ValueId(0),
+            kind: ValueKind::Const(7),
+        };
+        assert_eq!(c.as_const(), Some(7));
+        assert_eq!(c.as_symbol_use(), None);
+        assert_eq!(c.as_def(), None);
+
+        let s = Value {
+            id: ValueId(1),
+            kind: ValueKind::SymbolUse(SymbolId(3)),
+        };
+        assert_eq!(s.as_symbol_use(), Some(SymbolId(3)));
+
+        let d = Value {
+            id: ValueId(2),
+            kind: ValueKind::Def(OpId(9)),
+        };
+        assert_eq!(d.as_def(), Some(OpId(9)));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ValueId(4).to_string(), "v4");
+        assert_eq!(SymbolId(2).to_string(), "s2");
+    }
+}

@@ -1,0 +1,385 @@
+//! The whole-kernel mapping driver (Fig 4 of the paper).
+//!
+//! For every basic block (in forward or weighted traversal order), the
+//! driver runs the population-based list-scheduling/binding loop:
+//!
+//! ```text
+//! for op in priority order:
+//!     candidates = { partial + (op -> tile, cycle) : feasible bindings }
+//!     ACMAP filter          (if enabled)
+//!     ECMAP filter          (if enabled)
+//!     stochastic pruning    (population cap)
+//! finalize (symbol commits, exact fit check), pick the cheapest mapping
+//! ```
+//!
+//! and commits the winner's context-word usage, CRF contents and symbol
+//! homes before moving to the next block.
+
+use crate::options::{MapperOptions, Traversal};
+use crate::partial::{FlowState, MapCtx, Partial};
+use crate::prune::{acmap_filter, ecmap_filter, stochastic_prune};
+use crate::schedule::priority_order;
+use cmam_arch::CgraConfig;
+use cmam_cdfg::analysis::{forward_order, weighted_order, DepGraph};
+use cmam_cdfg::{BlockId, Cdfg, ValidateError};
+use cmam_isa::KernelMapping;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::error::Error;
+use std::fmt;
+
+/// Why a kernel could not be mapped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MapError {
+    /// The CDFG failed structural validation.
+    Invalid(ValidateError),
+    /// No feasible binding existed for an operation of `block` even after
+    /// slack escalation (routing/recomputation exhausted).
+    Unroutable {
+        /// The failing block.
+        block: BlockId,
+    },
+    /// Every candidate was pruned by the context-memory constraints — the
+    /// kernel does not fit this configuration (the "zero" bars of
+    /// Figs 6-8).
+    MemoryConstraint {
+        /// The failing block.
+        block: BlockId,
+        /// Which step rejected the last candidates (`"binding"`,
+        /// `"ACMAP"`, `"ECMAP"` or `"finalize"`).
+        step: &'static str,
+    },
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapError::Invalid(e) => write!(f, "invalid cdfg: {e}"),
+            MapError::Unroutable { block } => {
+                write!(f, "no feasible binding while mapping {block}")
+            }
+            MapError::MemoryConstraint { block, step } => {
+                write!(f, "context-memory constraints unsatisfiable in {block} ({step})")
+            }
+        }
+    }
+}
+
+impl Error for MapError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MapError::Invalid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ValidateError> for MapError {
+    fn from(e: ValidateError) -> Self {
+        MapError::Invalid(e)
+    }
+}
+
+/// Search statistics of one mapping run (used by the Fig 9 compilation
+/// effort comparison and by tests).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MapStats {
+    /// Candidate bindings generated (successful `try_place_op` calls).
+    pub candidates: u64,
+    /// Candidate bindings attempted (including failures).
+    pub attempts: u64,
+    /// Partials dropped by the ACMAP filter.
+    pub acmap_pruned: u64,
+    /// Partials dropped by the ECMAP filter.
+    pub ecmap_pruned: u64,
+    /// Partials dropped by the stochastic pruning.
+    pub stochastic_pruned: u64,
+    /// Partials that failed finalisation (commit or exact fit).
+    pub finalize_failures: u64,
+    /// Number of slack escalations needed.
+    pub escalations: u64,
+}
+
+/// A successful mapping plus its statistics.
+#[derive(Debug, Clone)]
+pub struct MapResult {
+    /// The mapping, ready for `cmam_isa::assemble`.
+    pub mapping: KernelMapping,
+    /// Search statistics.
+    pub stats: MapStats,
+}
+
+/// The mapping engine. One instance is reusable across kernels and
+/// configurations; each [`map`](Mapper::map) call is deterministic for the
+/// options' seed.
+#[derive(Debug, Clone, Default)]
+pub struct Mapper {
+    options: MapperOptions,
+}
+
+impl Mapper {
+    /// Creates a mapper with the given options.
+    pub fn new(options: MapperOptions) -> Self {
+        Mapper { options }
+    }
+
+    /// The options in use.
+    pub fn options(&self) -> &MapperOptions {
+        &self.options
+    }
+
+    /// Maps `cdfg` onto `config`.
+    ///
+    /// # Errors
+    ///
+    /// [`MapError::Invalid`] for malformed CDFGs, [`MapError::Unroutable`]
+    /// when binding fails structurally, and [`MapError::MemoryConstraint`]
+    /// when the context-memory constraints cannot be met (memory-aware
+    /// flows only).
+    pub fn map(&self, cdfg: &Cdfg, config: &CgraConfig) -> Result<MapResult, MapError> {
+        cdfg.validate()?;
+        let order = match self.options.traversal {
+            Traversal::Forward => forward_order(cdfg),
+            Traversal::Weighted => weighted_order(cdfg),
+        };
+        let ntiles = config.geometry().num_tiles();
+        let mut state = FlowState::new(ntiles);
+        let mut rng = StdRng::seed_from_u64(self.options.seed);
+        let mut stats = MapStats::default();
+        let mut blocks: Vec<Option<cmam_isa::BlockMapping>> = vec![None; cdfg.num_blocks()];
+
+        for (pos, &block) in order.iter().enumerate() {
+            // Reserve one context word per tile for every block still to
+            // be mapped (each costs at least a pnop everywhere).
+            let ctx = MapCtx {
+                cdfg,
+                config,
+                options: &self.options,
+                reserve: order.len() - 1 - pos,
+            };
+            let bm = self.map_block(&ctx, block, &mut state, &mut rng, &mut stats)?;
+            blocks[block.0 as usize] = Some(bm);
+        }
+
+        let mapping = KernelMapping {
+            blocks: blocks.into_iter().map(|b| b.expect("all blocks mapped")).collect(),
+            symbol_homes: state.homes.clone(),
+        };
+        Ok(MapResult { mapping, stats })
+    }
+
+    fn map_block(
+        &self,
+        ctx: &MapCtx<'_>,
+        block: BlockId,
+        state: &mut FlowState,
+        rng: &mut StdRng,
+        stats: &mut MapStats,
+    ) -> Result<cmam_isa::BlockMapping, MapError> {
+        let dfg = ctx.cdfg.dfg(block);
+        let deps = DepGraph::build(&dfg);
+        let order = priority_order(&dfg, &deps);
+        let tiles: Vec<_> = ctx.config.geometry().tiles().collect();
+
+        let mut population = vec![Partial::new(state)];
+
+        for &op in &order {
+            // Candidate generation with slack escalation.
+            let mut pool: Vec<Partial> = Vec::new();
+            for escalation in 0..3 {
+                let slack = self.options.slack << (2 * escalation);
+                if escalation > 0 {
+                    stats.escalations += 1;
+                }
+                for partial in &population {
+                    let earliest = partial.earliest_cycle(&deps, op);
+                    let mut local: Vec<Partial> = Vec::new();
+                    for &tile in &tiles {
+                        for cycle in earliest..=earliest + slack {
+                            stats.attempts += 1;
+                            let mut cand = partial.clone();
+                            if cand.try_place_op(ctx, op, tile, cycle) {
+                                stats.candidates += 1;
+                                local.push(cand);
+                            }
+                        }
+                    }
+                    // Note the expansion cut happens *before* the memory
+                    // filters, exactly like the paper's Fig 4 pipeline
+                    // (binding -> ACMAP -> stochastic pruning): the
+                    // memory-aware steps prune the partial-mapping set,
+                    // they do not re-rank the binder's candidates. This is
+                    // what makes over-constrained targets fail (the zero
+                    // bars of Figs 6-8) instead of being rescued by
+                    // exhaustive candidate filtering.
+                    local.sort_by_key(Partial::cost);
+                    local.truncate(self.options.expansion);
+                    pool.extend(local);
+                }
+                if !pool.is_empty() {
+                    break;
+                }
+            }
+            if pool.is_empty() {
+                // With memory awareness on, an empty pool usually means
+                // the CAB blacklist / capacity reservation left no legal
+                // tile — a constraint failure, not a routing failure.
+                if self.options.memory_aware() {
+                    return Err(MapError::MemoryConstraint {
+                        block,
+                        step: "binding",
+                    });
+                }
+                return Err(MapError::Unroutable { block });
+            }
+
+            if self.options.acmap {
+                stats.acmap_pruned += acmap_filter(&mut pool, ctx) as u64;
+                if pool.is_empty() {
+                    return Err(MapError::MemoryConstraint {
+                        block,
+                        step: "ACMAP",
+                    });
+                }
+            }
+            if self.options.ecmap {
+                stats.ecmap_pruned += ecmap_filter(&mut pool, ctx) as u64;
+                if pool.is_empty() {
+                    return Err(MapError::MemoryConstraint {
+                        block,
+                        step: "ECMAP",
+                    });
+                }
+            }
+            let before = pool.len();
+            population = stochastic_prune(pool, self.options.population, rng);
+            stats.stochastic_pruned += (before - population.len()) as u64;
+        }
+
+        // Finalisation: symbol commits + exact feasibility.
+        let mut finalized: Vec<Partial> = Vec::new();
+        for mut p in population {
+            if p.finalize(ctx, block) {
+                finalized.push(p);
+            } else {
+                stats.finalize_failures += 1;
+            }
+        }
+        if finalized.is_empty() {
+            return Err(MapError::MemoryConstraint {
+                block,
+                step: "finalize",
+            });
+        }
+        finalized.sort_by_key(|p| (p.length(), p.cost()));
+        let best = finalized.swap_remove(0);
+        best.commit_into(state);
+        Ok(best.into_block_mapping())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::FlowVariant;
+    use cmam_cdfg::{CdfgBuilder, Opcode};
+
+    /// acc = Σ mem[i]^2 over n elements, stored to mem[out].
+    fn sum_squares(n: i32, out: i32) -> Cdfg {
+        let mut b = CdfgBuilder::new("ssq");
+        let b0 = b.block("entry");
+        let b1 = b.block("body");
+        let b2 = b.block("exit");
+        let i = b.symbol("i");
+        let acc = b.symbol("acc");
+        b.select(b0);
+        b.mov_const_to_symbol(0, i);
+        b.mov_const_to_symbol(0, acc);
+        b.jump(b1);
+        b.select(b1);
+        let iv = b.use_symbol(i);
+        let av = b.use_symbol(acc);
+        let x = b.load_name(iv, "x");
+        let sq = b.op(Opcode::Mul, &[x, x]);
+        let a2 = b.op(Opcode::Add, &[av, sq]);
+        b.write_symbol(a2, acc);
+        let one = b.constant(1);
+        let i2 = b.op(Opcode::Add, &[iv, one]);
+        b.write_symbol(i2, i);
+        let nv = b.constant(n);
+        let c = b.op(Opcode::Lt, &[i2, nv]);
+        b.branch(c, b1, b2);
+        b.select(b2);
+        let av2 = b.use_symbol(acc);
+        let o = b.constant(out);
+        b.store(o, av2, "out");
+        b.ret();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn basic_flow_maps_a_loop_kernel() {
+        let cdfg = sum_squares(8, 100);
+        let config = CgraConfig::hom64();
+        let mapper = Mapper::new(MapperOptions::basic());
+        let r = mapper.map(&cdfg, &config).unwrap();
+        assert_eq!(r.mapping.blocks.len(), 3);
+        // Every op of every block is placed at least once.
+        for b in cdfg.block_ids() {
+            let dfg = cdfg.dfg(b);
+            let bm = r.mapping.block(b);
+            for &op in dfg.op_ids() {
+                assert!(bm.ops.iter().any(|p| p.op == op), "{op} unplaced in {b}");
+            }
+        }
+        // And the mapping assembles (the assembler re-validates everything).
+        cmam_isa::assemble(&cdfg, &r.mapping, &config).unwrap();
+    }
+
+    #[test]
+    fn context_aware_flow_maps_and_assembles_on_het2() {
+        let cdfg = sum_squares(8, 100);
+        let config = CgraConfig::het2();
+        let mapper = Mapper::new(MapperOptions::context_aware());
+        let r = mapper.map(&cdfg, &config).unwrap();
+        let (_bin, report) = cmam_isa::assemble(&cdfg, &r.mapping, &config).unwrap();
+        // The memory-aware flow guarantees the fit.
+        for (t, cfg) in config.tiles() {
+            assert!(report.words(t) <= cfg.cm_words, "{t} overflows");
+        }
+    }
+
+    #[test]
+    fn mapping_is_deterministic_for_a_seed() {
+        let cdfg = sum_squares(6, 90);
+        let config = CgraConfig::hom64();
+        let mapper = Mapper::new(MapperOptions::basic());
+        let a = mapper.map(&cdfg, &config).unwrap();
+        let b = mapper.map(&cdfg, &config).unwrap();
+        assert_eq!(a.mapping, b.mapping);
+    }
+
+    #[test]
+    fn impossible_memory_constraints_are_reported() {
+        let cdfg = sum_squares(8, 100);
+        // 2-word context memories cannot hold the loop body anywhere.
+        let config = CgraConfig::builder(4, 4).uniform_cm(2).build().unwrap();
+        let mapper = Mapper::new(MapperOptions::context_aware());
+        let err = mapper.map(&cdfg, &config).unwrap_err();
+        assert!(matches!(err, MapError::MemoryConstraint { .. }), "{err}");
+    }
+
+    #[test]
+    fn all_flow_variants_map_the_kernel_on_hom64() {
+        let cdfg = sum_squares(4, 80);
+        let config = CgraConfig::hom64();
+        for variant in FlowVariant::ALL {
+            let mapper = Mapper::new(variant.options());
+            let r = mapper
+                .map(&cdfg, &config)
+                .unwrap_or_else(|e| panic!("{variant}: {e}"));
+            cmam_isa::assemble(&cdfg, &r.mapping, &config)
+                .unwrap_or_else(|e| panic!("{variant}: {e}"));
+        }
+    }
+}

@@ -1,0 +1,1123 @@
+//! Partial mappings: the unit of the population-based search.
+//!
+//! A [`Partial`] is one in-progress mapping of the *current* basic block on
+//! top of the committed state of previously mapped blocks (context words
+//! already used per tile, CRF contents, symbol homes). It owns every
+//! architectural feasibility rule of the binding:
+//!
+//! * one instruction per `(tile, cycle)` slot;
+//! * memory operations only on LSU tiles;
+//! * operands readable from the executing tile's own RF or a direct torus
+//!   neighbour's RF, at a cycle after the value copy was written;
+//! * register-file capacity via **live intervals**: a copy occupies a
+//!   register from its write until its last read (every read extends the
+//!   interval, and the extension must not push the overlap over the RF
+//!   size); symbols occupy a persistent register at their home tile for
+//!   the whole kernel, and pinning a home also respects the peak RF
+//!   pressure of previously committed blocks;
+//! * constant-register-file capacity (distinct constants per tile);
+//! * **re-routing**: when no copy is reachable, a shortest chain of `move`
+//!   instructions over free slots is inserted (the paper's first graph
+//!   transformation);
+//! * **re-computing**: when even routing fails, a producer whose operands
+//!   are constants or symbol reads is duplicated next to the consumer (the
+//!   paper's second graph transformation);
+//! * symbol-variable location constraints: every symbol lives in one
+//!   register of its home tile; old-value reads and the new-value commit
+//!   are ordered so the home register is never overwritten early.
+//!
+//! The same struct computes the two context-memory metrics that drive the
+//! paper's pruning steps: the [`acmap`](Partial::acmap_words) approximation
+//! (instructions + interior idle runs) and the
+//! [`ecmap`](Partial::ecmap_words) exact lower bound (instructions + all
+//! idle runs in the current extent). Because filling an idle cycle can
+//! never decrease `instructions + runs`, the ECMAP metric is a true lower
+//! bound on the final context words of the tile — pruning on it never
+//! discards a partial mapping that could still fit.
+
+use crate::options::MapperOptions;
+use cmam_arch::{CgraConfig, TileId};
+use cmam_cdfg::analysis::DepGraph;
+use cmam_cdfg::{BlockId, Cdfg, OpId, SymbolId, ValueId, ValueKind};
+use cmam_isa::{BlockMapping, OperandSource, PlacedMove, PlacedOp};
+use std::collections::HashMap;
+
+/// Shared, immutable context for one mapping run.
+#[derive(Debug, Clone, Copy)]
+pub struct MapCtx<'a> {
+    /// The kernel being mapped.
+    pub cdfg: &'a Cdfg,
+    /// The target CGRA.
+    pub config: &'a CgraConfig,
+    /// Flow options.
+    pub options: &'a MapperOptions,
+    /// Context words reserved per tile for blocks not yet mapped (every
+    /// basic block costs each tile at least one word — an instruction or
+    /// one pnop — so the flow must not let earlier blocks spend the whole
+    /// budget).
+    pub reserve: usize,
+}
+
+impl<'a> MapCtx<'a> {
+    /// Effective context capacity of `tile` for the block being mapped.
+    pub fn capacity(&self, tile: TileId) -> usize {
+        self.config.tile(tile).cm_words.saturating_sub(self.reserve)
+    }
+}
+
+/// Committed cross-block mapper state (updated after each block).
+#[derive(Debug, Clone)]
+pub struct FlowState {
+    /// Context words already used per tile by previously mapped blocks.
+    pub base_words: Vec<usize>,
+    /// CRF contents per tile accumulated so far.
+    pub crf: Vec<Vec<i32>>,
+    /// Pinned symbol homes.
+    pub homes: HashMap<SymbolId, TileId>,
+    /// Persistent (symbol) registers in use per tile.
+    pub persistent_count: Vec<usize>,
+    /// Peak block-local register pressure per tile over the committed
+    /// blocks (pinning a new home must leave room for it).
+    pub rf_pressure: Vec<usize>,
+}
+
+impl FlowState {
+    /// Fresh state for a CGRA with `ntiles` tiles.
+    pub fn new(ntiles: usize) -> Self {
+        FlowState {
+            base_words: vec![0; ntiles],
+            crf: vec![Vec::new(); ntiles],
+            homes: HashMap::new(),
+            persistent_count: vec![0; ntiles],
+            rf_pressure: vec![0; ntiles],
+        }
+    }
+}
+
+/// A block-local value copy living in a tile's register file during
+/// `[start, end]` (write visible at `start`, last read at `end`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct CopyInterval {
+    value: ValueId,
+    start: usize,
+    end: usize,
+}
+
+/// One partial mapping of the current block. Cheap to clone; the search
+/// clones a partial per candidate placement and discards failures.
+#[derive(Debug, Clone)]
+pub struct Partial {
+    ops: Vec<PlacedOp>,
+    moves: Vec<PlacedMove>,
+    /// Sorted occupied cycles per tile (this block only).
+    occ: Vec<Vec<usize>>,
+    /// Copies of each value: `(tile, ready_cycle)`, insertion-ordered.
+    avail: HashMap<ValueId, Vec<(TileId, usize)>>,
+    /// Live intervals of block-local copies per tile.
+    intervals: Vec<Vec<CopyInterval>>,
+    crf: Vec<Vec<i32>>,
+    homes: HashMap<SymbolId, TileId>,
+    persistent_count: Vec<usize>,
+    /// Peak committed RF pressure per tile (from previous blocks).
+    rf_pressure: Vec<usize>,
+    /// Latest cycle at which the *old* value of a symbol was read from its
+    /// home register in this block.
+    last_home_read: HashMap<SymbolId, usize>,
+    /// Accumulated distance from placed symbol-writing ops to their
+    /// symbols' home tiles — the expected commit-routing cost (the
+    /// paper's location constraints influencing the binding).
+    commit_debt: usize,
+    base_words: Vec<usize>,
+    frontier: usize,
+    length: usize,
+}
+
+impl Partial {
+    /// Starts an empty partial mapping of a new block on top of `state`.
+    pub fn new(state: &FlowState) -> Self {
+        let n = state.base_words.len();
+        Partial {
+            ops: Vec::new(),
+            moves: Vec::new(),
+            occ: vec![Vec::new(); n],
+            avail: HashMap::new(),
+            intervals: vec![Vec::new(); n],
+            crf: state.crf.clone(),
+            homes: state.homes.clone(),
+            persistent_count: state.persistent_count.clone(),
+            rf_pressure: state.rf_pressure.clone(),
+            last_home_read: HashMap::new(),
+            commit_debt: 0,
+            base_words: state.base_words.clone(),
+            frontier: 0,
+            length: 0,
+        }
+    }
+
+    /// Placed operation instances so far.
+    pub fn placed_ops(&self) -> &[PlacedOp] {
+        &self.ops
+    }
+
+    /// Inserted moves so far.
+    pub fn placed_moves(&self) -> &[PlacedMove] {
+        &self.moves
+    }
+
+    /// Current symbol home assignment (including homes pinned by this
+    /// partial).
+    pub fn homes(&self) -> &HashMap<SymbolId, TileId> {
+        &self.homes
+    }
+
+    /// Persistent register counts per tile.
+    pub fn persistent_count(&self) -> &[usize] {
+        &self.persistent_count
+    }
+
+    /// Per-tile CRF contents.
+    pub fn crf(&self) -> &[Vec<i32>] {
+        &self.crf
+    }
+
+    /// Current schedule extent (max occupied cycle + 1).
+    pub fn frontier(&self) -> usize {
+        self.frontier
+    }
+
+    /// Final schedule length; valid after [`finalize`](Partial::finalize).
+    pub fn length(&self) -> usize {
+        self.length
+    }
+
+    fn slot_free(&self, t: TileId, c: usize) -> bool {
+        self.occ[t.0].binary_search(&c).is_err()
+    }
+
+    fn occupy(&mut self, t: TileId, c: usize) {
+        let v = &mut self.occ[t.0];
+        let pos = v.binary_search(&c).unwrap_err();
+        v.insert(pos, c);
+        self.frontier = self.frontier.max(c + 1);
+    }
+
+    /// Idle runs of `tile` within `[0, extent)`: `(interior, leading,
+    /// trailing)` run counts.
+    fn runs(&self, tile: TileId, extent: usize) -> (usize, usize, usize) {
+        let occ = &self.occ[tile.0];
+        if extent == 0 {
+            return (0, 0, 0);
+        }
+        if occ.is_empty() {
+            return (0, 1, 0); // one big leading run
+        }
+        let leading = usize::from(occ[0] > 0);
+        let trailing = usize::from(*occ.last().unwrap() + 1 < extent);
+        let interior = occ.windows(2).filter(|w| w[1] - w[0] > 1).count();
+        (interior, leading, trailing)
+    }
+
+    /// Mapped instructions (ops + moves) of this block on `tile`.
+    pub fn instr_count(&self, tile: TileId) -> usize {
+        self.occ[tile.0].len()
+    }
+
+    /// ACMAP metric (Section III-D.2): committed words + instructions +
+    /// *interior* idle runs only. An approximation — leading/trailing runs
+    /// are ignored, so infeasible partials can survive this filter.
+    pub fn acmap_words(&self, tile: TileId) -> usize {
+        let (interior, _, _) = self.runs(tile, self.frontier);
+        self.base_words[tile.0] + self.instr_count(tile) + interior
+    }
+
+    /// ECMAP metric (Section III-D.3): committed words + instructions +
+    /// all idle runs in the current extent. A true lower bound of the
+    /// tile's final context words.
+    pub fn ecmap_words(&self, tile: TileId) -> usize {
+        let (i, l, t) = self.runs(tile, self.frontier);
+        self.base_words[tile.0] + self.instr_count(tile) + i + l + t
+    }
+
+    /// Exact context words of `tile` for a finished block of `length`
+    /// cycles (matches `BlockMapping::context_words` plus the committed
+    /// base).
+    pub fn exact_words(&self, tile: TileId, length: usize) -> usize {
+        let (i, l, t) = self.runs(tile, length);
+        self.base_words[tile.0] + self.instr_count(tile) + i + l + t
+    }
+
+    /// CAB blacklist test (Section III-D.4): the tile cannot take any
+    /// further instruction without overflowing its context memory.
+    pub fn blacklisted(&self, ctx: &MapCtx<'_>, tile: TileId) -> bool {
+        self.ecmap_words(tile) >= ctx.capacity(tile)
+    }
+
+    /// Block-local registers available on `tile` (RF minus persistent
+    /// symbol registers).
+    fn local_cap(&self, ctx: &MapCtx<'_>, tile: TileId) -> usize {
+        ctx.config
+            .tile(tile)
+            .rf_words
+            .saturating_sub(self.persistent_count[tile.0])
+    }
+
+    /// Number of live block-local copies on `tile` at `cycle`.
+    fn occupancy(&self, tile: TileId, cycle: usize) -> usize {
+        self.intervals[tile.0]
+            .iter()
+            .filter(|iv| iv.start <= cycle && cycle <= iv.end)
+            .count()
+    }
+
+    /// Peak occupancy of `tile` over the whole block so far.
+    fn max_overlap(&self, tile: TileId) -> usize {
+        self.intervals[tile.0]
+            .iter()
+            .map(|iv| self.occupancy(tile, iv.start))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Whether one more copy can be live on `tile` across `[from, to]`.
+    fn range_has_room(&self, ctx: &MapCtx<'_>, tile: TileId, from: usize, to: usize) -> bool {
+        let cap = self.local_cap(ctx, tile);
+        (from..=to).all(|c| self.occupancy(tile, c) < cap)
+    }
+
+    /// Registers a copy of `v` on `tile` written at the end of cycle
+    /// `ready - 1` (readable from `ready`). Fails when the RF is full at
+    /// that point.
+    fn try_add_copy(&mut self, ctx: &MapCtx<'_>, tile: TileId, v: ValueId, ready: usize) -> bool {
+        if let Some(pos) = self.intervals[tile.0].iter().position(|iv| iv.value == v) {
+            // Re-computed duplicate: widen the interval start if needed.
+            let old_start = self.intervals[tile.0][pos].start;
+            if ready < old_start {
+                if !self.range_has_room(ctx, tile, ready, old_start.saturating_sub(1)) {
+                    return false;
+                }
+                self.intervals[tile.0][pos].start = ready;
+                if let Some(c) = self
+                    .avail
+                    .get_mut(&v)
+                    .and_then(|c| c.iter_mut().find(|(t, _)| *t == tile))
+                {
+                    c.1 = ready;
+                }
+            }
+            return true;
+        }
+        if !self.range_has_room(ctx, tile, ready, ready) {
+            return false;
+        }
+        self.intervals[tile.0].push(CopyInterval {
+            value: v,
+            start: ready,
+            end: ready,
+        });
+        self.avail.entry(v).or_default().push((tile, ready));
+        true
+    }
+
+    /// Whether the copy of `v` on `tile` is the persistent home register
+    /// of a symbol (not subject to interval accounting).
+    fn is_home_copy(&self, ctx: &MapCtx<'_>, v: ValueId, tile: TileId) -> bool {
+        matches!(
+            ctx.cdfg.value(v).kind,
+            ValueKind::SymbolUse(s) if self.homes.get(&s) == Some(&tile)
+        )
+    }
+
+    /// Extends the live interval of the copy of `v` on `tile` to cover a
+    /// read at `cycle`; fails when the extension would overflow the RF.
+    fn try_extend_use(&mut self, ctx: &MapCtx<'_>, tile: TileId, v: ValueId, cycle: usize) -> bool {
+        if self.is_home_copy(ctx, v, tile) {
+            return true;
+        }
+        let Some(pos) = self.intervals[tile.0].iter().position(|iv| iv.value == v) else {
+            return false;
+        };
+        let end = self.intervals[tile.0][pos].end;
+        if cycle <= end {
+            return true;
+        }
+        if !self.range_has_room(ctx, tile, end + 1, cycle) {
+            return false;
+        }
+        self.intervals[tile.0][pos].end = cycle;
+        true
+    }
+
+    /// Finds a copy of `v` readable by an instruction on `tile` at `cycle`
+    /// (the tile itself or a direct neighbour), extending its live
+    /// interval. Prefers the tile itself, then the lowest-id neighbour.
+    fn acquire_read(
+        &mut self,
+        ctx: &MapCtx<'_>,
+        v: ValueId,
+        tile: TileId,
+        cycle: usize,
+    ) -> Option<TileId> {
+        let geom = ctx.config.geometry();
+        let mut candidates: Vec<(usize, TileId)> = self
+            .avail
+            .get(&v)?
+            .iter()
+            .filter(|&&(t, ready)| ready <= cycle && geom.distance(t, tile) <= 1)
+            .map(|&(t, _)| (geom.distance(t, tile), t))
+            .collect();
+        candidates.sort();
+        for (_, src) in candidates {
+            if self.try_extend_use(ctx, src, v, cycle) {
+                self.note_home_read(ctx, v, src, cycle);
+                return Some(src);
+            }
+        }
+        None
+    }
+
+    fn note_home_read(&mut self, ctx: &MapCtx<'_>, v: ValueId, src: TileId, cycle: usize) {
+        if let ValueKind::SymbolUse(s) = ctx.cdfg.value(v).kind {
+            if self.homes.get(&s) == Some(&src) {
+                let e = self.last_home_read.entry(s).or_insert(0);
+                *e = (*e).max(cycle);
+            }
+        }
+    }
+
+    /// Pins a home for symbol `s` near `preferred`; returns the home tile.
+    ///
+    /// The chosen tile must fit one more persistent register next to both
+    /// the current block's peak local pressure *and* the peak pressure of
+    /// every previously committed block.
+    fn pin_home(&mut self, ctx: &MapCtx<'_>, s: SymbolId, preferred: TileId) -> Option<TileId> {
+        let geom = ctx.config.geometry();
+        let mut candidates: Vec<TileId> = vec![preferred];
+        candidates.extend(geom.neighbors(preferred).into_iter().map(|(_, t)| t));
+        // Fall back to every tile by distance, then id.
+        let mut rest: Vec<TileId> = geom.tiles().filter(|t| !candidates.contains(t)).collect();
+        rest.sort_by_key(|&t| (geom.distance(t, preferred), t));
+        candidates.extend(rest);
+        for home in candidates {
+            let cap = ctx.config.tile(home).rf_words;
+            let pressure = self.rf_pressure[home.0].max(self.max_overlap(home));
+            if self.persistent_count[home.0] + pressure + 1 <= cap {
+                self.persistent_count[home.0] += 1;
+                self.homes.insert(s, home);
+                // Writers of `s` placed before the home was known now have
+                // a definite commit distance.
+                let writer_debt: usize = self
+                    .ops
+                    .iter()
+                    .filter(|po| ctx.cdfg.op(po.op).writes_symbol == Some(s))
+                    .map(|po| geom.distance(po.tile, home))
+                    .sum();
+                self.commit_debt += writer_debt;
+                return Some(home);
+            }
+        }
+        None
+    }
+
+    /// Makes `v` readable at `(tile, cycle)`: ensures a copy of `v` exists
+    /// on `tile` or one of its neighbours, ready by `cycle`, inserting
+    /// `move` instructions if needed. Returns the source tile.
+    ///
+    /// Mutates `self` on both success and failure: callers must work on a
+    /// clone and discard it when this returns `None`.
+    fn ensure_readable(
+        &mut self,
+        ctx: &MapCtx<'_>,
+        v: ValueId,
+        tile: TileId,
+        cycle: usize,
+    ) -> Option<TileId> {
+        // Symbol reads come from the home register: seed the home copy on
+        // first encounter in this block, pinning an unpinned home at the
+        // consumer.
+        if let ValueKind::SymbolUse(s) = ctx.cdfg.value(v).kind {
+            let home = match self.homes.get(&s) {
+                Some(&h) => h,
+                None => self.pin_home(ctx, s, tile)?,
+            };
+            let seeded = self
+                .avail
+                .get(&v)
+                .is_some_and(|c| c.iter().any(|&(t, _)| t == home));
+            if !seeded {
+                // The home copy lives in a persistent register, not a
+                // block-local one, so it carries no live interval.
+                self.avail.entry(v).or_default().push((home, 0));
+            }
+        }
+        if let Some(src) = self.acquire_read(ctx, v, tile, cycle) {
+            return Some(src);
+        }
+        let src = self.route_value(ctx, v, tile, cycle)?;
+        // The consumer's read at `cycle` must keep the routed copy alive.
+        if !self.try_extend_use(ctx, src, v, cycle) {
+            return None;
+        }
+        self.note_home_read(ctx, v, src, cycle);
+        Some(src)
+    }
+
+    /// Re-routing transformation: inserts a shortest chain of moves over
+    /// free slots so that a copy of `v` is readable by `(dest, need)`.
+    /// Returns the tile the consumer should read from.
+    fn route_value(
+        &mut self,
+        ctx: &MapCtx<'_>,
+        v: ValueId,
+        dest: TileId,
+        need: usize,
+    ) -> Option<TileId> {
+        let geom = ctx.config.geometry();
+        let starts: Vec<(TileId, usize)> = self
+            .avail
+            .get(&v)
+            .map(|c| {
+                c.iter()
+                    .filter(|&&(_, ready)| ready < need)
+                    .copied()
+                    .collect()
+            })
+            .unwrap_or_default();
+        if starts.is_empty() {
+            return None;
+        }
+        // BFS by move count over tiles; per tile keep the earliest ready.
+        #[derive(Clone, Copy)]
+        struct Visit {
+            ready: usize,
+            prev: Option<(TileId, usize)>, // (prev tile, move cycle)
+        }
+        let mut visited: HashMap<TileId, Visit> = HashMap::new();
+        let mut queue: std::collections::VecDeque<TileId> = Default::default();
+        for &(t, ready) in &starts {
+            let better = visited.get(&t).is_none_or(|x| ready < x.ready);
+            if better {
+                visited.insert(t, Visit { ready, prev: None });
+                queue.push_back(t);
+            }
+        }
+        let mut goal: Option<TileId> = None;
+        'bfs: while let Some(x) = queue.pop_front() {
+            let vx = visited[&x];
+            let mut neighbors = geom.neighbors(x);
+            neighbors.sort_by_key(|&(_, t)| t);
+            for (_, y) in neighbors {
+                if visited.contains_key(&y) {
+                    continue;
+                }
+                if ctx.options.cab && self.blacklisted(ctx, y) {
+                    continue;
+                }
+                // Earliest free slot m on y with ready <= m < need whose
+                // destination RF has room for the new copy.
+                let mut m = vx.ready;
+                let slot = loop {
+                    if m >= need {
+                        break None;
+                    }
+                    if m >= ctx.options.max_schedule {
+                        break None;
+                    }
+                    if self.slot_free(y, m) && self.range_has_room(ctx, y, m + 1, m + 1) {
+                        break Some(m);
+                    }
+                    m += 1;
+                };
+                let Some(m) = slot else { continue };
+                visited.insert(
+                    y,
+                    Visit {
+                        ready: m + 1,
+                        prev: Some((x, m)),
+                    },
+                );
+                if geom.distance(y, dest) <= 1 {
+                    goal = Some(y);
+                    break 'bfs;
+                }
+                queue.push_back(y);
+            }
+        }
+        let goal = goal?;
+        // Reconstruct and apply the move chain from the start copy.
+        let mut chain: Vec<(TileId, TileId, usize)> = Vec::new(); // (src, dst, cycle)
+        let mut cur = goal;
+        while let Some((prev, m)) = visited[&cur].prev {
+            chain.push((prev, cur, m));
+            cur = prev;
+        }
+        chain.reverse();
+        for &(src, dst, m) in &chain {
+            // Each hop reads the previous copy at cycle m (extending its
+            // interval) and writes a new copy on dst.
+            if !self.try_extend_use(ctx, src, v, m) {
+                return None;
+            }
+            self.note_home_read(ctx, v, src, m);
+            if !self.try_add_copy(ctx, dst, v, m + 1) {
+                return None;
+            }
+            self.occupy(dst, m);
+            self.moves.push(PlacedMove {
+                value: v,
+                src_tile: src,
+                tile: dst,
+                cycle: m,
+                commit_symbol: None,
+            });
+        }
+        // The consumer's read extends the goal copy via the caller.
+        Some(goal)
+    }
+
+    /// Re-computing transformation: duplicates `producer` (a non-memory op
+    /// whose operands are constants or symbol reads) on `tile` or one of
+    /// its neighbours before `before`, making its result locally
+    /// available.
+    fn try_recompute(
+        &mut self,
+        ctx: &MapCtx<'_>,
+        producer: OpId,
+        tile: TileId,
+        before: usize,
+    ) -> bool {
+        let op = ctx.cdfg.op(producer);
+        if op.opcode.is_memory()
+            || op.opcode.is_branch()
+            || op.result.is_none()
+            || op.writes_symbol.is_some()
+        {
+            return false;
+        }
+        // Depth-1 only: every operand must be a constant or a pinned
+        // symbol whose home is adjacent to the duplicate's tile.
+        let geom = ctx.config.geometry();
+        let mut sites: Vec<TileId> = vec![tile];
+        sites.extend(geom.neighbors(tile).into_iter().map(|(_, t)| t));
+        'site: for t2 in sites {
+            if ctx.options.cab && self.blacklisted(ctx, t2) {
+                continue;
+            }
+            // Check operands are resolvable at t2 without routing.
+            let mut sources = Vec::with_capacity(op.args.len());
+            for &a in &op.args {
+                match ctx.cdfg.value(a).kind {
+                    ValueKind::Const(c) => {
+                        let in_crf = self.crf[t2.0].contains(&c);
+                        if !in_crf && self.crf[t2.0].len() >= ctx.config.tile(t2).crf_words {
+                            continue 'site;
+                        }
+                        sources.push(OperandSource::Const(c));
+                    }
+                    ValueKind::SymbolUse(s) => {
+                        let Some(&home) = self.homes.get(&s) else {
+                            continue 'site;
+                        };
+                        if geom.distance(home, t2) > 1 {
+                            continue 'site;
+                        }
+                        sources.push(OperandSource::Rf {
+                            tile: home,
+                            value: a,
+                        });
+                    }
+                    ValueKind::Def(_) => continue 'site,
+                }
+            }
+            // Earliest free slot before `before` with RF room for the
+            // duplicated result.
+            let mut c2 = 0;
+            let slot = loop {
+                if c2 >= before {
+                    break None;
+                }
+                if self.slot_free(t2, c2) && self.range_has_room(ctx, t2, c2 + 1, c2 + 1) {
+                    break Some(c2);
+                }
+                c2 += 1;
+            };
+            let Some(c2) = slot else { continue };
+            // Apply.
+            for (i, src) in sources.iter().enumerate() {
+                match *src {
+                    OperandSource::Const(c) => {
+                        if !self.crf[t2.0].contains(&c) {
+                            self.crf[t2.0].push(c);
+                        }
+                    }
+                    OperandSource::Rf { tile: home, value } => {
+                        let _ = i;
+                        self.note_home_read(ctx, value, home, c2);
+                    }
+                }
+            }
+            let result = op.result.expect("checked above");
+            if !self.try_add_copy(ctx, t2, result, c2 + 1) {
+                continue;
+            }
+            self.occupy(t2, c2);
+            self.ops.push(PlacedOp {
+                op: producer,
+                tile: t2,
+                cycle: c2,
+                operands: sources,
+                direct_symbol_write: false,
+            });
+            return true;
+        }
+        false
+    }
+
+    /// Attempts to bind `op` on `(tile, cycle)`, resolving all operands
+    /// (inserting moves / re-computations as needed). Returns `false` on
+    /// infeasibility; the state is then dirty, so callers must work on a
+    /// clone.
+    pub fn try_place_op(&mut self, ctx: &MapCtx<'_>, op_id: OpId, tile: TileId, cycle: usize) -> bool {
+        let op = ctx.cdfg.op(op_id);
+        if cycle >= ctx.options.max_schedule {
+            return false;
+        }
+        if !self.slot_free(tile, cycle) {
+            return false;
+        }
+        if op.opcode.is_memory() && !ctx.config.tile(tile).has_lsu {
+            return false;
+        }
+        if ctx.options.cab && self.blacklisted(ctx, tile) {
+            return false;
+        }
+        let mut sources = Vec::with_capacity(op.args.len());
+        for &a in &op.args {
+            match ctx.cdfg.value(a).kind {
+                ValueKind::Const(c) => {
+                    let in_crf = self.crf[tile.0].contains(&c);
+                    if !in_crf {
+                        if self.crf[tile.0].len() >= ctx.config.tile(tile).crf_words {
+                            return false;
+                        }
+                        self.crf[tile.0].push(c);
+                    }
+                    sources.push(OperandSource::Const(c));
+                }
+                _ => {
+                    let src = match self.ensure_readable(ctx, a, tile, cycle) {
+                        Some(s) => s,
+                        None => {
+                            // Re-computing transformation, then retry.
+                            let producer = match ctx.cdfg.value(a).kind {
+                                ValueKind::Def(p) => p,
+                                _ => return false,
+                            };
+                            if !self.try_recompute(ctx, producer, tile, cycle) {
+                                return false;
+                            }
+                            match self.acquire_read(ctx, a, tile, cycle) {
+                                Some(s) => s,
+                                None => return false,
+                            }
+                        }
+                    };
+                    sources.push(OperandSource::Rf {
+                        tile: src,
+                        value: a,
+                    });
+                }
+            }
+        }
+        if let Some(r) = op.result {
+            if !self.try_add_copy(ctx, tile, r, cycle + 1) {
+                return false;
+            }
+        }
+        self.occupy(tile, cycle);
+        if let Some(s) = op.writes_symbol {
+            if let Some(&home) = self.homes.get(&s) {
+                self.commit_debt += ctx.config.geometry().distance(tile, home);
+            }
+        }
+        self.ops.push(PlacedOp {
+            op: op_id,
+            tile,
+            cycle,
+            operands: sources,
+            direct_symbol_write: false,
+        });
+        true
+    }
+
+    /// Earliest feasible cycle for `op` given its placed dependency
+    /// predecessors (their first-instance cycles + 1).
+    pub fn earliest_cycle(&self, deps: &DepGraph, op: OpId) -> usize {
+        deps.preds_of(op)
+            .iter()
+            .map(|p| {
+                self.ops
+                    .iter()
+                    .filter(|po| po.op == *p)
+                    .map(|po| po.cycle + 1)
+                    .min()
+                    .unwrap_or(0)
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Completes the block: resolves symbol writes (direct-write elision
+    /// or commit moves), fixes the final schedule length, and — when the
+    /// flow is memory-aware — verifies the exact per-tile context words
+    /// against the configuration. Returns `false` when the partial cannot
+    /// be completed; the state is then dirty.
+    pub fn finalize(&mut self, ctx: &MapCtx<'_>, block: BlockId) -> bool {
+        let dfg = ctx.cdfg.dfg(block);
+        let writes: Vec<(OpId, SymbolId, ValueId)> = dfg
+            .ops()
+            .filter_map(|o| o.writes_symbol.map(|s| (o.id, s, o.result.expect("writers have results"))))
+            .collect();
+        for (op_id, s, v) in writes {
+            let home = match self.homes.get(&s) {
+                Some(&h) => h,
+                None => {
+                    // First touch is a write: pin at the producer's tile.
+                    let site = self
+                        .ops
+                        .iter()
+                        .find(|po| po.op == op_id)
+                        .map(|po| po.tile)
+                        .expect("producer was placed");
+                    match self.pin_home(ctx, s, site) {
+                        Some(h) => h,
+                        None => return false,
+                    }
+                }
+            };
+            let lhr = self.last_home_read.get(&s).copied().unwrap_or(0);
+            // Commit-move elision: a producer instance on the home tile
+            // whose write happens no earlier than the last old-value read.
+            if let Some(idx) = self
+                .ops
+                .iter()
+                .position(|po| po.op == op_id && po.tile == home && po.cycle >= lhr)
+            {
+                self.ops[idx].direct_symbol_write = true;
+                continue;
+            }
+            // Commit move on the home tile.
+            let mut committed = false;
+            for c in lhr..ctx.options.max_schedule {
+                if !self.slot_free(home, c) {
+                    continue;
+                }
+                {
+                    let mut trial = self.clone();
+                    if let Some(src) = trial.acquire_read(ctx, v, home, c) {
+                        trial.occupy(home, c);
+                        trial.moves.push(PlacedMove {
+                            value: v,
+                            src_tile: src,
+                            tile: home,
+                            cycle: c,
+                            commit_symbol: Some(s),
+                        });
+                        *self = trial;
+                        committed = true;
+                        break;
+                    }
+                }
+                // Try routing the value into the home neighbourhood first.
+                let mut trial = self.clone();
+                if let Some(src) = trial.route_value(ctx, v, home, c) {
+                    if trial.slot_free(home, c) && trial.try_extend_use(ctx, src, v, c) {
+                        trial.occupy(home, c);
+                        trial.moves.push(PlacedMove {
+                            value: v,
+                            src_tile: src,
+                            tile: home,
+                            cycle: c,
+                            commit_symbol: Some(s),
+                        });
+                        *self = trial;
+                        committed = true;
+                        break;
+                    }
+                }
+            }
+            if !committed {
+                return false;
+            }
+        }
+        self.length = self.frontier.max(1);
+        if ctx.options.memory_aware() {
+            for t in ctx.config.geometry().tiles() {
+                if self.exact_words(t, self.length) > ctx.capacity(t) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Search cost: `(schedule extent, move count + commit debt)` —
+    /// lexicographically
+    /// smaller is better. Deliberately **context-memory unaware**, like the
+    /// basic flow of the paper: the cost drives latency and routing effort
+    /// only, so placements cluster around the operand sources (the
+    /// load/store tiles become the hot spots of Fig 2) and the memory
+    /// constraints enter exclusively through the ACMAP/ECMAP/CAB pruning
+    /// steps.
+    pub fn cost(&self) -> (usize, usize) {
+        (self.frontier, self.moves.len() + self.commit_debt)
+    }
+
+    /// Converts the finished partial into its [`BlockMapping`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before a successful [`finalize`](Partial::finalize).
+    pub fn into_block_mapping(self) -> BlockMapping {
+        assert!(self.length > 0, "finalize the partial first");
+        BlockMapping {
+            length: self.length,
+            ops: self.ops,
+            moves: self.moves,
+        }
+    }
+
+    /// Commits this partial's kernel-wide state into `state` (called for
+    /// the selected winner of a block).
+    pub fn commit_into(&self, state: &mut FlowState) {
+        for i in 0..state.base_words.len() {
+            let t = TileId(i);
+            state.base_words[i] = self.exact_words(t, self.length);
+            state.rf_pressure[i] = state.rf_pressure[i].max(self.max_overlap(t));
+        }
+        state.crf = self.crf.clone();
+        state.homes = self.homes.clone();
+        state.persistent_count = self.persistent_count.clone();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::MapperOptions;
+    use cmam_cdfg::{CdfgBuilder, Opcode};
+
+    fn ctx_objects() -> (Cdfg, CgraConfig, MapperOptions) {
+        let mut b = CdfgBuilder::new("t");
+        let bb = b.block("b");
+        b.select(bb);
+        let a0 = b.constant(0);
+        let x = b.load_name(a0, "m");
+        let y = b.op(Opcode::Add, &[x, x]);
+        let a1 = b.constant(1);
+        b.store(a1, y, "m");
+        b.ret();
+        (b.finish().unwrap(), CgraConfig::hom64(), MapperOptions::basic())
+    }
+
+    #[test]
+    fn place_and_read_same_tile() {
+        let (cdfg, config, options) = ctx_objects();
+        let ctx = MapCtx {
+            cdfg: &cdfg,
+            config: &config,
+            options: &options,
+            reserve: 0,
+        };
+        let state = FlowState::new(16);
+        let mut p = Partial::new(&state);
+        let ops: Vec<OpId> = cdfg.dfg(cmam_cdfg::BlockId(0)).op_ids().to_vec();
+        assert!(p.try_place_op(&ctx, ops[0], TileId(0), 0)); // load
+        assert!(p.try_place_op(&ctx, ops[1], TileId(0), 1)); // add reads r
+        assert!(p.try_place_op(&ctx, ops[2], TileId(0), 2)); // store
+        assert_eq!(p.placed_moves().len(), 0);
+        assert_eq!(p.frontier(), 3);
+        // Occupied slots cannot be reused.
+        assert!(!p.clone().try_place_op(&ctx, ops[1], TileId(0), 0));
+    }
+
+    #[test]
+    fn distant_read_inserts_moves() {
+        let (cdfg, config, options) = ctx_objects();
+        let ctx = MapCtx {
+            cdfg: &cdfg,
+            config: &config,
+            options: &options,
+            reserve: 0,
+        };
+        let state = FlowState::new(16);
+        let mut p = Partial::new(&state);
+        let ops: Vec<OpId> = cdfg.dfg(cmam_cdfg::BlockId(0)).op_ids().to_vec();
+        assert!(p.try_place_op(&ctx, ops[0], TileId(0), 0)); // load at T1
+        // Add placed on tile 10 (distance 4): needs a 3-move chain arriving
+        // by cycle 4 at a neighbour of tile 10.
+        assert!(p.try_place_op(&ctx, ops[1], TileId(10), 4));
+        assert_eq!(p.placed_moves().len(), 3);
+        // Store back on an LSU tile.
+        assert!(p.try_place_op(&ctx, ops[2], TileId(6), 6));
+    }
+
+    #[test]
+    fn memory_ops_rejected_on_compute_tiles() {
+        let (cdfg, config, options) = ctx_objects();
+        let ctx = MapCtx {
+            cdfg: &cdfg,
+            config: &config,
+            options: &options,
+            reserve: 0,
+        };
+        let state = FlowState::new(16);
+        let mut p = Partial::new(&state);
+        let ops: Vec<OpId> = cdfg.dfg(cmam_cdfg::BlockId(0)).op_ids().to_vec();
+        assert!(!p.try_place_op(&ctx, ops[0], TileId(12), 0));
+    }
+
+    #[test]
+    fn too_early_read_fails_even_with_routing() {
+        let (cdfg, config, options) = ctx_objects();
+        let ctx = MapCtx {
+            cdfg: &cdfg,
+            config: &config,
+            options: &options,
+            reserve: 0,
+        };
+        let state = FlowState::new(16);
+        let mut p = Partial::new(&state);
+        let ops: Vec<OpId> = cdfg.dfg(cmam_cdfg::BlockId(0)).op_ids().to_vec();
+        assert!(p.try_place_op(&ctx, ops[0], TileId(0), 0));
+        // Result ready at cycle 1; reading it at distance 4 at cycle 1 is
+        // impossible (and the add is not recomputable since its operand is
+        // a load result).
+        assert!(!p.clone().try_place_op(&ctx, ops[1], TileId(10), 1));
+    }
+
+    #[test]
+    fn words_metrics_track_runs() {
+        let (cdfg, config, options) = ctx_objects();
+        let ctx = MapCtx {
+            cdfg: &cdfg,
+            config: &config,
+            options: &options,
+            reserve: 0,
+        };
+        let state = FlowState::new(16);
+        let mut p = Partial::new(&state);
+        let ops: Vec<OpId> = cdfg.dfg(cmam_cdfg::BlockId(0)).op_ids().to_vec();
+        assert!(p.try_place_op(&ctx, ops[0], TileId(0), 0));
+        assert!(p.try_place_op(&ctx, ops[1], TileId(0), 3)); // gap 1-2
+        let t0 = TileId(0);
+        // 2 instructions + 1 interior run.
+        assert_eq!(p.acmap_words(t0), 3);
+        assert_eq!(p.ecmap_words(t0), 3); // no leading/trailing at frontier 4... interior only
+        // An idle tile costs one leading run under ECMAP but zero under
+        // ACMAP.
+        let t5 = TileId(5);
+        assert_eq!(p.acmap_words(t5), 0);
+        assert_eq!(p.ecmap_words(t5), 1);
+        let _ = ctx;
+    }
+
+    #[test]
+    fn symbol_write_elision_and_commit() {
+        // Block reading and writing symbol i: i2 = i + 1.
+        let mut b = CdfgBuilder::new("sym");
+        let bb = b.block("b");
+        let s = b.symbol("i");
+        b.select(bb);
+        let iv = b.use_symbol(s);
+        let one = b.constant(1);
+        let i2 = b.op(Opcode::Add, &[iv, one]);
+        b.write_symbol(i2, s);
+        b.ret();
+        let cdfg = b.finish().unwrap();
+        let config = CgraConfig::hom64();
+        let options = MapperOptions::basic();
+        let ctx = MapCtx {
+            cdfg: &cdfg,
+            config: &config,
+            options: &options,
+            reserve: 0,
+        };
+        let state = FlowState::new(16);
+        let mut p = Partial::new(&state);
+        let ops: Vec<OpId> = cdfg.dfg(bb).op_ids().to_vec();
+        // Place the add on tile 3: the unpinned symbol gets pinned there.
+        assert!(p.try_place_op(&ctx, ops[0], TileId(3), 0));
+        assert_eq!(p.homes()[&s], TileId(3));
+        assert!(p.finalize(&ctx, bb));
+        // Producer sits on the home tile: the write is elided into a
+        // direct write, no commit move.
+        let bm = p.into_block_mapping();
+        assert_eq!(bm.moves.len(), 0);
+        assert!(bm.ops.iter().any(|o| o.direct_symbol_write));
+    }
+
+    #[test]
+    fn commit_move_inserted_when_producer_far_from_home() {
+        let mut b = CdfgBuilder::new("sym2");
+        let bb = b.block("b");
+        let s = b.symbol("x");
+        b.select(bb);
+        let xv = b.use_symbol(s);
+        let one = b.constant(1);
+        let x2 = b.op(Opcode::Add, &[xv, one]);
+        b.write_symbol(x2, s);
+        b.ret();
+        let cdfg = b.finish().unwrap();
+        let config = CgraConfig::hom64();
+        let options = MapperOptions::basic();
+        let ctx = MapCtx {
+            cdfg: &cdfg,
+            config: &config,
+            options: &options,
+            reserve: 0,
+        };
+        let mut state = FlowState::new(16);
+        // Pre-pin the home far from where we will place the producer.
+        state.homes.insert(s, TileId(0));
+        state.persistent_count[0] = 1;
+        let mut p = Partial::new(&state);
+        let ops: Vec<OpId> = cdfg.dfg(bb).op_ids().to_vec();
+        // Producer on tile 10 (distance 4 from home 0); reading the symbol
+        // from home needs moves, and committing back needs more.
+        assert!(p.try_place_op(&ctx, ops[0], TileId(10), 4));
+        assert!(p.finalize(&ctx, bb));
+        let bm = p.into_block_mapping();
+        let commit = bm.moves.iter().filter(|m| m.commit_symbol == Some(s)).count();
+        assert_eq!(commit, 1);
+        assert!(bm.moves.len() >= 4, "read route + commit route");
+        assert!(!bm.ops.iter().any(|o| o.direct_symbol_write));
+    }
+
+    #[test]
+    fn ecmap_is_lower_bound_of_final_words() {
+        let (cdfg, config, options) = ctx_objects();
+        let ctx = MapCtx {
+            cdfg: &cdfg,
+            config: &config,
+            options: &options,
+            reserve: 0,
+        };
+        let state = FlowState::new(16);
+        let mut p = Partial::new(&state);
+        let ops: Vec<OpId> = cdfg.dfg(cmam_cdfg::BlockId(0)).op_ids().to_vec();
+        assert!(p.try_place_op(&ctx, ops[0], TileId(0), 0));
+        let before: Vec<usize> = (0..16).map(|i| p.ecmap_words(TileId(i))).collect();
+        assert!(p.try_place_op(&ctx, ops[1], TileId(1), 3));
+        assert!(p.try_place_op(&ctx, ops[2], TileId(1), 5));
+        assert!(p.finalize(&ctx, cmam_cdfg::BlockId(0)));
+        for i in 0..16 {
+            let t = TileId(i);
+            assert!(
+                before[i] <= p.exact_words(t, p.length()),
+                "tile {t}: {} > {}",
+                before[i],
+                p.exact_words(t, p.length())
+            );
+        }
+    }
+}

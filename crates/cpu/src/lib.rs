@@ -1,0 +1,223 @@
+//! # cmam-cpu — or1k-like scalar CPU baseline
+//!
+//! The paper compares the CGRA against an or1k CPU running the kernels
+//! compiled with `-O3` (Fig 10, Table II). This crate provides the
+//! equivalent baseline: an in-order scalar RISC cost model driven by the
+//! exact dynamic execution trace of the kernel (the reference
+//! interpreter's statistics), so CPU and CGRA execute *identical*
+//! workloads.
+//!
+//! The model charges per-instruction cycle costs typical of a small
+//! in-order core without branch prediction or a data cache (single-issue,
+//! 3-cycle loads over the system bus, 4-cycle multiplier, 3-cycle taken
+//! branches) plus one jump instruction per
+//! executed block that falls through (`-O3` keeps loop bodies tight but
+//! still pays the loop back-edge). Activity counters (instruction
+//! fetches, register-file traffic, data-memory accesses) feed the energy
+//! model in `cmam-energy`.
+
+use cmam_cdfg::{interp, Cdfg, InterpError, InterpStats, Opcode, Terminator};
+
+/// Per-opcode-class cycle costs of the scalar core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CpuCosts {
+    /// Simple ALU ops, moves, compares, selects.
+    pub alu: u64,
+    /// Multiplication.
+    pub mul: u64,
+    /// Word load from the data scratchpad.
+    pub load: u64,
+    /// Word store.
+    pub store: u64,
+    /// Conditional branch (averaged taken/not-taken penalty).
+    pub branch: u64,
+    /// Unconditional jump (block fallthrough).
+    pub jump: u64,
+}
+
+impl Default for CpuCosts {
+    fn default() -> Self {
+        CpuCosts {
+            alu: 1,
+            mul: 4,
+            load: 3,
+            store: 2,
+            branch: 3,
+            jump: 2,
+        }
+    }
+}
+
+/// Dynamic execution profile of one kernel on the scalar core.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CpuStats {
+    /// Total cycles.
+    pub cycles: u64,
+    /// Dynamic instruction count (ops + jumps).
+    pub instructions: u64,
+    /// Instruction-memory / I-cache fetches (one per instruction).
+    pub imem_reads: u64,
+    /// Data-memory accesses (loads + stores).
+    pub dmem_accesses: u64,
+    /// Register-file reads (approximately two per instruction).
+    pub rf_reads: u64,
+    /// Register-file writes (approximately one per result-producing op).
+    pub rf_writes: u64,
+    /// Dynamic multiplications (for energy weighting).
+    pub muls: u64,
+}
+
+/// The CPU baseline: costs plus the `run` entry point.
+#[derive(Debug, Clone, Default)]
+pub struct CpuModel {
+    costs: CpuCosts,
+}
+
+impl CpuModel {
+    /// Model with the given cost table.
+    pub fn new(costs: CpuCosts) -> Self {
+        CpuModel { costs }
+    }
+
+    /// The cost table in use.
+    pub fn costs(&self) -> &CpuCosts {
+        &self.costs
+    }
+
+    /// Executes `cdfg` over `mem` on the scalar model.
+    ///
+    /// Returns both the CPU profile and the raw interpreter statistics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the interpreter's [`InterpError`] (bad memory access or
+    /// step-limit exhaustion).
+    pub fn run(
+        &self,
+        cdfg: &Cdfg,
+        mem: &mut [i32],
+        max_ops: u64,
+    ) -> Result<(CpuStats, InterpStats), InterpError> {
+        let interp_stats = interp::run(cdfg, mem, max_ops)?;
+        Ok((self.profile(cdfg, &interp_stats), interp_stats))
+    }
+
+    /// Computes the CPU profile from a dynamic execution trace.
+    pub fn profile(&self, cdfg: &Cdfg, interp_stats: &InterpStats) -> CpuStats {
+        let c = &self.costs;
+        let mut s = CpuStats::default();
+        for (&op, &n) in &interp_stats.op_counts {
+            s.instructions += n;
+            s.imem_reads += n;
+            let (cyc, reads, writes) = match op {
+                Opcode::Mul => {
+                    s.muls += n;
+                    (c.mul, 2, 1)
+                }
+                Opcode::Load => {
+                    s.dmem_accesses += n;
+                    (c.load, 1, 1)
+                }
+                Opcode::Store => {
+                    s.dmem_accesses += n;
+                    (c.store, 2, 0)
+                }
+                Opcode::Br => (c.branch, 1, 0),
+                Opcode::Mov | Opcode::Abs => (c.alu, 1, 1),
+                _ => (c.alu, 2, 1),
+            };
+            s.cycles += cyc * n;
+            s.rf_reads += reads * n;
+            s.rf_writes += writes * n;
+        }
+        // One jump per executed block that ends in an unconditional jump.
+        for (&bid, &execs) in &interp_stats.block_counts {
+            let bb = cdfg.block(bid);
+            if matches!(bb.terminator, Some(Terminator::Jump(_))) {
+                s.instructions += execs;
+                s.imem_reads += execs;
+                s.cycles += c.jump * execs;
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmam_cdfg::CdfgBuilder;
+
+    fn small_loop() -> Cdfg {
+        let mut b = CdfgBuilder::new("loop");
+        let b0 = b.block("entry");
+        let b1 = b.block("body");
+        let b2 = b.block("exit");
+        let i = b.symbol("i");
+        b.select(b0);
+        b.mov_const_to_symbol(0, i);
+        b.jump(b1);
+        b.select(b1);
+        let iv = b.use_symbol(i);
+        let x = b.load_name(iv, "x");
+        let sq = b.op(Opcode::Mul, &[x, x]);
+        let ten = b.constant(10);
+        let addr = b.op(Opcode::Add, &[iv, ten]);
+        b.store(addr, sq, "y");
+        let one = b.constant(1);
+        let i2 = b.op(Opcode::Add, &[iv, one]);
+        b.write_symbol(i2, i);
+        let n = b.constant(4);
+        let cnd = b.op(Opcode::Lt, &[i2, n]);
+        b.branch(cnd, b1, b2);
+        b.select(b2);
+        b.ret();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn cycle_accounting_matches_hand_count() {
+        let cdfg = small_loop();
+        let model = CpuModel::default();
+        let mut mem = vec![1i32; 32];
+        let (s, interp_stats) = model.run(&cdfg, &mut mem, 100_000).unwrap();
+        // Body (4 iterations): load(3) + mul(4) + add(1) + store(2) +
+        // add(1) + lt(1) + br(3) = 15 cycles. Entry: mov(1) + jump(2).
+        assert_eq!(interp_stats.block_counts[&cmam_cdfg::BlockId(1)], 4);
+        assert_eq!(s.cycles, 4 * 15 + 3);
+        // Instructions: body 7 x 4 + entry mov + entry jump.
+        assert_eq!(s.instructions, 30);
+        assert_eq!(s.dmem_accesses, 8);
+        assert_eq!(s.muls, 4);
+    }
+
+    #[test]
+    fn profile_is_deterministic() {
+        let cdfg = small_loop();
+        let model = CpuModel::default();
+        let mut m1 = vec![1i32; 32];
+        let mut m2 = vec![1i32; 32];
+        let (a, _) = model.run(&cdfg, &mut m1, 100_000).unwrap();
+        let (b, _) = model.run(&cdfg, &mut m2, 100_000).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn custom_costs_scale_cycles() {
+        let cdfg = small_loop();
+        let slow = CpuModel::new(CpuCosts {
+            alu: 2,
+            mul: 8,
+            load: 6,
+            store: 4,
+            branch: 6,
+            jump: 4,
+        });
+        let fast = CpuModel::default();
+        let mut m1 = vec![1i32; 32];
+        let mut m2 = vec![1i32; 32];
+        let (a, _) = slow.run(&cdfg, &mut m1, 100_000).unwrap();
+        let (b, _) = fast.run(&cdfg, &mut m2, 100_000).unwrap();
+        assert_eq!(a.cycles, 2 * b.cycles);
+    }
+}

@@ -1,0 +1,146 @@
+//! Area model (Fig 11).
+//!
+//! Both designs embed the same 32 kB data memory; the CPU additionally has
+//! a 1 kB instruction cache and a 4 kB program memory ("equivalent to the
+//! design parameters of the CGRAs used in the experiments", Section IV-C),
+//! while the CGRA has per-tile context memories, the global context
+//! memory/controller and the point-to-point torus interconnect.
+
+use cmam_arch::CgraConfig;
+
+/// Component areas in µm² (synthetic 28nm-scale constants; see the crate
+/// docs for the substitution rationale).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AreaParams {
+    /// PE datapath + decoder + controller (per tile).
+    pub pe_logic: f64,
+    /// Regular register file (per tile).
+    pub rf: f64,
+    /// Constant register file (per tile).
+    pub crf: f64,
+    /// Load/store unit (per LSU tile).
+    pub lsu: f64,
+    /// Context memory, per instruction word.
+    pub cm_per_word: f64,
+    /// Torus interconnect (whole array).
+    pub interconnect: f64,
+    /// CGRA global controller + global context memory.
+    pub global_ctrl: f64,
+    /// Shared 32 kB data memory (TCDM).
+    pub dmem: f64,
+    /// CPU core (or1k-class, pipeline + control).
+    pub cpu_core: f64,
+    /// CPU 1 kB instruction cache.
+    pub cpu_icache: f64,
+    /// CPU 4 kB program memory.
+    pub cpu_progmem: f64,
+}
+
+impl Default for AreaParams {
+    fn default() -> Self {
+        AreaParams {
+            pe_logic: 3000.0,
+            rf: 700.0,
+            crf: 600.0,
+            lsu: 500.0,
+            // 64 words -> 3328 µm²: ~41% of a full LSU PE (8128 µm²),
+            // matching the paper's "a 64-word context memory typically
+            // represents 40% of a processing element area".
+            cm_per_word: 52.0,
+            interconnect: 10000.0,
+            global_ctrl: 15000.0,
+            dmem: 120000.0,
+            cpu_core: 15000.0,
+            cpu_icache: 6000.0,
+            cpu_progmem: 18000.0,
+        }
+    }
+}
+
+/// An area breakdown in µm² (the Fig 11 bars).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AreaBreakdown {
+    /// PE logic, register files, LSUs (CGRA) or CPU core (CPU).
+    pub logic: f64,
+    /// Context memories (CGRA) or icache + program memory (CPU).
+    pub instruction_memory: f64,
+    /// Interconnect + global control (CGRA only).
+    pub interconnect: f64,
+    /// Shared data memory.
+    pub data_memory: f64,
+}
+
+impl AreaBreakdown {
+    /// Total area.
+    pub fn total(&self) -> f64 {
+        self.logic + self.instruction_memory + self.interconnect + self.data_memory
+    }
+}
+
+/// Area of a CGRA configuration.
+pub fn cgra_area(params: &AreaParams, config: &CgraConfig) -> AreaBreakdown {
+    let mut logic = 0.0;
+    let mut cm = 0.0;
+    for (_, tile) in config.tiles() {
+        logic += params.pe_logic + params.rf + params.crf;
+        if tile.has_lsu {
+            logic += params.lsu;
+        }
+        cm += params.cm_per_word * tile.cm_words as f64;
+    }
+    AreaBreakdown {
+        logic,
+        instruction_memory: cm,
+        interconnect: params.interconnect + params.global_ctrl,
+        data_memory: params.dmem,
+    }
+}
+
+/// Area of the or1k-class CPU with equivalent memories.
+pub fn cpu_area(params: &AreaParams) -> AreaBreakdown {
+    AreaBreakdown {
+        logic: params.cpu_core,
+        instruction_memory: params.cpu_icache + params.cpu_progmem,
+        interconnect: 0.0,
+        data_memory: params.dmem,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cm_is_about_forty_percent_of_pe() {
+        let p = AreaParams::default();
+        let pe = p.pe_logic + p.rf + p.crf + p.lsu;
+        let cm64 = 64.0 * p.cm_per_word;
+        let share = cm64 / (pe + cm64);
+        assert!((0.35..=0.45).contains(&share), "share {share}");
+    }
+
+    #[test]
+    fn hom64_is_largest_and_hets_sit_between() {
+        let p = AreaParams::default();
+        let cpu = cpu_area(&p).total();
+        let hom64 = cgra_area(&p, &CgraConfig::hom64()).total();
+        let het1 = cgra_area(&p, &CgraConfig::het1()).total();
+        let het2 = cgra_area(&p, &CgraConfig::het2()).total();
+        assert!(hom64 > het1 && het1 > het2, "{hom64} {het1} {het2}");
+        // Fig 11 shape: HOM64 ~2x CPU, HET ~1.5x CPU.
+        let r64 = hom64 / cpu;
+        let r1 = het1 / cpu;
+        assert!((1.5..=2.3).contains(&r64), "HOM64/CPU {r64}");
+        assert!((1.3..=1.8).contains(&r1), "HET1/CPU {r1}");
+        assert!(r1 < r64);
+    }
+
+    #[test]
+    fn area_scales_with_cm_words() {
+        let p = AreaParams::default();
+        let hom64 = cgra_area(&p, &CgraConfig::hom64());
+        let hom32 = cgra_area(&p, &CgraConfig::hom32());
+        assert!((hom64.instruction_memory - 2.0 * hom32.instruction_memory).abs() < 1e-9);
+        assert_eq!(hom64.logic, hom32.logic);
+    }
+}

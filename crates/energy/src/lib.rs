@@ -1,0 +1,22 @@
+//! # cmam-energy — area and energy models (Fig 11, Table II)
+//!
+//! The paper's area/energy numbers come from Synopsys Design Compiler and
+//! PrimePower runs at 28nm UTBB FD-SOI, 0.6 V, 25°C. Those tools and
+//! libraries are not reproducible here, so this crate substitutes a
+//! **component-level analytical model** with synthetic but
+//! near-threshold-plausible constants (documented on [`EnergyParams`] and
+//! [`AreaParams`]). The substitution preserves what the paper actually
+//! reports — *ratios* between configurations — because every configuration
+//! is evaluated with the same constants and the first-order effect the
+//! paper exploits is kept: **context memory fetch energy and leakage scale
+//! with the CM word count**, and a 64-word CM is ~40% of a PE's area.
+//!
+//! Inputs are the activity counters of the CGRA simulator
+//! (`cmam_sim::SimStats`) and the CPU baseline (`cmam_cpu::CpuStats`);
+//! outputs are energy breakdowns in µJ and area breakdowns in µm².
+
+pub mod area;
+pub mod model;
+
+pub use area::{cgra_area, cpu_area, AreaBreakdown, AreaParams};
+pub use model::{cgra_energy, cpu_energy, EnergyBreakdown, EnergyParams};

@@ -1,0 +1,287 @@
+//! Energy model (Table II).
+//!
+//! Event energies in pJ at the paper's 0.6 V near-threshold operating
+//! point. The key structural property, mirrored from the paper's premise,
+//! is that the **context memory dominates the PE energy**: every active
+//! cycle fetches one CM word, the fetch energy grows with the CM size
+//! (longer bitlines), and leakage grows with CM area — while a `pnop`
+//! keeps the tile clock-gated with a single fetch for the whole idle run.
+//! Shrinking HOM64 to the HET configurations therefore cuts both the
+//! per-fetch and the leakage terms, which is exactly the effect Table II
+//! quantifies.
+
+use cmam_arch::{CgraConfig, TileId};
+use cmam_cpu::CpuStats;
+use cmam_sim::SimStats;
+
+/// Event energies (pJ) and leakage powers (pJ/cycle).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyParams {
+    // --- CGRA ---
+    /// ALU operation (add/sub/logic/compare).
+    pub alu_op: f64,
+    /// Multiply surcharge on top of `alu_op`.
+    pub mul_extra: f64,
+    /// A `move` instruction.
+    pub mov_op: f64,
+    /// Register-file read / write.
+    pub rf_read: f64,
+    /// Register-file write.
+    pub rf_write: f64,
+    /// Constant-register-file read.
+    pub crf_read: f64,
+    /// Neighbour RF read through the point-to-point interconnect.
+    pub neighbor_read: f64,
+    /// Context-memory fetch:
+    /// `cm_fetch_base + cm_fetch_per_word * words + cm_fetch_per_word2 * words²`.
+    /// The superlinear term reflects that small context memories are
+    /// latch/register arrays while larger ones are compiled SRAM macros
+    /// with disproportionately higher near-threshold access energy.
+    pub cm_fetch_base: f64,
+    /// Linear per-word slope of the CM fetch energy.
+    pub cm_fetch_per_word: f64,
+    /// Quadratic per-word² term of the CM fetch energy.
+    pub cm_fetch_per_word2: f64,
+    /// TCDM access (load or store) including the logarithmic interconnect.
+    pub tcdm_access: f64,
+    /// Tile leakage (pJ/cycle):
+    /// `tile_leak_base + tile_leak_per_word * words + tile_leak_per_word2 * words²`;
+    /// clock-gated tiles still leak, and the superlinear term mirrors the
+    /// fetch energy's memory-implementation argument.
+    pub tile_leak_base: f64,
+    /// Linear per-CM-word slope of tile leakage.
+    pub tile_leak_per_word: f64,
+    /// Quadratic per-word² term of tile leakage.
+    pub tile_leak_per_word2: f64,
+    /// Global leakage (controller, interconnect, TCDM) per cycle.
+    pub global_leak: f64,
+    // --- CPU ---
+    /// Instruction fetch: the or1k reads each instruction from its 4 kB
+    /// program memory / 1 kB I-cache — a far larger (and costlier) array
+    /// than any per-tile context memory.
+    pub cpu_ifetch: f64,
+    /// Per-cycle pipeline/clock-tree energy of the active core.
+    pub cpu_pipeline: f64,
+    /// CPU register-file read.
+    pub cpu_rf_read: f64,
+    /// CPU register-file write.
+    pub cpu_rf_write: f64,
+    /// CPU ALU operation.
+    pub cpu_alu: f64,
+    /// CPU multiply surcharge.
+    pub cpu_mul_extra: f64,
+    /// CPU data-memory access.
+    pub cpu_dmem: f64,
+    /// CPU leakage per cycle (core + caches).
+    pub cpu_leak: f64,
+}
+
+impl Default for EnergyParams {
+    fn default() -> Self {
+        EnergyParams {
+            alu_op: 0.5,
+            mul_extra: 0.4,
+            mov_op: 0.3,
+            rf_read: 0.08,
+            rf_write: 0.10,
+            crf_read: 0.06,
+            neighbor_read: 0.15,
+            cm_fetch_base: 0.30,
+            cm_fetch_per_word: 0.025,
+            cm_fetch_per_word2: 4.5e-4,
+            tcdm_access: 1.5,
+            tile_leak_base: 0.10,
+            tile_leak_per_word: 0.008,
+            tile_leak_per_word2: 5.5e-4,
+            global_leak: 1.0,
+            cpu_ifetch: 12.0,
+            cpu_pipeline: 12.0,
+            cpu_rf_read: 0.8,
+            cpu_rf_write: 0.9,
+            cpu_alu: 1.5,
+            cpu_mul_extra: 2.0,
+            cpu_dmem: 5.0,
+            cpu_leak: 12.0,
+        }
+    }
+}
+
+impl EnergyParams {
+    /// CM fetch energy for a context memory of `words` words.
+    pub fn cm_fetch(&self, words: usize) -> f64 {
+        let w = words as f64;
+        self.cm_fetch_base + self.cm_fetch_per_word * w + self.cm_fetch_per_word2 * w * w
+    }
+
+    /// Tile leakage (pJ/cycle) for a context memory of `words` words.
+    pub fn tile_leak(&self, words: usize) -> f64 {
+        let w = words as f64;
+        self.tile_leak_base + self.tile_leak_per_word * w + self.tile_leak_per_word2 * w * w
+    }
+}
+
+/// An energy breakdown; all terms in µJ.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Datapath (ALU + moves + multiplies).
+    pub compute: f64,
+    /// Register files (RF + CRF + neighbour reads / CPU RF).
+    pub registers: f64,
+    /// Instruction supply (CM fetches / CPU ifetch + pipeline).
+    pub instruction_supply: f64,
+    /// Data memory.
+    pub data_memory: f64,
+    /// Leakage over the run time.
+    pub leakage: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in µJ.
+    pub fn total(&self) -> f64 {
+        self.compute + self.registers + self.instruction_supply + self.data_memory + self.leakage
+    }
+}
+
+const PJ_TO_UJ: f64 = 1e-6;
+
+/// Energy of one CGRA run.
+///
+/// `mul_fraction` of ALU operations are charged the multiply surcharge;
+/// the simulator does not distinguish multiplies, so the caller provides
+/// the kernel's static mul share (the harness derives it from the CDFG).
+pub fn cgra_energy(
+    params: &EnergyParams,
+    config: &CgraConfig,
+    stats: &SimStats,
+    mul_fraction: f64,
+) -> EnergyBreakdown {
+    let mut compute = 0.0;
+    let mut registers = 0.0;
+    let mut instruction_supply = 0.0;
+    let mut data_memory = 0.0;
+    let mut leakage = 0.0;
+
+    for (i, t) in stats.tiles.iter().enumerate() {
+        let tile = TileId(i);
+        let words = config.tile(tile).cm_words;
+        let alu = t.alu_ops as f64;
+        compute += alu * (params.alu_op + mul_fraction * params.mul_extra);
+        compute += t.moves as f64 * params.mov_op;
+        registers += t.rf_reads as f64 * params.rf_read
+            + t.rf_writes as f64 * params.rf_write
+            + t.crf_reads as f64 * params.crf_read
+            + t.neighbor_reads as f64 * params.neighbor_read;
+        instruction_supply += t.cm_fetches as f64 * params.cm_fetch(words);
+        data_memory += (t.loads + t.stores) as f64 * params.tcdm_access;
+        leakage += stats.cycles as f64 * params.tile_leak(words);
+    }
+    leakage += stats.cycles as f64 * params.global_leak;
+
+    EnergyBreakdown {
+        compute: compute * PJ_TO_UJ,
+        registers: registers * PJ_TO_UJ,
+        instruction_supply: instruction_supply * PJ_TO_UJ,
+        data_memory: data_memory * PJ_TO_UJ,
+        leakage: leakage * PJ_TO_UJ,
+    }
+}
+
+/// Energy of one CPU run.
+pub fn cpu_energy(params: &EnergyParams, stats: &CpuStats) -> EnergyBreakdown {
+    let instr = stats.instructions as f64;
+    let cycles = stats.cycles as f64;
+    EnergyBreakdown {
+        compute: (instr * params.cpu_alu + stats.muls as f64 * params.cpu_mul_extra) * PJ_TO_UJ,
+        registers: (stats.rf_reads as f64 * params.cpu_rf_read
+            + stats.rf_writes as f64 * params.cpu_rf_write)
+            * PJ_TO_UJ,
+        instruction_supply: (stats.imem_reads as f64 * params.cpu_ifetch
+            + cycles * params.cpu_pipeline)
+            * PJ_TO_UJ,
+        data_memory: stats.dmem_accesses as f64 * params.cpu_dmem * PJ_TO_UJ,
+        leakage: cycles * params.cpu_leak * PJ_TO_UJ,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmam_sim::TileStats;
+
+    fn synthetic_stats(cycles: u64, per_tile_ops: u64, ntiles: usize) -> SimStats {
+        let mut s = SimStats {
+            cycles,
+            stall_cycles: 0,
+            block_execs: Default::default(),
+            tiles: vec![TileStats::default(); ntiles],
+        };
+        for t in &mut s.tiles {
+            t.alu_ops = per_tile_ops;
+            t.active_cycles = per_tile_ops;
+            t.idle_cycles = cycles - per_tile_ops;
+            t.cm_fetches = per_tile_ops + 1;
+            t.rf_reads = 2 * per_tile_ops;
+            t.rf_writes = per_tile_ops;
+            t.loads = per_tile_ops / 4;
+        }
+        s
+    }
+
+    #[test]
+    fn smaller_cm_means_less_energy_at_equal_activity() {
+        let p = EnergyParams::default();
+        let stats = synthetic_stats(100, 50, 16);
+        let hom64 = cgra_energy(&p, &CgraConfig::hom64(), &stats, 0.2).total();
+        let het2 = cgra_energy(&p, &CgraConfig::het2(), &stats, 0.2).total();
+        let hom32 = cgra_energy(&p, &CgraConfig::hom32(), &stats, 0.2).total();
+        // Any halved-CM configuration beats HOM64 at equal activity. (HET2
+        // can cost slightly more than HOM32 under *uniform* activity since
+        // it keeps four 64-word memories; real mappings concentrate work
+        // on those tiles.)
+        assert!(het2 < hom64 && hom32 < hom64, "{het2} {hom32} {hom64}");
+        // The gain from halving the total CM must be material (the paper's
+        // smallest per-kernel gain is 1.4x overall).
+        assert!(hom64 / het2 > 1.3, "gain {}", hom64 / het2);
+    }
+
+    #[test]
+    fn cm_fetch_and_leak_scale_superlinearly() {
+        let p = EnergyParams::default();
+        // Per-word cost grows with memory size (latch array -> SRAM macro).
+        let per64 = (p.cm_fetch(64) - p.cm_fetch_base) / 64.0;
+        let per16 = (p.cm_fetch(16) - p.cm_fetch_base) / 16.0;
+        assert!(per64 > per16, "{per64} {per16}");
+        let l64 = (p.tile_leak(64) - p.tile_leak_base) / 64.0;
+        let l16 = (p.tile_leak(16) - p.tile_leak_base) / 16.0;
+        assert!(l64 > 2.0 * l16, "{l64} {l16}");
+        // Absolute anchors: a 64-word CM leaks ~2.8 pJ/cycle.
+        assert!((2.0..4.0).contains(&p.tile_leak(64)));
+    }
+
+    #[test]
+    fn breakdown_total_is_sum_of_parts() {
+        let p = EnergyParams::default();
+        let stats = synthetic_stats(200, 80, 16);
+        let b = cgra_energy(&p, &CgraConfig::het1(), &stats, 0.3);
+        let sum = b.compute + b.registers + b.instruction_supply + b.data_memory + b.leakage;
+        assert!((b.total() - sum).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cpu_energy_counts_all_terms() {
+        let p = EnergyParams::default();
+        let stats = cmam_cpu::CpuStats {
+            cycles: 1000,
+            instructions: 600,
+            imem_reads: 600,
+            dmem_accesses: 100,
+            rf_reads: 1100,
+            rf_writes: 500,
+            muls: 50,
+        };
+        let b = cpu_energy(&p, &stats);
+        assert!(b.total() > 0.0);
+        assert!(b.instruction_supply > b.compute, "ifetch+pipeline dominate");
+        assert!(b.leakage > 0.0);
+    }
+}

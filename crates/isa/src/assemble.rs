@@ -1,0 +1,820 @@
+//! Lowering a [`KernelMapping`] to a [`CgraBinary`].
+//!
+//! Besides code generation (register allocation, CRF allocation, pnop
+//! compression), the assembler is the repository's *definitive validity
+//! check* for mappings. It re-derives every architectural constraint
+//! independently of the mapper and fails loudly when one is violated:
+//!
+//! * memory operations only on LSU tiles;
+//! * one instruction per tile per cycle;
+//! * operands read from the executing tile or a direct torus neighbour,
+//!   and only after the value copy is ready;
+//! * symbol overwrite hazards (a symbol's home register is overwritten
+//!   only after every read of the old value from that register);
+//! * RF / CRF capacity;
+//! * the Section III-C inequality per tile:
+//!   `n(Mo) + n(pnop) ≤ n(I)` (context words fit the context memory).
+
+use crate::instr::{compress, Instr, Operand};
+use crate::mapping::{KernelMapping, OperandSource};
+use crate::program::{BinTerminator, CgraBinary, TileProgram};
+use cmam_arch::{CgraConfig, Direction, TileId};
+use cmam_cdfg::{Cdfg, SymbolId, Terminator, ValueId, ValueKind};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// A constraint violation found while assembling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AssembleError {
+    /// A memory operation was placed on a tile without a load/store unit.
+    LsuViolation {
+        /// Offending tile.
+        tile: TileId,
+    },
+    /// Two instructions share one `(tile, cycle)` slot.
+    SlotConflict {
+        /// Offending tile.
+        tile: TileId,
+        /// Offending cycle.
+        cycle: usize,
+    },
+    /// An instruction's cycle lies outside its block's schedule length.
+    CycleOutOfRange {
+        /// Offending tile.
+        tile: TileId,
+        /// Offending cycle.
+        cycle: usize,
+    },
+    /// An operand names a source tile that is neither the executing tile
+    /// nor a direct neighbour.
+    NonAdjacentRead {
+        /// Executing tile.
+        tile: TileId,
+        /// Claimed source tile.
+        src: TileId,
+    },
+    /// An operand reads a value copy before it is written.
+    ValueNotReady {
+        /// The value.
+        value: ValueId,
+        /// Tile whose RF was read.
+        tile: TileId,
+        /// Read cycle.
+        cycle: usize,
+    },
+    /// An operand reads a value that has no copy at the named tile.
+    MissingCopy {
+        /// The value.
+        value: ValueId,
+        /// Tile whose RF was (wrongly) read.
+        tile: TileId,
+    },
+    /// A symbol home register is overwritten while a later instruction
+    /// still reads the old value from it.
+    SymbolOverwriteHazard {
+        /// The symbol.
+        symbol: SymbolId,
+        /// Cycle of the offending old-value read.
+        read_cycle: usize,
+        /// Cycle of the overwrite.
+        write_cycle: usize,
+    },
+    /// A symbol has no home tile in the mapping.
+    MissingHome {
+        /// The symbol.
+        symbol: SymbolId,
+    },
+    /// A direct symbol write / commit move targets a tile that is not the
+    /// symbol's home.
+    WrongHome {
+        /// The symbol.
+        symbol: SymbolId,
+        /// The tile written instead of the home.
+        tile: TileId,
+    },
+    /// Register demand exceeds the tile's RF.
+    RfOverflow {
+        /// Offending tile.
+        tile: TileId,
+        /// Registers needed.
+        need: usize,
+        /// Registers available.
+        capacity: usize,
+    },
+    /// Distinct constants exceed the tile's CRF.
+    CrfOverflow {
+        /// Offending tile.
+        tile: TileId,
+        /// Slots needed.
+        need: usize,
+        /// Slots available.
+        capacity: usize,
+    },
+    /// Context words exceed the tile's context memory — the inequality of
+    /// Section III-C is violated.
+    ContextOverflow {
+        /// Offending tile.
+        tile: TileId,
+        /// Words needed.
+        need: usize,
+        /// Words available.
+        capacity: usize,
+    },
+}
+
+impl fmt::Display for AssembleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AssembleError::LsuViolation { tile } => {
+                write!(f, "memory operation on non-LSU tile {tile}")
+            }
+            AssembleError::SlotConflict { tile, cycle } => {
+                write!(f, "two instructions on {tile} at cycle {cycle}")
+            }
+            AssembleError::CycleOutOfRange { tile, cycle } => {
+                write!(f, "instruction on {tile} at cycle {cycle} outside block schedule")
+            }
+            AssembleError::NonAdjacentRead { tile, src } => {
+                write!(f, "{tile} cannot read RF of non-neighbour {src}")
+            }
+            AssembleError::ValueNotReady { value, tile, cycle } => {
+                write!(f, "{value} read from {tile} at cycle {cycle} before it is written")
+            }
+            AssembleError::MissingCopy { value, tile } => {
+                write!(f, "{value} has no copy in the RF of {tile}")
+            }
+            AssembleError::SymbolOverwriteHazard {
+                symbol,
+                read_cycle,
+                write_cycle,
+            } => write!(
+                f,
+                "home register of {symbol} overwritten at cycle {write_cycle} but old value read at cycle {read_cycle}"
+            ),
+            AssembleError::MissingHome { symbol } => {
+                write!(f, "symbol {symbol} has no home tile")
+            }
+            AssembleError::WrongHome { symbol, tile } => {
+                write!(f, "symbol {symbol} committed on non-home tile {tile}")
+            }
+            AssembleError::RfOverflow {
+                tile,
+                need,
+                capacity,
+            } => write!(f, "{tile} needs {need} registers, has {capacity}"),
+            AssembleError::CrfOverflow {
+                tile,
+                need,
+                capacity,
+            } => write!(f, "{tile} needs {need} CRF slots, has {capacity}"),
+            AssembleError::ContextOverflow {
+                tile,
+                need,
+                capacity,
+            } => write!(f, "{tile} needs {need} context words, has {capacity}"),
+        }
+    }
+}
+
+impl Error for AssembleError {}
+
+/// Per-tile word accounting, the measured counterpart of the paper's
+/// `n(Vo)`, `n(To)`, `n(pnop)`, `n(I)` bookkeeping.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AsmReport {
+    /// Per tile: (operation words, move words, pnop words).
+    pub per_tile: Vec<(usize, usize, usize)>,
+}
+
+impl AsmReport {
+    /// Context words used on one tile.
+    pub fn words(&self, tile: TileId) -> usize {
+        let (o, m, p) = self.per_tile[tile.0];
+        o + m + p
+    }
+
+    /// Total operation words.
+    pub fn total_ops(&self) -> usize {
+        self.per_tile.iter().map(|t| t.0).sum()
+    }
+
+    /// Total move words (the paper's transformed operations `n(To)` are
+    /// realised as moves and re-computed ops).
+    pub fn total_moves(&self) -> usize {
+        self.per_tile.iter().map(|t| t.1).sum()
+    }
+
+    /// Total pnop words.
+    pub fn total_pnops(&self) -> usize {
+        self.per_tile.iter().map(|t| t.2).sum()
+    }
+
+    /// Per-tile context occupancy as a fraction of capacity (Fig 2 data).
+    pub fn occupancy(&self, config: &CgraConfig) -> Vec<f64> {
+        self.per_tile
+            .iter()
+            .enumerate()
+            .map(|(i, _)| {
+                let cap = config.tile(TileId(i)).cm_words;
+                self.words(TileId(i)) as f64 / cap as f64
+            })
+            .collect()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Copy {
+    reg: u8,
+    ready: usize,
+}
+
+/// Assembles `mapping` of `cdfg` for `config`.
+///
+/// # Errors
+///
+/// Returns the first [`AssembleError`] found; see the module docs for the
+/// checked constraints.
+pub fn assemble(
+    cdfg: &Cdfg,
+    mapping: &KernelMapping,
+    config: &CgraConfig,
+) -> Result<(CgraBinary, AsmReport), AssembleError> {
+    let geom = config.geometry();
+    let ntiles = geom.num_tiles();
+
+    // --- Persistent registers: symbols grouped by home tile. ---
+    let mut persistent: HashMap<SymbolId, (TileId, u8)> = HashMap::new();
+    let mut persistent_count = vec![0usize; ntiles];
+    let mut homed: Vec<(SymbolId, TileId)> = mapping
+        .symbol_homes
+        .iter()
+        .map(|(&s, &t)| (s, t))
+        .collect();
+    homed.sort();
+    for (s, home) in homed {
+        let reg = persistent_count[home.0];
+        persistent.insert(s, (home, reg as u8));
+        persistent_count[home.0] += 1;
+    }
+    for (i, &cnt) in persistent_count.iter().enumerate() {
+        let cap = config.tile(TileId(i)).rf_words;
+        if cnt > cap {
+            return Err(AssembleError::RfOverflow {
+                tile: TileId(i),
+                need: cnt,
+                capacity: cap,
+            });
+        }
+    }
+    let home_of = |s: SymbolId| -> Result<(TileId, u8), AssembleError> {
+        persistent
+            .get(&s)
+            .copied()
+            .ok_or(AssembleError::MissingHome { symbol: s })
+    };
+
+    // --- CRF allocation (kernel-wide per tile). ---
+    let mut crf: Vec<Vec<i32>> = vec![Vec::new(); ntiles];
+    for bm in &mapping.blocks {
+        for po in &bm.ops {
+            for src in &po.operands {
+                if let OperandSource::Const(c) = src {
+                    if !crf[po.tile.0].contains(c) {
+                        crf[po.tile.0].push(*c);
+                    }
+                }
+            }
+        }
+    }
+    for (i, consts) in crf.iter().enumerate() {
+        let cap = config.tile(TileId(i)).crf_words;
+        if consts.len() > cap {
+            return Err(AssembleError::CrfOverflow {
+                tile: TileId(i),
+                need: consts.len(),
+                capacity: cap,
+            });
+        }
+    }
+
+    let dir_to = |t: TileId, src: TileId| -> Result<Option<Direction>, AssembleError> {
+        if t == src {
+            return Ok(None);
+        }
+        for d in Direction::ALL {
+            if geom.neighbor(t, d) == src {
+                return Ok(Some(d));
+            }
+        }
+        Err(AssembleError::NonAdjacentRead { tile: t, src })
+    };
+
+    let mut tiles = vec![
+        TileProgram {
+            blocks: Vec::new()
+        };
+        ntiles
+    ];
+
+    for (bidx, bm) in mapping.blocks.iter().enumerate() {
+        // --- Gather instruction intents and detect slot conflicts. ---
+        #[derive(Debug, Clone, Copy, PartialEq)]
+        enum Intent {
+            Op(usize),
+            Move(usize),
+        }
+        let mut slots: HashMap<(TileId, usize), Intent> = HashMap::new();
+        for (i, po) in bm.ops.iter().enumerate() {
+            if po.cycle >= bm.length {
+                return Err(AssembleError::CycleOutOfRange {
+                    tile: po.tile,
+                    cycle: po.cycle,
+                });
+            }
+            let opcode = cdfg.op(po.op).opcode;
+            if opcode.is_memory() && !config.tile(po.tile).has_lsu {
+                return Err(AssembleError::LsuViolation { tile: po.tile });
+            }
+            if slots.insert((po.tile, po.cycle), Intent::Op(i)).is_some() {
+                return Err(AssembleError::SlotConflict {
+                    tile: po.tile,
+                    cycle: po.cycle,
+                });
+            }
+        }
+        for (i, mv) in bm.moves.iter().enumerate() {
+            if mv.cycle >= bm.length {
+                return Err(AssembleError::CycleOutOfRange {
+                    tile: mv.tile,
+                    cycle: mv.cycle,
+                });
+            }
+            if slots.insert((mv.tile, mv.cycle), Intent::Move(i)).is_some() {
+                return Err(AssembleError::SlotConflict {
+                    tile: mv.tile,
+                    cycle: mv.cycle,
+                });
+            }
+        }
+
+        // --- Collect block-local copies with live intervals. ---
+        // Copy key: (tile, value). Persistent writes (direct symbol writes
+        // and commit moves) target the persistent register instead.
+        // Overwrite cycle of each symbol's home register in this block.
+        let mut overwrite: HashMap<SymbolId, usize> = HashMap::new();
+        // Values landing in persistent registers.
+        let mut persistent_values: HashMap<(TileId, ValueId), Copy> = HashMap::new();
+        // (tile, value) -> (start, end) live interval.
+        let mut intervals: HashMap<(TileId, ValueId), (usize, usize)> = HashMap::new();
+
+        for po in &bm.ops {
+            let op = cdfg.op(po.op);
+            let Some(result) = op.result else { continue };
+            if po.direct_symbol_write {
+                let s = op.writes_symbol.ok_or(AssembleError::WrongHome {
+                    symbol: SymbolId(u32::MAX),
+                    tile: po.tile,
+                })?;
+                let (home, reg) = home_of(s)?;
+                if home != po.tile {
+                    return Err(AssembleError::WrongHome {
+                        symbol: s,
+                        tile: po.tile,
+                    });
+                }
+                overwrite.insert(s, po.cycle);
+                persistent_values.insert(
+                    (home, result),
+                    Copy {
+                        reg,
+                        ready: po.cycle + 1,
+                    },
+                );
+            } else {
+                let e = intervals
+                    .entry((po.tile, result))
+                    .or_insert((po.cycle + 1, po.cycle + 1));
+                e.0 = e.0.min(po.cycle + 1); // re-computed duplicates merge
+            }
+        }
+        for mv in &bm.moves {
+            if let Some(s) = mv.commit_symbol {
+                let (home, reg) = home_of(s)?;
+                if home != mv.tile {
+                    return Err(AssembleError::WrongHome {
+                        symbol: s,
+                        tile: mv.tile,
+                    });
+                }
+                overwrite.insert(s, mv.cycle);
+                persistent_values.insert(
+                    (home, mv.value),
+                    Copy {
+                        reg,
+                        ready: mv.cycle + 1,
+                    },
+                );
+            } else {
+                let e = intervals
+                    .entry((mv.tile, mv.value))
+                    .or_insert((mv.cycle + 1, mv.cycle + 1));
+                e.0 = e.0.min(mv.cycle + 1);
+            }
+        }
+
+        // Reads extend the interval of the copy they resolve to.
+        {
+            let mut extend = |tile: TileId, value: ValueId, cycle: usize| {
+                if let Some(e) = intervals.get_mut(&(tile, value)) {
+                    e.1 = e.1.max(cycle);
+                }
+            };
+            for po in &bm.ops {
+                for osrc in &po.operands {
+                    if let OperandSource::Rf { tile: src, value } = *osrc {
+                        extend(src, value, po.cycle);
+                    }
+                }
+            }
+            for mv in &bm.moves {
+                extend(mv.src_tile, mv.value, mv.cycle);
+            }
+        }
+
+        // --- Linear-scan register allocation per tile. ---
+        // Live intervals of an interval graph colour optimally with
+        // max-overlap registers, so this succeeds whenever the mapper's
+        // occupancy checks passed.
+        let mut copies: HashMap<(TileId, ValueId), Copy> = HashMap::new();
+        {
+            let mut per_tile: Vec<Vec<(usize, usize, ValueId)>> = vec![Vec::new(); ntiles];
+            for (&(tile, value), &(start, end)) in &intervals {
+                per_tile[tile.0].push((start, end, value));
+            }
+            for (i, list) in per_tile.iter_mut().enumerate() {
+                let tile = TileId(i);
+                let cap = config.tile(tile).rf_words;
+                let first_local = persistent_count[i];
+                list.sort();
+                let mut free: Vec<u8> = (first_local..cap).rev().map(|r| r as u8).collect();
+                let mut active: Vec<(usize, u8)> = Vec::new(); // (end, reg)
+                for &(start, end, value) in list.iter() {
+                    // Release registers whose interval ended before `start`.
+                    active.retain(|&(e, reg)| {
+                        if e < start {
+                            free.push(reg);
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                    free.sort_by(|a, b| b.cmp(a)); // lowest register first (pop from end)
+                    let Some(reg) = free.pop() else {
+                        return Err(AssembleError::RfOverflow {
+                            tile,
+                            need: active.len() + first_local + 1,
+                            capacity: cap,
+                        });
+                    };
+                    active.push((end, reg));
+                    copies.insert(
+                        (tile, value),
+                        Copy {
+                            reg,
+                            ready: start,
+                        },
+                    );
+                }
+            }
+        }
+
+        // --- Resolve a read of `value` from `src`'s RF at `cycle`. ---
+        let resolve = |value: ValueId,
+                       src: TileId,
+                       cycle: usize|
+         -> Result<u8, AssembleError> {
+            if let Some(c) = copies.get(&(src, value)) {
+                if cycle < c.ready {
+                    return Err(AssembleError::ValueNotReady {
+                        value,
+                        tile: src,
+                        cycle,
+                    });
+                }
+                return Ok(c.reg);
+            }
+            // Old symbol value: read the home register, checking the
+            // overwrite hazard.
+            if let ValueKind::SymbolUse(s) = cdfg.value(value).kind {
+                let (home, reg) = home_of(s)?;
+                if home == src {
+                    if let Some(&w) = overwrite.get(&s) {
+                        if cycle > w {
+                            return Err(AssembleError::SymbolOverwriteHazard {
+                                symbol: s,
+                                read_cycle: cycle,
+                                write_cycle: w,
+                            });
+                        }
+                    }
+                    return Ok(reg);
+                }
+            }
+            // New symbol value written directly / committed to home.
+            if let Some(c) = persistent_values.get(&(src, value)) {
+                if cycle < c.ready {
+                    return Err(AssembleError::ValueNotReady {
+                        value,
+                        tile: src,
+                        cycle,
+                    });
+                }
+                return Ok(c.reg);
+            }
+            Err(AssembleError::MissingCopy { value, tile: src })
+        };
+
+        // --- Emit the cycle-indexed schedule per tile, then compress. ---
+        let mut schedules: Vec<Vec<Option<Instr>>> = vec![vec![None; bm.length]; ntiles];
+        for po in &bm.ops {
+            let op = cdfg.op(po.op);
+            let mut srcs = Vec::with_capacity(po.operands.len());
+            for osrc in &po.operands {
+                let operand = match *osrc {
+                    OperandSource::Const(c) => {
+                        let idx = crf[po.tile.0]
+                            .iter()
+                            .position(|&x| x == c)
+                            .expect("constant was collected above");
+                        Operand::Crf(idx as u8)
+                    }
+                    OperandSource::Rf { tile: src, value } => {
+                        let reg = resolve(value, src, po.cycle)?;
+                        match dir_to(po.tile, src)? {
+                            None => Operand::Reg(reg),
+                            Some(d) => Operand::Neighbor(d, reg),
+                        }
+                    }
+                };
+                srcs.push(operand);
+            }
+            let dst = match op.result {
+                None => None,
+                Some(r) => {
+                    if po.direct_symbol_write {
+                        Some(persistent_values[&(po.tile, r)].reg)
+                    } else {
+                        Some(copies[&(po.tile, r)].reg)
+                    }
+                }
+            };
+            schedules[po.tile.0][po.cycle] = Some(Instr::Exec {
+                opcode: op.opcode,
+                dst,
+                srcs,
+            });
+        }
+        for mv in &bm.moves {
+            let reg = resolve(mv.value, mv.src_tile, mv.cycle)?;
+            let src = match dir_to(mv.tile, mv.src_tile)? {
+                None => Operand::Reg(reg),
+                Some(d) => Operand::Neighbor(d, reg),
+            };
+            let dst = if mv.commit_symbol.is_some() {
+                persistent_values[&(mv.tile, mv.value)].reg
+            } else {
+                copies[&(mv.tile, mv.value)].reg
+            };
+            schedules[mv.tile.0][mv.cycle] = Some(Instr::Exec {
+                opcode: cmam_cdfg::Opcode::Mov,
+                dst: Some(dst),
+                srcs: vec![src],
+            });
+        }
+
+        let _ = bidx;
+        for (i, sched) in schedules.iter().enumerate() {
+            tiles[i].blocks.push(compress(sched));
+        }
+    }
+
+    // --- Accounting and the Section III-C fit check. ---
+    // Operation words are the mapped CDFG operation instances (including
+    // source-level `mov`s); move words are the mapper-inserted routing and
+    // commit moves; the rest of each tile's words are pnops.
+    let mut per_tile = vec![(0usize, 0usize, 0usize); ntiles];
+    for bm in &mapping.blocks {
+        for po in &bm.ops {
+            per_tile[po.tile.0].0 += 1;
+        }
+        for mv in &bm.moves {
+            per_tile[mv.tile.0].1 += 1;
+        }
+    }
+    for (i, tp) in tiles.iter().enumerate() {
+        let words = tp.words();
+        let (ops, moves, _) = per_tile[i];
+        debug_assert!(words >= ops + moves, "tile {i}: word accounting broke");
+        per_tile[i].2 = words - ops - moves;
+        let cap = config.tile(TileId(i)).cm_words;
+        if words > cap {
+            return Err(AssembleError::ContextOverflow {
+                tile: TileId(i),
+                need: words,
+                capacity: cap,
+            });
+        }
+    }
+
+    let terminators = cdfg
+        .block_ids()
+        .map(|b| match cdfg.block(b).terminator.as_ref().expect("validated") {
+            Terminator::Jump(t) => BinTerminator::Jump(t.0),
+            Terminator::Branch {
+                taken, fallthrough, ..
+            } => BinTerminator::Branch {
+                taken: taken.0,
+                fallthrough: fallthrough.0,
+            },
+            Terminator::Return => BinTerminator::Return,
+        })
+        .collect();
+
+    let binary = CgraBinary {
+        name: cdfg.name().to_owned(),
+        tiles,
+        crf,
+        block_lengths: mapping.blocks.iter().map(|b| b.length).collect(),
+        terminators,
+        entry: cdfg.entry().0,
+    };
+    Ok((binary, AsmReport { per_tile }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::{BlockMapping, PlacedMove, PlacedOp};
+    use cmam_cdfg::{CdfgBuilder, Opcode};
+
+    /// One block: r = load(0); store(1, r). Two LSU ops.
+    fn tiny_cdfg() -> (Cdfg, ValueId) {
+        let mut b = CdfgBuilder::new("tiny");
+        let _ = b.block("b0");
+        let a0 = b.constant(0);
+        let a1 = b.constant(1);
+        let v = b.load_name(a0, "m");
+        b.store(a1, v, "m");
+        b.ret();
+        (b.finish().unwrap(), v)
+    }
+
+    fn tiny_mapping(v: ValueId, load_tile: usize, store_tile: usize) -> KernelMapping {
+        KernelMapping {
+            blocks: vec![BlockMapping {
+                length: 2,
+                ops: vec![
+                    PlacedOp {
+                        op: cmam_cdfg::OpId(0),
+                        tile: TileId(load_tile),
+                        cycle: 0,
+                        operands: vec![OperandSource::Const(0)],
+                        direct_symbol_write: false,
+                    },
+                    PlacedOp {
+                        op: cmam_cdfg::OpId(1),
+                        tile: TileId(store_tile),
+                        cycle: 1,
+                        operands: vec![
+                            OperandSource::Const(1),
+                            OperandSource::Rf {
+                                tile: TileId(load_tile),
+                                value: v,
+                            },
+                        ],
+                        direct_symbol_write: false,
+                    },
+                ],
+                moves: vec![],
+            }],
+            symbol_homes: HashMap::new(),
+        }
+    }
+
+    #[test]
+    fn assembles_load_store_pair() {
+        let (cdfg, v) = tiny_cdfg();
+        let cfg = CgraConfig::hom64();
+        // Tile 0 and its neighbour tile 1, both LSU tiles.
+        let (bin, report) = assemble(&cdfg, &tiny_mapping(v, 0, 1), &cfg).unwrap();
+        assert_eq!(bin.context_words(TileId(0)), 2); // load + pnop(1)
+        assert_eq!(bin.context_words(TileId(1)), 2); // pnop(1) + store
+        assert_eq!(report.total_ops(), 2);
+        assert_eq!(report.total_moves(), 0);
+        // 14 untouched tiles contribute 1 pnop each; tiles 0 and 1 one each.
+        assert_eq!(report.total_pnops(), 16);
+        assert_eq!(bin.crf[0], vec![0]);
+        assert_eq!(bin.crf[1], vec![1]);
+    }
+
+    #[test]
+    fn rejects_memory_op_on_compute_tile() {
+        let (cdfg, v) = tiny_cdfg();
+        let cfg = CgraConfig::hom64();
+        // Tile 12 has no LSU (tiles 9..16 are compute-only).
+        let err = assemble(&cdfg, &tiny_mapping(v, 0, 12), &cfg).unwrap_err();
+        assert!(matches!(err, AssembleError::LsuViolation { .. }));
+    }
+
+    #[test]
+    fn rejects_non_adjacent_read() {
+        let (cdfg, v) = tiny_cdfg();
+        let cfg = CgraConfig::hom64();
+        // Tile 0 and tile 5 are distance 2 apart on the 4x4 torus.
+        let err = assemble(&cdfg, &tiny_mapping(v, 0, 5), &cfg).unwrap_err();
+        assert!(matches!(err, AssembleError::NonAdjacentRead { .. }));
+    }
+
+    #[test]
+    fn rejects_value_read_too_early() {
+        let (cdfg, v) = tiny_cdfg();
+        let cfg = CgraConfig::hom64();
+        let mut m = tiny_mapping(v, 0, 1);
+        // Store at cycle 0 would read the load's result in the same cycle.
+        m.blocks[0].ops[1].cycle = 0;
+        let err = assemble(&cdfg, &m, &cfg).unwrap_err();
+        assert!(matches!(err, AssembleError::ValueNotReady { .. }));
+    }
+
+    #[test]
+    fn rejects_slot_conflict() {
+        let (cdfg, v) = tiny_cdfg();
+        let cfg = CgraConfig::hom64();
+        let mut m = tiny_mapping(v, 0, 0);
+        m.blocks[0].ops[1].cycle = 0; // same tile, same cycle as the load
+        let err = assemble(&cdfg, &m, &cfg).unwrap_err();
+        assert!(matches!(err, AssembleError::SlotConflict { .. }));
+    }
+
+    #[test]
+    fn rejects_context_overflow_on_tiny_cm() {
+        let (cdfg, v) = tiny_cdfg();
+        let cfg = CgraConfig::builder(4, 4)
+            .name("TINY")
+            .uniform_cm(1)
+            .build()
+            .unwrap();
+        let err = assemble(&cdfg, &tiny_mapping(v, 0, 1), &cfg).unwrap_err();
+        assert!(matches!(err, AssembleError::ContextOverflow { .. }));
+    }
+
+    #[test]
+    fn moves_assemble_and_count() {
+        // load on tile 0; move result to tile 1; store from tile 1's copy
+        // on tile 2 reading neighbour RF.
+        let (cdfg, v) = tiny_cdfg();
+        let cfg = CgraConfig::hom64();
+        let mapping = KernelMapping {
+            blocks: vec![BlockMapping {
+                length: 3,
+                ops: vec![
+                    PlacedOp {
+                        op: cmam_cdfg::OpId(0),
+                        tile: TileId(0),
+                        cycle: 0,
+                        operands: vec![OperandSource::Const(0)],
+                        direct_symbol_write: false,
+                    },
+                    PlacedOp {
+                        op: cmam_cdfg::OpId(1),
+                        tile: TileId(2),
+                        cycle: 2,
+                        operands: vec![
+                            OperandSource::Const(1),
+                            OperandSource::Rf {
+                                tile: TileId(1),
+                                value: v,
+                            },
+                        ],
+                        direct_symbol_write: false,
+                    },
+                ],
+                moves: vec![PlacedMove {
+                    value: v,
+                    src_tile: TileId(0),
+                    tile: TileId(1),
+                    cycle: 1,
+                    commit_symbol: None,
+                }],
+            }],
+            symbol_homes: HashMap::new(),
+        };
+        let (bin, report) = assemble(&cdfg, &mapping, &cfg).unwrap();
+        assert_eq!(report.total_moves(), 1);
+        assert_eq!(report.total_ops(), 2);
+        // The move on tile 1 reads west neighbour (tile 0) register 0.
+        let words = &bin.tiles[1].blocks[0];
+        assert!(words.iter().any(|w| w.is_move()));
+    }
+}

@@ -1,0 +1,224 @@
+//! Per-tile instruction encoding.
+
+use cmam_arch::Direction;
+use cmam_cdfg::Opcode;
+use std::fmt;
+
+/// Where an instruction reads one operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// Slot of the tile's constant register file.
+    Crf(u8),
+    /// Register of the tile's own register file.
+    Reg(u8),
+    /// Register of a direct torus neighbour's register file.
+    Neighbor(Direction, u8),
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Crf(i) => write!(f, "c{i}"),
+            Operand::Reg(i) => write!(f, "r{i}"),
+            Operand::Neighbor(d, i) => write!(f, "{d}.r{i}"),
+        }
+    }
+}
+
+/// One context-memory word.
+///
+/// `Exec` covers the paper's "operation" and "move" word kinds (a move is
+/// an `Exec` with [`Opcode::Mov`] reading a neighbour or local register);
+/// `Pnop` is the programmable nop compressing `cycles` consecutive idle
+/// cycles into a single stored word.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Instr {
+    /// Execute `opcode` over `srcs`, writing the result (if any) to local
+    /// register `dst`.
+    Exec {
+        /// The operation.
+        opcode: Opcode,
+        /// Destination register in the local RF; `None` for `store`/`br`.
+        dst: Option<u8>,
+        /// Operand sources, positional.
+        srcs: Vec<Operand>,
+    },
+    /// Programmable nop: the tile idles (clock-gated) for `cycles` cycles
+    /// while this single word stays latched in the decoder.
+    Pnop {
+        /// Number of idle cycles covered, at least 1.
+        cycles: u32,
+    },
+}
+
+impl Instr {
+    /// Cycles of execution this word covers (1 for `Exec`, `cycles` for
+    /// `Pnop`).
+    pub fn duration(&self) -> u32 {
+        match self {
+            Instr::Exec { .. } => 1,
+            Instr::Pnop { cycles } => *cycles,
+        }
+    }
+
+    /// Whether the word is a move (the paper counts these separately from
+    /// operations).
+    pub fn is_move(&self) -> bool {
+        matches!(
+            self,
+            Instr::Exec {
+                opcode: Opcode::Mov,
+                ..
+            }
+        )
+    }
+
+    /// Whether the word is an operation (anything executable that is not a
+    /// move).
+    pub fn is_operation(&self) -> bool {
+        matches!(self, Instr::Exec { .. }) && !self.is_move()
+    }
+
+    /// Whether the word is a programmable nop.
+    pub fn is_pnop(&self) -> bool {
+        matches!(self, Instr::Pnop { .. })
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::Exec { opcode, dst, srcs } => {
+                write!(f, "{opcode}")?;
+                if let Some(d) = dst {
+                    write!(f, " r{d} <-")?;
+                }
+                for (i, s) in srcs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, " {s}")?;
+                }
+                Ok(())
+            }
+            Instr::Pnop { cycles } => write!(f, "pnop {cycles}"),
+        }
+    }
+}
+
+/// Compresses a cycle-indexed schedule into a context-memory word list:
+/// every `Some(instr)` cycle emits the instruction, every maximal run of
+/// `None` cycles emits one `Pnop`.
+///
+/// The inverse is [`expand`]; `expand(compress(s)) == s` for every schedule
+/// (property-tested).
+pub fn compress(schedule: &[Option<Instr>]) -> Vec<Instr> {
+    let mut out = Vec::new();
+    let mut idle = 0u32;
+    for slot in schedule {
+        match slot {
+            Some(instr) => {
+                if idle > 0 {
+                    out.push(Instr::Pnop { cycles: idle });
+                    idle = 0;
+                }
+                out.push(instr.clone());
+            }
+            None => idle += 1,
+        }
+    }
+    if idle > 0 {
+        out.push(Instr::Pnop { cycles: idle });
+    }
+    out
+}
+
+/// Expands a context-memory word list back into a cycle-indexed schedule
+/// (inverse of [`compress`]).
+pub fn expand(words: &[Instr]) -> Vec<Option<Instr>> {
+    let mut out = Vec::new();
+    for w in words {
+        match w {
+            Instr::Pnop { cycles } => out.extend(std::iter::repeat_n(None, *cycles as usize)),
+            e => out.push(Some(e.clone())),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nopless(op: Opcode) -> Instr {
+        Instr::Exec {
+            opcode: op,
+            dst: Some(0),
+            srcs: vec![Operand::Reg(1), Operand::Reg(2)],
+        }
+    }
+
+    #[test]
+    fn durations() {
+        assert_eq!(nopless(Opcode::Add).duration(), 1);
+        assert_eq!(Instr::Pnop { cycles: 7 }.duration(), 7);
+    }
+
+    #[test]
+    fn classification() {
+        let mv = Instr::Exec {
+            opcode: Opcode::Mov,
+            dst: Some(0),
+            srcs: vec![Operand::Neighbor(Direction::North, 3)],
+        };
+        assert!(mv.is_move());
+        assert!(!mv.is_operation());
+        assert!(nopless(Opcode::Add).is_operation());
+        assert!(Instr::Pnop { cycles: 1 }.is_pnop());
+    }
+
+    #[test]
+    fn compress_gathers_nop_runs() {
+        let a = nopless(Opcode::Add);
+        let s = vec![
+            None,
+            None,
+            Some(a.clone()),
+            None,
+            None,
+            None,
+            Some(a.clone()),
+            None,
+        ];
+        let words = compress(&s);
+        assert_eq!(
+            words,
+            vec![
+                Instr::Pnop { cycles: 2 },
+                a.clone(),
+                Instr::Pnop { cycles: 3 },
+                a.clone(),
+                Instr::Pnop { cycles: 1 },
+            ]
+        );
+        assert_eq!(expand(&words), s);
+    }
+
+    #[test]
+    fn compress_empty_and_all_idle() {
+        assert_eq!(compress(&[]), vec![]);
+        assert_eq!(compress(&[None, None]), vec![Instr::Pnop { cycles: 2 }]);
+    }
+
+    #[test]
+    fn display_forms() {
+        let i = Instr::Exec {
+            opcode: Opcode::Add,
+            dst: Some(2),
+            srcs: vec![Operand::Reg(0), Operand::Neighbor(Direction::East, 1)],
+        };
+        assert_eq!(i.to_string(), "add r2 <- r0, E.r1");
+        assert_eq!(Instr::Pnop { cycles: 4 }.to_string(), "pnop 4");
+        assert_eq!(Operand::Crf(3).to_string(), "c3");
+    }
+}

@@ -1,0 +1,156 @@
+//! Human-readable assembly listings of assembled binaries — the artifact
+//! a compiler engineer reads when debugging a mapping. One section per
+//! basic block, one column per tile, one row per cycle, pnops rendered as
+//! the idle ranges they cover.
+
+use crate::instr::{expand, Instr};
+use crate::program::CgraBinary;
+use cmam_arch::TileId;
+use std::fmt::Write;
+
+/// Renders the per-cycle schedule of one block: rows are cycles, columns
+/// are tiles (wide — intended for logs and golden-file tests).
+pub fn block_listing(binary: &CgraBinary, block: usize) -> String {
+    let ntiles = binary.num_tiles();
+    let length = binary.block_lengths[block];
+    let expanded: Vec<Vec<Option<Instr>>> = (0..ntiles)
+        .map(|t| expand(&binary.tiles[t].blocks[block]))
+        .collect();
+    // Column width: longest rendered instruction, at least 8.
+    let mut width = 8usize;
+    let rendered: Vec<Vec<String>> = (0..ntiles)
+        .map(|t| {
+            (0..length)
+                .map(|c| {
+                    let s = match &expanded[t][c] {
+                        Some(i) => i.to_string(),
+                        None => ".".to_owned(),
+                    };
+                    width = width.max(s.len());
+                    s
+                })
+                .collect()
+        })
+        .collect();
+    let mut out = String::new();
+    let _ = writeln!(out, "block {block} ({length} cycles):");
+    let _ = write!(out, "{:>5} ", "cyc");
+    for t in 0..ntiles {
+        let _ = write!(out, "{:<w$} ", TileId(t).to_string(), w = width);
+    }
+    out.push('\n');
+    for c in 0..length {
+        let _ = write!(out, "{c:>5} ");
+        for r in rendered.iter() {
+            let _ = write!(out, "{:<w$} ", r[c], w = width);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the stored context words of every tile (what actually occupies
+/// the context memories, pnops compressed), plus the CRF contents.
+pub fn context_listing(binary: &CgraBinary) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "; kernel {}", binary.name);
+    for (t, tp) in binary.tiles.iter().enumerate() {
+        let tile = TileId(t);
+        let (ops, moves, pnops) = tp.word_kinds();
+        let _ = writeln!(
+            out,
+            "{tile}: {} words ({ops} exec, {moves} mov-words, {pnops} pnop)",
+            tp.words()
+        );
+        if !binary.crf[t].is_empty() {
+            let consts: Vec<String> = binary.crf[t].iter().map(i32::to_string).collect();
+            let _ = writeln!(out, "  crf: [{}]", consts.join(", "));
+        }
+        for (b, words) in tp.blocks.iter().enumerate() {
+            if words.is_empty() {
+                continue;
+            }
+            let _ = writeln!(out, "  block {b}:");
+            for w in words {
+                let _ = writeln!(out, "    {w}");
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assemble::assemble;
+    use crate::mapping::{BlockMapping, KernelMapping, OperandSource, PlacedOp};
+    use cmam_arch::CgraConfig;
+    use cmam_cdfg::CdfgBuilder;
+
+    fn tiny() -> (cmam_cdfg::Cdfg, CgraBinary) {
+        let mut b = CdfgBuilder::new("tiny");
+        let _ = b.block("b0");
+        let a0 = b.constant(0);
+        let v = b.load_name(a0, "m");
+        let a1 = b.constant(1);
+        b.store(a1, v, "m");
+        b.ret();
+        let cdfg = b.finish().unwrap();
+        let vres = cdfg.op(cmam_cdfg::OpId(0)).result.unwrap();
+        let mapping = KernelMapping {
+            blocks: vec![BlockMapping {
+                length: 2,
+                ops: vec![
+                    PlacedOp {
+                        op: cmam_cdfg::OpId(0),
+                        tile: cmam_arch::TileId(0),
+                        cycle: 0,
+                        operands: vec![OperandSource::Const(0)],
+                        direct_symbol_write: false,
+                    },
+                    PlacedOp {
+                        op: cmam_cdfg::OpId(1),
+                        tile: cmam_arch::TileId(0),
+                        cycle: 1,
+                        operands: vec![
+                            OperandSource::Const(1),
+                            OperandSource::Rf {
+                                tile: cmam_arch::TileId(0),
+                                value: vres,
+                            },
+                        ],
+                        direct_symbol_write: false,
+                    },
+                ],
+                moves: vec![],
+            }],
+            symbol_homes: Default::default(),
+        };
+        let config = CgraConfig::hom64();
+        let (bin, _) = assemble(&cdfg, &mapping, &config).unwrap();
+        (cdfg, bin)
+    }
+
+    #[test]
+    fn block_listing_shows_cycles_and_instructions() {
+        let (_, bin) = tiny();
+        let l = block_listing(&bin, 0);
+        assert!(l.contains("block 0 (2 cycles)"));
+        assert!(l.contains("load"));
+        assert!(l.contains("store"));
+        assert!(l.contains("T16"), "all tiles listed");
+        // Two cycle rows.
+        assert!(l.contains("\n    0 "));
+        assert!(l.contains("\n    1 "));
+    }
+
+    #[test]
+    fn context_listing_shows_words_and_crf() {
+        let (_, bin) = tiny();
+        let l = context_listing(&bin);
+        assert!(l.contains("; kernel tiny"));
+        assert!(l.contains("T1: 2 words"));
+        assert!(l.contains("crf: [0, 1]"));
+        assert!(l.contains("pnop 2"), "idle tiles compress to one pnop");
+    }
+}

@@ -1,0 +1,156 @@
+//! Assembled per-tile contexts.
+
+use crate::instr::Instr;
+use cmam_arch::TileId;
+use cmam_cdfg::BlockId;
+use std::fmt;
+
+/// Mirror of the CDFG terminators carried in the binary so the simulator
+/// can sequence blocks without the source CDFG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinTerminator {
+    /// Unconditional jump to a block.
+    Jump(u32),
+    /// Branch on the latched `br` flag.
+    Branch {
+        /// Next block when the flag is set.
+        taken: u32,
+        /// Next block when the flag is clear.
+        fallthrough: u32,
+    },
+    /// Kernel end.
+    Return,
+}
+
+/// The context-memory contents of one tile: one word list per basic block.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TileProgram {
+    /// Per-block instruction words, indexed by `BlockId`.
+    pub blocks: Vec<Vec<Instr>>,
+}
+
+impl TileProgram {
+    /// Context words used by one block.
+    pub fn block_words(&self, block: BlockId) -> usize {
+        self.blocks[block.0 as usize].len()
+    }
+
+    /// Total context words used by the tile.
+    pub fn words(&self) -> usize {
+        self.blocks.iter().map(Vec::len).sum()
+    }
+
+    /// Counts `(operations, moves, pnops)` over all blocks.
+    pub fn word_kinds(&self) -> (usize, usize, usize) {
+        let mut ops = 0;
+        let mut moves = 0;
+        let mut pnops = 0;
+        for b in &self.blocks {
+            for w in b {
+                if w.is_pnop() {
+                    pnops += 1;
+                } else if w.is_move() {
+                    moves += 1;
+                } else {
+                    ops += 1;
+                }
+            }
+        }
+        (ops, moves, pnops)
+    }
+}
+
+/// A fully assembled kernel: per-tile contexts, per-tile constant register
+/// files, block schedule lengths and the control-flow skeleton.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CgraBinary {
+    /// Kernel name (from the CDFG).
+    pub name: String,
+    /// Per-tile programs, indexed by `TileId`.
+    pub tiles: Vec<TileProgram>,
+    /// Per-tile CRF contents (constants referenced by `Operand::Crf`).
+    pub crf: Vec<Vec<i32>>,
+    /// Schedule length of each block in cycles.
+    pub block_lengths: Vec<usize>,
+    /// Terminator of each block.
+    pub terminators: Vec<BinTerminator>,
+    /// Entry block index.
+    pub entry: u32,
+}
+
+impl CgraBinary {
+    /// Number of tiles.
+    pub fn num_tiles(&self) -> usize {
+        self.tiles.len()
+    }
+
+    /// Context words used on `tile`.
+    pub fn context_words(&self, tile: TileId) -> usize {
+        self.tiles[tile.0].words()
+    }
+
+    /// The largest per-tile context usage (what a homogeneous CGRA would
+    /// need everywhere).
+    pub fn max_context_words(&self) -> usize {
+        self.tiles.iter().map(TileProgram::words).max().unwrap_or(0)
+    }
+
+    /// Total context words over all tiles.
+    pub fn total_context_words(&self) -> usize {
+        self.tiles.iter().map(TileProgram::words).sum()
+    }
+}
+
+impl fmt::Display for CgraBinary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "binary {}: {} tiles, {} blocks, {} total context words (max/tile {})",
+            self.name,
+            self.num_tiles(),
+            self.block_lengths.len(),
+            self.total_context_words(),
+            self.max_context_words()
+        )?;
+        for (i, t) in self.tiles.iter().enumerate() {
+            let (o, m, p) = t.word_kinds();
+            writeln!(
+                f,
+                "  {}: {} words ({o} ops, {m} moves, {p} pnops)",
+                TileId(i),
+                t.words()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmam_cdfg::Opcode;
+
+    #[test]
+    fn word_kind_counts() {
+        let tp = TileProgram {
+            blocks: vec![
+                vec![
+                    Instr::Exec {
+                        opcode: Opcode::Add,
+                        dst: Some(0),
+                        srcs: vec![],
+                    },
+                    Instr::Pnop { cycles: 3 },
+                ],
+                vec![Instr::Exec {
+                    opcode: Opcode::Mov,
+                    dst: Some(1),
+                    srcs: vec![],
+                }],
+            ],
+        };
+        assert_eq!(tp.words(), 3);
+        assert_eq!(tp.block_words(BlockId(0)), 2);
+        assert_eq!(tp.word_kinds(), (1, 1, 1));
+    }
+}

@@ -1,0 +1,49 @@
+//! Property test: pnop compression round-trips exactly — the paper's
+//! "consecutive nops are gathered in one programmable nop" never changes
+//! the executed schedule.
+
+use cmam_cdfg::Opcode;
+use cmam_isa::instr::{compress, expand};
+use cmam_isa::{Instr, Operand};
+use proptest::prelude::*;
+
+fn slot() -> impl Strategy<Value = Option<Instr>> {
+    prop_oneof![
+        3 => Just(None),
+        1 => (0u8..8, 0u8..8).prop_map(|(d, r)| Some(Instr::Exec {
+            opcode: Opcode::Add,
+            dst: Some(d),
+            srcs: vec![Operand::Reg(r)],
+        })),
+        1 => (0u8..8).prop_map(|r| Some(Instr::Exec {
+            opcode: Opcode::Mov,
+            dst: Some(0),
+            srcs: vec![Operand::Reg(r)],
+        })),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn compress_expand_roundtrip(schedule in prop::collection::vec(slot(), 0..64)) {
+        let words = compress(&schedule);
+        prop_assert_eq!(expand(&words), schedule.clone());
+        // No two consecutive pnops (maximal runs).
+        for w in words.windows(2) {
+            prop_assert!(!(w[0].is_pnop() && w[1].is_pnop()));
+        }
+        // Word count never exceeds the schedule length, and durations sum
+        // back to it.
+        prop_assert!(words.len() <= schedule.len());
+        let total: u32 = words.iter().map(Instr::duration).sum();
+        prop_assert_eq!(total as usize, schedule.len());
+    }
+
+    #[test]
+    fn compression_saves_exactly_the_gathered_nops(schedule in prop::collection::vec(slot(), 1..64)) {
+        let words = compress(&schedule);
+        let execs = schedule.iter().filter(|s| s.is_some()).count();
+        let pnops = words.iter().filter(|w| w.is_pnop()).count();
+        prop_assert_eq!(words.len(), execs + pnops);
+    }
+}

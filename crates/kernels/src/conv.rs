@@ -1,0 +1,171 @@
+//! 2D convolution, 3x3 kernel with constant weights over an 8x8 image.
+//!
+//! The weights are immediates (CRF-resident), unlike FIR's memory-resident
+//! coefficients — so this kernel stresses the constant register files
+//! while FIR stresses the load/store units.
+
+use crate::data::lcg_fill;
+use crate::spec::KernelSpec;
+use cmam_cdfg::{Cdfg, CdfgBuilder, Opcode};
+
+/// Input image width/height.
+pub const W: usize = 8;
+/// Output width/height (valid convolution).
+pub const OW: usize = W - 2;
+/// Output base address.
+pub const OUT0: usize = 64;
+/// Memory size in words.
+pub const MEM: usize = 100;
+/// Output pixels computed per loop iteration (`OW` must divide evenly).
+pub const UNROLL: usize = 2;
+/// The 3x3 weights.
+pub const WEIGHTS: [i32; 9] = [1, 2, 1, 2, 4, 2, 1, 2, 1];
+
+/// Builds the convolution CDFG: outer loop over rows, inner over columns.
+pub fn cdfg() -> Cdfg {
+    let mut b = CdfgBuilder::new("conv");
+    let entry = b.block("entry");
+    let outer = b.block("outer");
+    let body = b.block("body");
+    let latch = b.block("latch");
+    let exit = b.block("exit");
+    let r = b.symbol("r");
+    let c = b.symbol("c");
+    let rowbase = b.symbol("rowbase"); // r * W
+    let obase = b.symbol("obase"); // r * OW
+
+    b.select(entry);
+    b.mov_const_to_symbol(0, r);
+    b.mov_const_to_symbol(0, rowbase);
+    b.mov_const_to_symbol(0, obase);
+    b.jump(outer);
+
+    b.select(outer);
+    let zero = b.constant(0);
+    let cz = b.op(Opcode::Mov, &[zero]);
+    b.write_symbol(cz, c);
+    b.jump(body);
+
+    b.select(body);
+    // The body computes UNROLL output pixels per iteration, sharing the
+    // overlapping image loads between neighbouring windows (a 3x4 patch
+    // feeds two 3x3 windows).
+    let cv = b.use_symbol(c);
+    let rb = b.use_symbol(rowbase);
+    let ob = b.use_symbol(obase);
+    let base = b.op(Opcode::Add, &[rb, cv]);
+    // Shared patch loads: rows 0..3, cols 0..(2 + UNROLL).
+    let mut patch = Vec::with_capacity(3 * (2 + UNROLL));
+    for dr in 0..3usize {
+        for dc in 0..(2 + UNROLL) {
+            let off = b.constant((dr * W + dc) as i32);
+            let addr = b.op(Opcode::Add, &[base, off]);
+            patch.push(b.load_name(addr, "img"));
+        }
+    }
+    let obase_addr = b.op(Opcode::Add, &[ob, cv]);
+    for u in 0..UNROLL {
+        let mut acc: Option<cmam_cdfg::ValueId> = None;
+        for dr in 0..3usize {
+            for dc in 0..3usize {
+                let x = patch[dr * (2 + UNROLL) + dc + u];
+                let w = b.constant(WEIGHTS[dr * 3 + dc]);
+                let p = b.op(Opcode::Mul, &[x, w]);
+                acc = Some(match acc {
+                    None => p,
+                    Some(a) => b.op(Opcode::Add, &[a, p]),
+                });
+            }
+        }
+        let acc = acc.expect("nine products");
+        let out0 = b.constant((OUT0 + u) as i32);
+        let oaddr = b.op(Opcode::Add, &[obase_addr, out0]);
+        b.store(oaddr, acc, "out");
+    }
+    let unroll = b.constant(UNROLL as i32);
+    let c2 = b.op(Opcode::Add, &[cv, unroll]);
+    b.write_symbol(c2, c);
+    let ow = b.constant(OW as i32);
+    let cond = b.op(Opcode::Lt, &[c2, ow]);
+    b.branch(cond, body, latch);
+
+    b.select(latch);
+    let rv = b.use_symbol(r);
+    let rb2 = b.use_symbol(rowbase);
+    let ob2 = b.use_symbol(obase);
+    let one = b.constant(1);
+    let r2 = b.op(Opcode::Add, &[rv, one]);
+    b.write_symbol(r2, r);
+    let wconst = b.constant(W as i32);
+    let rb3 = b.op(Opcode::Add, &[rb2, wconst]);
+    b.write_symbol(rb3, rowbase);
+    let owconst = b.constant(OW as i32);
+    let ob3 = b.op(Opcode::Add, &[ob2, owconst]);
+    b.write_symbol(ob3, obase);
+    let cond = b.op(Opcode::Lt, &[r2, owconst]);
+    b.branch(cond, outer, exit);
+
+    b.select(exit);
+    b.ret();
+    b.finish().expect("conv cdfg is valid")
+}
+
+/// Plain-Rust reference.
+pub fn reference(mem: &[i32]) -> Vec<i32> {
+    let mut out = vec![0i32; OW * OW];
+    for r in 0..OW {
+        for c in 0..OW {
+            let mut acc = 0i32;
+            for dr in 0..3 {
+                for dc in 0..3 {
+                    acc = acc.wrapping_add(
+                        mem[(r + dr) * W + c + dc].wrapping_mul(WEIGHTS[dr * 3 + dc]),
+                    );
+                }
+            }
+            out[r * OW + c] = acc;
+        }
+    }
+    out
+}
+
+/// Paper-sized instance with deterministic inputs.
+pub fn spec() -> KernelSpec {
+    let mut mem = vec![0i32; MEM];
+    let img = lcg_fill(31, W * W, 8);
+    mem[..W * W].copy_from_slice(&img);
+    let expected = reference(&mem);
+    KernelSpec {
+        name: "Convolution",
+        cdfg: cdfg(),
+        mem,
+        out: OUT0..OUT0 + OW * OW,
+        expected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interpreter_matches_reference() {
+        let s = spec();
+        let mut mem = s.mem.clone();
+        cmam_cdfg::interp::run(&s.cdfg, &mut mem, 10_000_000).unwrap();
+        assert_eq!(&mem[s.out.clone()], s.expected.as_slice());
+    }
+
+    #[test]
+    fn weights_are_crf_constants_not_loads() {
+        let c = cdfg();
+        let body = c.block_ids().nth(2).unwrap();
+        let dfg = c.dfg(body);
+        let loads = dfg.ops().filter(|o| o.opcode == Opcode::Load).count();
+        // Only the shared 3x4 image patch is loaded; weights come from the
+        // constant register files.
+        assert_eq!(loads, 3 * (2 + UNROLL));
+        let muls = dfg.ops().filter(|o| o.opcode == Opcode::Mul).count();
+        assert_eq!(muls, 9 * UNROLL);
+    }
+}

@@ -1,0 +1,44 @@
+//! Deterministic input data generation shared by all kernels.
+
+/// Fills `len` words with small deterministic pseudo-random values in
+/// `[-range, range]` using a fixed LCG, so every run and every test sees
+/// identical inputs without depending on an RNG crate here.
+pub fn lcg_fill(seed: u64, len: usize, range: i32) -> Vec<i32> {
+    assert!(range > 0, "range must be positive");
+    let mut s = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let v = ((s >> 33) % (2 * range as u64 + 1)) as i32 - range;
+        out.push(v);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let a = lcg_fill(42, 100, 8);
+        let b = lcg_fill(42, 100, 8);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&v| (-8..=8).contains(&v)));
+        // Not all identical.
+        assert!(a.iter().any(|&v| v != a[0]));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(lcg_fill(1, 32, 8), lcg_fill(2, 32, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "range must be positive")]
+    fn zero_range_panics() {
+        lcg_fill(1, 4, 0);
+    }
+}

@@ -1,0 +1,124 @@
+//! FIR filter: `y[n] = Σ_{k<T} c[k] * x[n+k]`, taps fully unrolled.
+//!
+//! Memory layout (words): `x` at 0 (`LEN + TAPS - 1` samples), coefficients
+//! `c` at 64, outputs `y` at 128.
+
+use crate::data::lcg_fill;
+use crate::spec::KernelSpec;
+use cmam_cdfg::{Cdfg, CdfgBuilder, Opcode};
+
+/// Output length.
+pub const LEN: usize = 32;
+/// Filter taps.
+pub const TAPS: usize = 16;
+/// Coefficient base address.
+pub const C0: usize = 64;
+/// Output base address.
+pub const Y0: usize = 128;
+/// Memory size in words.
+pub const MEM: usize = 192;
+
+/// Builds the FIR CDFG (loop over `n`, taps unrolled).
+pub fn cdfg() -> Cdfg {
+    let mut b = CdfgBuilder::new("fir");
+    let entry = b.block("entry");
+    let body = b.block("body");
+    let exit = b.block("exit");
+    let n = b.symbol("n");
+
+    b.select(entry);
+    b.mov_const_to_symbol(0, n);
+    b.jump(body);
+
+    b.select(body);
+    let nv = b.use_symbol(n);
+    // Partial products.
+    let mut prods = Vec::with_capacity(TAPS);
+    for k in 0..TAPS {
+        let off = b.constant(k as i32);
+        let xaddr = b.op(Opcode::Add, &[nv, off]);
+        let x = b.load_name(xaddr, "x");
+        let caddr = b.constant((C0 + k) as i32);
+        let c = b.load_name(caddr, "c");
+        prods.push(b.op(Opcode::Mul, &[x, c]));
+    }
+    // Balanced reduction tree.
+    let mut level = prods;
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        for pair in level.chunks(2) {
+            if pair.len() == 2 {
+                next.push(b.op(Opcode::Add, &[pair[0], pair[1]]));
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        level = next;
+    }
+    let acc = level[0];
+    let ybase = b.constant(Y0 as i32);
+    let yaddr = b.op(Opcode::Add, &[nv, ybase]);
+    b.store(yaddr, acc, "y");
+    let one = b.constant(1);
+    let n2 = b.op(Opcode::Add, &[nv, one]);
+    b.write_symbol(n2, n);
+    let len = b.constant(LEN as i32);
+    let cond = b.op(Opcode::Lt, &[n2, len]);
+    b.branch(cond, body, exit);
+
+    b.select(exit);
+    b.ret();
+    b.finish().expect("FIR cdfg is valid")
+}
+
+/// Plain-Rust reference.
+pub fn reference(mem: &[i32]) -> Vec<i32> {
+    (0..LEN)
+        .map(|n| {
+            (0..TAPS)
+                .map(|k| mem[C0 + k].wrapping_mul(mem[n + k]))
+                .fold(0i32, |a, v| a.wrapping_add(v))
+        })
+        .collect()
+}
+
+/// Paper-sized instance with deterministic inputs.
+pub fn spec() -> KernelSpec {
+    let mut mem = vec![0i32; MEM];
+    let x = lcg_fill(11, LEN + TAPS - 1, 8);
+    mem[..x.len()].copy_from_slice(&x);
+    let c = lcg_fill(13, TAPS, 4);
+    mem[C0..C0 + TAPS].copy_from_slice(&c);
+    let expected = reference(&mem);
+    KernelSpec {
+        name: "FIR",
+        cdfg: cdfg(),
+        mem,
+        out: Y0..Y0 + LEN,
+        expected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interpreter_matches_reference() {
+        let s = spec();
+        let mut mem = s.mem.clone();
+        cmam_cdfg::interp::run(&s.cdfg, &mut mem, 1_000_000).unwrap();
+        assert_eq!(&mem[s.out.clone()], s.expected.as_slice());
+    }
+
+    #[test]
+    fn body_has_the_expected_load_pressure() {
+        let c = cdfg();
+        let body = c.block_ids().nth(1).unwrap();
+        let dfg = c.dfg(body);
+        let loads = dfg.ops().filter(|o| o.opcode == Opcode::Load).count();
+        assert_eq!(loads, 2 * TAPS);
+        let stores = dfg.ops().filter(|o| o.opcode == Opcode::Store).count();
+        assert_eq!(stores, 1);
+    }
+}

@@ -1,0 +1,148 @@
+//! Matrix multiplication `C = A x B` (`N x N`, inner product unrolled).
+//!
+//! Memory layout: `A` row-major at 0, `B` row-major at [`B0`], `C` at
+//! [`C0`]. The paper's Fig 2 uses exactly this kernel to show the uneven
+//! context distribution of the basic mapping.
+
+use crate::data::lcg_fill;
+use crate::spec::KernelSpec;
+use cmam_cdfg::{Cdfg, CdfgBuilder, Opcode};
+
+/// Matrix dimension.
+pub const N: usize = 8;
+/// Base address of `B`.
+pub const B0: usize = 64;
+/// Base address of `C`.
+pub const C0: usize = 128;
+/// Memory size in words.
+pub const MEM: usize = 192;
+
+/// Builds the MatM CDFG: outer loop over rows `i`, inner loop over columns
+/// `j`, the `k` product fully unrolled.
+pub fn cdfg() -> Cdfg {
+    let mut b = CdfgBuilder::new("matm");
+    let entry = b.block("entry");
+    let outer = b.block("outer");
+    let body = b.block("body");
+    let latch = b.block("latch");
+    let exit = b.block("exit");
+    let i = b.symbol("i");
+    let j = b.symbol("j");
+    let rowbase = b.symbol("rowbase");
+
+    b.select(entry);
+    b.mov_const_to_symbol(0, i);
+    b.mov_const_to_symbol(0, rowbase);
+    b.jump(outer);
+
+    b.select(outer);
+    let zero = b.constant(0);
+    let jz = b.op(Opcode::Mov, &[zero]);
+    b.write_symbol(jz, j);
+    b.jump(body);
+
+    b.select(body);
+    let jv = b.use_symbol(j);
+    let rb = b.use_symbol(rowbase);
+    let mut prods = Vec::with_capacity(N);
+    for k in 0..N {
+        let ka = b.constant(k as i32);
+        let aaddr = b.op(Opcode::Add, &[rb, ka]);
+        let a = b.load_name(aaddr, "a");
+        let kb = b.constant((B0 + k * N) as i32);
+        let baddr = b.op(Opcode::Add, &[jv, kb]);
+        let bb = b.load_name(baddr, "b");
+        prods.push(b.op(Opcode::Mul, &[a, bb]));
+    }
+    let mut level = prods;
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        for pair in level.chunks(2) {
+            if pair.len() == 2 {
+                next.push(b.op(Opcode::Add, &[pair[0], pair[1]]));
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        level = next;
+    }
+    let acc = level[0];
+    let cb = b.constant(C0 as i32);
+    let t = b.op(Opcode::Add, &[rb, jv]);
+    let caddr = b.op(Opcode::Add, &[t, cb]);
+    b.store(caddr, acc, "c");
+    let one = b.constant(1);
+    let j2 = b.op(Opcode::Add, &[jv, one]);
+    b.write_symbol(j2, j);
+    let nn = b.constant(N as i32);
+    let cond = b.op(Opcode::Lt, &[j2, nn]);
+    b.branch(cond, body, latch);
+
+    b.select(latch);
+    let iv = b.use_symbol(i);
+    let rb2 = b.use_symbol(rowbase);
+    let one = b.constant(1);
+    let i2 = b.op(Opcode::Add, &[iv, one]);
+    b.write_symbol(i2, i);
+    let nconst = b.constant(N as i32);
+    let rb3 = b.op(Opcode::Add, &[rb2, nconst]);
+    b.write_symbol(rb3, rowbase);
+    let cond = b.op(Opcode::Lt, &[i2, nconst]);
+    b.branch(cond, outer, exit);
+
+    b.select(exit);
+    b.ret();
+    b.finish().expect("MatM cdfg is valid")
+}
+
+/// Plain-Rust reference.
+pub fn reference(mem: &[i32]) -> Vec<i32> {
+    let mut out = vec![0i32; N * N];
+    for i in 0..N {
+        for j in 0..N {
+            let mut acc = 0i32;
+            for k in 0..N {
+                acc = acc.wrapping_add(mem[i * N + k].wrapping_mul(mem[B0 + k * N + j]));
+            }
+            out[i * N + j] = acc;
+        }
+    }
+    out
+}
+
+/// Paper-sized instance with deterministic inputs.
+pub fn spec() -> KernelSpec {
+    let mut mem = vec![0i32; MEM];
+    let a = lcg_fill(21, N * N, 8);
+    mem[..N * N].copy_from_slice(&a);
+    let bmat = lcg_fill(23, N * N, 8);
+    mem[B0..B0 + N * N].copy_from_slice(&bmat);
+    let expected = reference(&mem);
+    KernelSpec {
+        name: "MatM",
+        cdfg: cdfg(),
+        mem,
+        out: C0..C0 + N * N,
+        expected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interpreter_matches_reference() {
+        let s = spec();
+        let mut mem = s.mem.clone();
+        cmam_cdfg::interp::run(&s.cdfg, &mut mem, 10_000_000).unwrap();
+        assert_eq!(&mem[s.out.clone()], s.expected.as_slice());
+    }
+
+    #[test]
+    fn has_nested_loop_structure() {
+        let c = cdfg();
+        assert_eq!(c.num_blocks(), 5);
+        assert_eq!(c.num_symbols(), 3);
+    }
+}

@@ -1,0 +1,164 @@
+//! Non-separable 5x5 filter over an 8x8 image with **memory-resident**
+//! weights — the largest kernel body of the suite (50 loads, 25
+//! multiplies), matching its role in the paper as the most expensive
+//! workload of Table II and the strongest stress on the load/store tiles.
+
+use crate::data::lcg_fill;
+use crate::spec::KernelSpec;
+use cmam_cdfg::{Cdfg, CdfgBuilder, Opcode};
+
+/// Input image width/height.
+pub const W: usize = 8;
+/// Output width/height (valid 5x5).
+pub const OW: usize = W - 4;
+/// Output base address.
+pub const OUT0: usize = 64;
+/// Weight table base address (25 words, row-major 5x5).
+pub const W0: usize = 96;
+/// Memory size in words.
+pub const MEM: usize = 128;
+
+/// The 5x5 weights, stored to memory by [`spec`].
+pub const WEIGHTS: [i32; 25] = [
+    1, 4, 6, 4, 1, //
+    4, 16, 24, 16, 4, //
+    6, 24, 36, 24, 6, //
+    4, 16, 24, 16, 4, //
+    1, 4, 6, 4, 1,
+];
+
+/// Builds the non-separable filter CDFG.
+pub fn cdfg() -> Cdfg {
+    let mut b = CdfgBuilder::new("nonsepfilter");
+    let entry = b.block("entry");
+    let outer = b.block("outer");
+    let body = b.block("body");
+    let latch = b.block("latch");
+    let exit = b.block("exit");
+    let r = b.symbol("r");
+    let c = b.symbol("c");
+    let rowbase = b.symbol("rowbase");
+    let obase = b.symbol("obase");
+
+    b.select(entry);
+    b.mov_const_to_symbol(0, r);
+    b.mov_const_to_symbol(0, rowbase);
+    b.mov_const_to_symbol(0, obase);
+    b.jump(outer);
+
+    b.select(outer);
+    let zero = b.constant(0);
+    let cz = b.op(Opcode::Mov, &[zero]);
+    b.write_symbol(cz, c);
+    b.jump(body);
+
+    b.select(body);
+    let cv = b.use_symbol(c);
+    let rb = b.use_symbol(rowbase);
+    let ob = b.use_symbol(obase);
+    let base = b.op(Opcode::Add, &[rb, cv]);
+    let mut acc: Option<cmam_cdfg::ValueId> = None;
+    for dr in 0..5usize {
+        for dc in 0..5usize {
+            let off = b.constant((dr * W + dc) as i32);
+            let addr = b.op(Opcode::Add, &[base, off]);
+            let x = b.load_name(addr, "img");
+            let waddr = b.constant((W0 + dr * 5 + dc) as i32);
+            let w = b.load_name(waddr, "wtab");
+            let p = b.op(Opcode::Mul, &[x, w]);
+            acc = Some(match acc {
+                None => p,
+                Some(a) => b.op(Opcode::Add, &[a, p]),
+            });
+        }
+    }
+    let acc = acc.expect("25 products");
+    let t = b.op(Opcode::Add, &[ob, cv]);
+    let out0 = b.constant(OUT0 as i32);
+    let oaddr = b.op(Opcode::Add, &[t, out0]);
+    b.store(oaddr, acc, "out");
+    let one = b.constant(1);
+    let c2 = b.op(Opcode::Add, &[cv, one]);
+    b.write_symbol(c2, c);
+    let ow = b.constant(OW as i32);
+    let cond = b.op(Opcode::Lt, &[c2, ow]);
+    b.branch(cond, body, latch);
+
+    b.select(latch);
+    let rv = b.use_symbol(r);
+    let rb2 = b.use_symbol(rowbase);
+    let ob2 = b.use_symbol(obase);
+    let one = b.constant(1);
+    let r2 = b.op(Opcode::Add, &[rv, one]);
+    b.write_symbol(r2, r);
+    let wconst = b.constant(W as i32);
+    let rb3 = b.op(Opcode::Add, &[rb2, wconst]);
+    b.write_symbol(rb3, rowbase);
+    let owconst = b.constant(OW as i32);
+    let ob3 = b.op(Opcode::Add, &[ob2, owconst]);
+    b.write_symbol(ob3, obase);
+    let cond = b.op(Opcode::Lt, &[r2, owconst]);
+    b.branch(cond, outer, exit);
+
+    b.select(exit);
+    b.ret();
+    b.finish().expect("nonsep cdfg is valid")
+}
+
+/// Plain-Rust reference.
+pub fn reference(mem: &[i32]) -> Vec<i32> {
+    let mut out = vec![0i32; OW * OW];
+    for r in 0..OW {
+        for c in 0..OW {
+            let mut acc = 0i32;
+            for dr in 0..5 {
+                for dc in 0..5 {
+                    acc = acc.wrapping_add(
+                        mem[(r + dr) * W + c + dc].wrapping_mul(mem[W0 + dr * 5 + dc]),
+                    );
+                }
+            }
+            out[r * OW + c] = acc;
+        }
+    }
+    out
+}
+
+/// Paper-sized instance with deterministic inputs.
+pub fn spec() -> KernelSpec {
+    let mut mem = vec![0i32; MEM];
+    let img = lcg_fill(51, W * W, 6);
+    mem[..W * W].copy_from_slice(&img);
+    mem[W0..W0 + 25].copy_from_slice(&WEIGHTS);
+    let expected = reference(&mem);
+    KernelSpec {
+        name: "NonSepFilter",
+        cdfg: cdfg(),
+        mem,
+        out: OUT0..OUT0 + OW * OW,
+        expected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interpreter_matches_reference() {
+        let s = spec();
+        let mut mem = s.mem.clone();
+        cmam_cdfg::interp::run(&s.cdfg, &mut mem, 10_000_000).unwrap();
+        assert_eq!(&mem[s.out.clone()], s.expected.as_slice());
+    }
+
+    #[test]
+    fn body_is_the_biggest_of_all_kernels() {
+        let c = cdfg();
+        let body = c.block_ids().nth(2).unwrap();
+        let dfg = c.dfg(body);
+        assert!(dfg.num_ops() > 100);
+        let loads = dfg.ops().filter(|o| o.opcode == Opcode::Load).count();
+        assert_eq!(loads, 50, "image + weight loads");
+    }
+}

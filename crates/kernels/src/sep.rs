@@ -1,0 +1,221 @@
+//! Separable 9-tap filter: a horizontal pass into a temporary buffer,
+//! then a vertical pass — two sequential loop nests in one CDFG.
+
+use crate::data::lcg_fill;
+use crate::spec::KernelSpec;
+use cmam_cdfg::{Cdfg, CdfgBuilder, Opcode, ValueId};
+
+/// Input image width/height.
+pub const W: usize = 12;
+/// Filtered width (valid 9-tap).
+pub const OW: usize = W - 8;
+/// Temporary buffer base (row-major `W x OW`, stride `W`).
+pub const TMP0: usize = 160;
+/// Output base (`OW x OW`).
+pub const OUT0: usize = 320;
+/// Memory size in words.
+pub const MEM: usize = 352;
+/// The 9 filter taps (applied in both directions).
+pub const TAPS: [i32; 9] = [1, 8, 28, 56, 70, 56, 28, 8, 1];
+
+fn reduce_tree(b: &mut CdfgBuilder, prods: Vec<ValueId>) -> ValueId {
+    let mut level = prods;
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        for pair in level.chunks(2) {
+            if pair.len() == 2 {
+                next.push(b.op(Opcode::Add, &[pair[0], pair[1]]));
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        level = next;
+    }
+    level[0]
+}
+
+/// Builds the separable-filter CDFG: pass 1 (horizontal, `W` rows x `OW`
+/// cols) then pass 2 (vertical, `OW x OW`).
+pub fn cdfg() -> Cdfg {
+    let mut b = CdfgBuilder::new("sepfilter");
+    let entry = b.block("entry");
+    let p1_outer = b.block("p1_outer");
+    let p1_body = b.block("p1_body");
+    let p1_latch = b.block("p1_latch");
+    let p2_outer = b.block("p2_outer");
+    let p2_body = b.block("p2_body");
+    let p2_latch = b.block("p2_latch");
+    let exit = b.block("exit");
+    let r = b.symbol("r");
+    let c = b.symbol("c");
+    let rowbase = b.symbol("rowbase");
+
+    b.select(entry);
+    b.mov_const_to_symbol(0, r);
+    b.mov_const_to_symbol(0, rowbase);
+    b.jump(p1_outer);
+
+    // --- Pass 1: horizontal. tmp[r*W + c] = Σ taps[k] * img[r*W + c + k]
+    b.select(p1_outer);
+    let zero = b.constant(0);
+    let cz = b.op(Opcode::Mov, &[zero]);
+    b.write_symbol(cz, c);
+    b.jump(p1_body);
+
+    b.select(p1_body);
+    let cv = b.use_symbol(c);
+    let rb = b.use_symbol(rowbase);
+    let base = b.op(Opcode::Add, &[rb, cv]);
+    let mut prods = Vec::with_capacity(TAPS.len());
+    for (k, &t) in TAPS.iter().enumerate() {
+        let off = b.constant(k as i32);
+        let addr = b.op(Opcode::Add, &[base, off]);
+        let x = b.load_name(addr, "img");
+        let w = b.constant(t);
+        prods.push(b.op(Opcode::Mul, &[x, w]));
+    }
+    let acc = reduce_tree(&mut b, prods);
+    let t0 = b.constant(TMP0 as i32);
+    let taddr = b.op(Opcode::Add, &[base, t0]);
+    b.store(taddr, acc, "tmp");
+    let one = b.constant(1);
+    let c2 = b.op(Opcode::Add, &[cv, one]);
+    b.write_symbol(c2, c);
+    let ow = b.constant(OW as i32);
+    let cond = b.op(Opcode::Lt, &[c2, ow]);
+    b.branch(cond, p1_body, p1_latch);
+
+    b.select(p1_latch);
+    let rv = b.use_symbol(r);
+    let rb2 = b.use_symbol(rowbase);
+    let one = b.constant(1);
+    let r2 = b.op(Opcode::Add, &[rv, one]);
+    b.write_symbol(r2, r);
+    let wconst = b.constant(W as i32);
+    let rb3 = b.op(Opcode::Add, &[rb2, wconst]);
+    b.write_symbol(rb3, rowbase);
+    let wmax = b.constant(W as i32);
+    let cond = b.op(Opcode::Lt, &[r2, wmax]);
+    // Falls through to pass 2 with r/rowbase reset there.
+    b.branch(cond, p1_outer, p2_outer);
+
+    // --- Pass 2: vertical. out[r*OW + c] = Σ taps[k] * tmp[(r+k)*W + c]
+    // On entry from p1_latch, r == W; reset both induction symbols.
+    b.select(p2_outer);
+    let rv = b.use_symbol(r);
+    let wconst = b.constant(W as i32);
+    let at_start = b.op(Opcode::Ge, &[rv, wconst]);
+    // r = select(at_start, 0, r); rowbase likewise. Using select keeps the
+    // block structure simple (no extra reset block).
+    let zero = b.constant(0);
+    let r_new = b.op(Opcode::Select, &[at_start, zero, rv]);
+    b.write_symbol(r_new, r);
+    let rb = b.use_symbol(rowbase);
+    let rb_new = b.op(Opcode::Select, &[at_start, zero, rb]);
+    b.write_symbol(rb_new, rowbase);
+    let cz = b.op(Opcode::Mov, &[zero]);
+    b.write_symbol(cz, c);
+    b.jump(p2_body);
+
+    b.select(p2_body);
+    let cv = b.use_symbol(c);
+    let rb = b.use_symbol(rowbase);
+    let base = b.op(Opcode::Add, &[rb, cv]);
+    let mut prods = Vec::with_capacity(TAPS.len());
+    for (k, &t) in TAPS.iter().enumerate() {
+        let off = b.constant((TMP0 + k * W) as i32);
+        let addr = b.op(Opcode::Add, &[base, off]);
+        let x = b.load_name(addr, "tmp");
+        let w = b.constant(t);
+        prods.push(b.op(Opcode::Mul, &[x, w]));
+    }
+    let acc = reduce_tree(&mut b, prods);
+    let rv2 = b.use_symbol(r);
+    let owc = b.constant(OW as i32);
+    let ro = b.op(Opcode::Mul, &[rv2, owc]);
+    let t1 = b.op(Opcode::Add, &[ro, cv]);
+    let o0 = b.constant(OUT0 as i32);
+    let oaddr = b.op(Opcode::Add, &[t1, o0]);
+    b.store(oaddr, acc, "out");
+    let one = b.constant(1);
+    let c2 = b.op(Opcode::Add, &[cv, one]);
+    b.write_symbol(c2, c);
+    let cond = b.op(Opcode::Lt, &[c2, owc]);
+    b.branch(cond, p2_body, p2_latch);
+
+    b.select(p2_latch);
+    let rv = b.use_symbol(r);
+    let rb2 = b.use_symbol(rowbase);
+    let one = b.constant(1);
+    let r2 = b.op(Opcode::Add, &[rv, one]);
+    b.write_symbol(r2, r);
+    let wconst = b.constant(W as i32);
+    let rb3 = b.op(Opcode::Add, &[rb2, wconst]);
+    b.write_symbol(rb3, rowbase);
+    let ow = b.constant(OW as i32);
+    let cond = b.op(Opcode::Lt, &[r2, ow]);
+    b.branch(cond, p2_outer, exit);
+
+    b.select(exit);
+    b.ret();
+    b.finish().expect("sepfilter cdfg is valid")
+}
+
+/// Plain-Rust reference.
+pub fn reference(mem: &[i32]) -> Vec<i32> {
+    let mut tmp = vec![0i32; W * W];
+    for r in 0..W {
+        for c in 0..OW {
+            let mut acc = 0i32;
+            for (k, &t) in TAPS.iter().enumerate() {
+                acc = acc.wrapping_add(t.wrapping_mul(mem[r * W + c + k]));
+            }
+            tmp[r * W + c] = acc;
+        }
+    }
+    let mut out = vec![0i32; OW * OW];
+    for r in 0..OW {
+        for c in 0..OW {
+            let mut acc = 0i32;
+            for (k, &t) in TAPS.iter().enumerate() {
+                acc = acc.wrapping_add(t.wrapping_mul(tmp[(r + k) * W + c]));
+            }
+            out[r * OW + c] = acc;
+        }
+    }
+    out
+}
+
+/// Paper-sized instance with deterministic inputs.
+pub fn spec() -> KernelSpec {
+    let mut mem = vec![0i32; MEM];
+    let img = lcg_fill(41, W * W, 6);
+    mem[..W * W].copy_from_slice(&img);
+    let expected = reference(&mem);
+    KernelSpec {
+        name: "SepFilter",
+        cdfg: cdfg(),
+        mem,
+        out: OUT0..OUT0 + OW * OW,
+        expected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interpreter_matches_reference() {
+        let s = spec();
+        let mut mem = s.mem.clone();
+        cmam_cdfg::interp::run(&s.cdfg, &mut mem, 10_000_000).unwrap();
+        assert_eq!(&mem[s.out.clone()], s.expected.as_slice());
+    }
+
+    #[test]
+    fn two_pass_structure() {
+        let c = cdfg();
+        assert_eq!(c.num_blocks(), 8);
+    }
+}

@@ -1,0 +1,91 @@
+//! The kernel descriptor consumed by experiments and tests.
+
+use cmam_cdfg::Cdfg;
+use std::ops::Range;
+
+/// A ready-to-run kernel instance: CDFG, initial memory, and the expected
+/// output (computed by the kernel's plain-Rust reference implementation).
+#[derive(Debug, Clone)]
+pub struct KernelSpec {
+    /// Kernel name as it appears in the paper's tables ("FIR", "MatM", …).
+    pub name: &'static str,
+    /// The kernel CDFG.
+    pub cdfg: Cdfg,
+    /// Initial data-memory image.
+    pub mem: Vec<i32>,
+    /// Where the outputs land in memory.
+    pub out: Range<usize>,
+    /// Expected contents of `out` after execution.
+    pub expected: Vec<i32>,
+}
+
+impl KernelSpec {
+    /// Checks a post-run memory image against the expected outputs,
+    /// returning the first mismatch as `(index, got, want)`.
+    pub fn check(&self, mem: &[i32]) -> Result<(), (usize, i32, i32)> {
+        for (k, (&got, &want)) in mem[self.out.clone()]
+            .iter()
+            .zip(self.expected.iter())
+            .enumerate()
+        {
+            if got != want {
+                return Err((self.out.start + k, got, want));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The paper-sized instances of all seven kernels, in Table II order.
+pub fn all() -> Vec<KernelSpec> {
+    vec![
+        crate::fir::spec(),
+        crate::matm::spec(),
+        crate::conv::spec(),
+        crate::sep::spec(),
+        crate::nonsep::spec(),
+        crate::fft::spec(),
+        crate::dc::spec(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_seven_kernels_build_and_validate() {
+        let kernels = all();
+        assert_eq!(kernels.len(), 7);
+        let names: Vec<_> = kernels.iter().map(|k| k.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "FIR",
+                "MatM",
+                "Convolution",
+                "SepFilter",
+                "NonSepFilter",
+                "FFT",
+                "DC Filter"
+            ]
+        );
+        for k in &kernels {
+            k.cdfg.validate().unwrap_or_else(|e| panic!("{}: {e}", k.name));
+            assert!(!k.expected.is_empty(), "{} has no expected data", k.name);
+            assert!(k.out.end <= k.mem.len(), "{} output range oob", k.name);
+        }
+    }
+
+    #[test]
+    fn every_kernel_interprets_to_its_reference() {
+        for k in all() {
+            let mut mem = k.mem.clone();
+            cmam_cdfg::interp::run(&k.cdfg, &mut mem, 10_000_000)
+                .unwrap_or_else(|e| panic!("{}: {e}", k.name));
+            k.check(&mem).unwrap_or_else(|(i, got, want)| {
+                panic!("{}: mem[{i}] = {got}, want {want}", k.name)
+            });
+        }
+    }
+}

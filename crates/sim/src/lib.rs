@@ -1,0 +1,29 @@
+//! # cmam-sim — cycle-level CGRA simulator
+//!
+//! Executes a [`CgraBinary`] over a banked data memory, producing the
+//! latency (cycles) and the per-tile activity counters the energy model
+//! consumes. The machine model mirrors the paper's target CGRA:
+//!
+//! * all tiles run in lock-step through each basic block's schedule; the
+//!   CGRA controller selects the next block from the latched `br` flag;
+//! * an instruction reads operands from the register-file state at the
+//!   *start* of its cycle — its own RF, a direct torus neighbour's RF, or
+//!   the local constant register file — and its result is visible from the
+//!   next cycle;
+//! * `pnop` words keep the tile clock-gated: one context-memory fetch
+//!   covers the whole idle run (this is exactly why small context memories
+//!   save energy, and why the pnop count matters in Section III-C);
+//! * loads/stores go through the logarithmic interconnect to a banked
+//!   TCDM; two accesses to the same bank in one cycle cost a global stall
+//!   cycle each (the "global stall" signals of Fig 1).
+//!
+//! The simulator is validated end-to-end: for every kernel, the memory
+//! image after simulation must equal the reference interpreter's.
+
+pub mod machine;
+pub mod stats;
+
+pub use machine::{simulate, SimError, SimOptions};
+pub use stats::{SimStats, TileStats};
+
+pub use cmam_isa::CgraBinary;

@@ -1,0 +1,481 @@
+//! The lock-step execution engine.
+
+use crate::stats::{SimStats, TileStats};
+use cmam_arch::CgraConfig;
+use cmam_cdfg::Opcode;
+use cmam_isa::program::BinTerminator;
+use cmam_isa::{CgraBinary, Instr, Operand};
+use std::error::Error;
+use std::fmt;
+
+/// Simulator knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimOptions {
+    /// Number of TCDM banks (bank = word address modulo banks).
+    pub mem_banks: usize,
+    /// Hard cycle budget; exceeded means a non-terminating kernel.
+    pub max_cycles: u64,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            mem_banks: 8,
+            max_cycles: 50_000_000,
+        }
+    }
+}
+
+/// Failure during simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// Memory access outside the data memory.
+    OutOfBounds {
+        /// Offending word address.
+        addr: i64,
+        /// Memory size in words.
+        size: usize,
+    },
+    /// Register index outside the tile's RF (corrupt binary).
+    BadRegister {
+        /// Tile index.
+        tile: usize,
+        /// Register index.
+        reg: u8,
+    },
+    /// CRF index outside the tile's constants (corrupt binary).
+    BadConstant {
+        /// Tile index.
+        tile: usize,
+        /// CRF index.
+        idx: u8,
+    },
+    /// The cycle budget was exhausted.
+    MaxCycles(u64),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::OutOfBounds { addr, size } => {
+                write!(f, "memory access at word {addr} outside size {size}")
+            }
+            SimError::BadRegister { tile, reg } => {
+                write!(f, "tile {tile} reads unknown register r{reg}")
+            }
+            SimError::BadConstant { tile, idx } => {
+                write!(f, "tile {tile} reads unknown CRF slot c{idx}")
+            }
+            SimError::MaxCycles(n) => write!(f, "cycle budget of {n} exhausted"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+/// One expanded schedule slot: the instruction (if any) and whether this
+/// cycle performs the context-memory fetch for its word.
+#[derive(Debug, Clone)]
+struct Slot {
+    instr: Option<Instr>,
+    fetch: bool,
+}
+
+fn expand_with_fetch(words: &[Instr]) -> Vec<Slot> {
+    let mut out = Vec::new();
+    for w in words {
+        match w {
+            Instr::Pnop { cycles } => {
+                for i in 0..*cycles {
+                    out.push(Slot {
+                        instr: None,
+                        fetch: i == 0,
+                    });
+                }
+            }
+            e => out.push(Slot {
+                instr: Some(e.clone()),
+                fetch: true,
+            }),
+        }
+    }
+    out
+}
+
+/// Runs `binary` on the CGRA described by `config` over `mem`.
+///
+/// # Errors
+///
+/// See [`SimError`]. On error the memory may be partially updated.
+pub fn simulate(
+    binary: &CgraBinary,
+    config: &CgraConfig,
+    mem: &mut [i32],
+    options: SimOptions,
+) -> Result<SimStats, SimError> {
+    let geom = config.geometry();
+    let ntiles = binary.num_tiles();
+    assert_eq!(
+        ntiles,
+        geom.num_tiles(),
+        "binary and configuration disagree on the tile count"
+    );
+
+    // Pre-expand every (block, tile) word list once.
+    let nblocks = binary.block_lengths.len();
+    let mut expanded: Vec<Vec<Vec<Slot>>> = Vec::with_capacity(nblocks);
+    for b in 0..nblocks {
+        let mut per_tile = Vec::with_capacity(ntiles);
+        for t in 0..ntiles {
+            let slots = expand_with_fetch(&binary.tiles[t].blocks[b]);
+            debug_assert_eq!(slots.len(), binary.block_lengths[b]);
+            per_tile.push(slots);
+        }
+        expanded.push(per_tile);
+    }
+
+    let mut rf: Vec<Vec<i32>> = (0..ntiles)
+        .map(|i| vec![0; config.tile(cmam_arch::TileId(i)).rf_words])
+        .collect();
+    let mut stats = SimStats {
+        tiles: vec![TileStats::default(); ntiles],
+        ..SimStats::default()
+    };
+
+    let mut block = binary.entry as usize;
+    loop {
+        *stats.block_execs.entry(block as u32).or_insert(0) += 1;
+        let length = binary.block_lengths[block];
+        let mut br_flag = false;
+
+        for cycle in 0..length {
+            stats.cycles += 1;
+            if stats.cycles > options.max_cycles {
+                return Err(SimError::MaxCycles(options.max_cycles));
+            }
+            // Phase 1: evaluate all tiles against the start-of-cycle state.
+            let mut rf_writes: Vec<(usize, u8, i32)> = Vec::new();
+            let mut mem_ops: Vec<(usize, Opcode, i64, i32, Option<u8>)> = Vec::new();
+            for t in 0..ntiles {
+                let slot = &expanded[block][t][cycle];
+                let ts = &mut stats.tiles[t];
+                if slot.fetch {
+                    ts.cm_fetches += 1;
+                }
+                let Some(instr) = &slot.instr else {
+                    ts.idle_cycles += 1;
+                    continue;
+                };
+                ts.active_cycles += 1;
+                let Instr::Exec { opcode, dst, srcs } = instr else {
+                    unreachable!("pnops were expanded away");
+                };
+                // Operand fetch.
+                let mut args = Vec::with_capacity(srcs.len());
+                for s in srcs {
+                    let v = match *s {
+                        Operand::Crf(i) => {
+                            stats.tiles[t].crf_reads += 1;
+                            *binary.crf[t]
+                                .get(i as usize)
+                                .ok_or(SimError::BadConstant { tile: t, idx: i })?
+                        }
+                        Operand::Reg(r) => {
+                            stats.tiles[t].rf_reads += 1;
+                            *rf[t]
+                                .get(r as usize)
+                                .ok_or(SimError::BadRegister { tile: t, reg: r })?
+                        }
+                        Operand::Neighbor(d, r) => {
+                            stats.tiles[t].neighbor_reads += 1;
+                            let n = geom.neighbor(cmam_arch::TileId(t), d).0;
+                            *rf[n]
+                                .get(r as usize)
+                                .ok_or(SimError::BadRegister { tile: n, reg: r })?
+                        }
+                    };
+                    args.push(v);
+                }
+                match opcode {
+                    Opcode::Load => {
+                        stats.tiles[t].loads += 1;
+                        mem_ops.push((t, Opcode::Load, args[0] as i64, 0, *dst));
+                    }
+                    Opcode::Store => {
+                        stats.tiles[t].stores += 1;
+                        mem_ops.push((t, Opcode::Store, args[0] as i64, args[1], None));
+                    }
+                    Opcode::Br => {
+                        stats.tiles[t].alu_ops += 1;
+                        br_flag = args[0] != 0;
+                    }
+                    Opcode::Mov => {
+                        stats.tiles[t].moves += 1;
+                        rf_writes.push((t, dst.expect("mov has a destination"), args[0]));
+                    }
+                    op => {
+                        stats.tiles[t].alu_ops += 1;
+                        let r = op.eval(&args);
+                        if let Some(d) = dst {
+                            rf_writes.push((t, *d, r));
+                        }
+                    }
+                }
+            }
+
+            // Phase 2: TCDM accesses with bank-conflict stalls.
+            if !mem_ops.is_empty() {
+                let mut bank_load = vec![0u64; options.mem_banks.max(1)];
+                for &(t, op, addr, val, dst) in &mem_ops {
+                    let idx = usize::try_from(addr).ok().filter(|&i| i < mem.len());
+                    let Some(i) = idx else {
+                        return Err(SimError::OutOfBounds {
+                            addr,
+                            size: mem.len(),
+                        });
+                    };
+                    bank_load[i % options.mem_banks.max(1)] += 1;
+                    match op {
+                        Opcode::Load => {
+                            rf_writes.push((t, dst.expect("load has a destination"), mem[i]));
+                        }
+                        Opcode::Store => mem[i] = val,
+                        _ => unreachable!(),
+                    }
+                }
+                let stall: u64 = bank_load.iter().map(|&c| c.saturating_sub(1)).sum();
+                stats.cycles += stall;
+                stats.stall_cycles += stall;
+            }
+
+            // Phase 3: commit register writes.
+            for (t, r, v) in rf_writes {
+                let cell = rf[t]
+                    .get_mut(r as usize)
+                    .ok_or(SimError::BadRegister { tile: t, reg: r })?;
+                *cell = v;
+                stats.tiles[t].rf_writes += 1;
+            }
+        }
+
+        match binary.terminators[block] {
+            BinTerminator::Jump(b) => block = b as usize,
+            BinTerminator::Branch { taken, fallthrough } => {
+                block = if br_flag { taken } else { fallthrough } as usize;
+            }
+            BinTerminator::Return => break,
+        }
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmam_arch::TileId;
+    use cmam_cdfg::{interp, CdfgBuilder, Opcode};
+    use cmam_core::{Mapper, MapperOptions};
+    use cmam_isa::assemble;
+
+    /// Maps, assembles and simulates `cdfg`, returning (stats, memory).
+    fn run_end_to_end(
+        cdfg: &cmam_cdfg::Cdfg,
+        config: &CgraConfig,
+        mem_init: &[i32],
+    ) -> (SimStats, Vec<i32>) {
+        let mapper = Mapper::new(MapperOptions::basic());
+        let result = mapper.map(cdfg, config).expect("mapping");
+        let (binary, _) = assemble(cdfg, &result.mapping, config).expect("assembly");
+        let mut mem = mem_init.to_vec();
+        let stats = simulate(&binary, config, &mut mem, SimOptions::default()).expect("sim");
+        (stats, mem)
+    }
+
+    fn sum_squares_cdfg(n: i32, out: i32) -> cmam_cdfg::Cdfg {
+        let mut b = CdfgBuilder::new("ssq");
+        let b0 = b.block("entry");
+        let b1 = b.block("body");
+        let b2 = b.block("exit");
+        let i = b.symbol("i");
+        let acc = b.symbol("acc");
+        b.select(b0);
+        b.mov_const_to_symbol(0, i);
+        b.mov_const_to_symbol(0, acc);
+        b.jump(b1);
+        b.select(b1);
+        let iv = b.use_symbol(i);
+        let av = b.use_symbol(acc);
+        let x = b.load_name(iv, "x");
+        let sq = b.op(Opcode::Mul, &[x, x]);
+        let a2 = b.op(Opcode::Add, &[av, sq]);
+        b.write_symbol(a2, acc);
+        let one = b.constant(1);
+        let i2 = b.op(Opcode::Add, &[iv, one]);
+        b.write_symbol(i2, i);
+        let nv = b.constant(n);
+        let c = b.op(Opcode::Lt, &[i2, nv]);
+        b.branch(c, b1, b2);
+        b.select(b2);
+        let av2 = b.use_symbol(acc);
+        let o = b.constant(out);
+        b.store(o, av2, "out");
+        b.ret();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn simulated_loop_matches_interpreter() {
+        let cdfg = sum_squares_cdfg(8, 100);
+        let config = CgraConfig::hom64();
+        let mut init = vec![0i32; 128];
+        for i in 0..8 {
+            init[i] = (i as i32) + 1;
+        }
+        let (stats, mem) = run_end_to_end(&cdfg, &config, &init);
+        let mut golden = init.clone();
+        interp::run(&cdfg, &mut golden, 1_000_000).unwrap();
+        assert_eq!(mem, golden, "simulated memory differs from golden");
+        assert_eq!(mem[100], (1..=8).map(|x: i32| x * x).sum::<i32>());
+        // The loop body ran 8 times.
+        assert_eq!(stats.block_execs[&1], 8);
+        assert!(stats.cycles > 0);
+    }
+
+    #[test]
+    fn stats_account_every_cycle() {
+        let cdfg = sum_squares_cdfg(4, 64);
+        let config = CgraConfig::hom64();
+        let init = vec![1i32; 80];
+        let (stats, _) = run_end_to_end(&cdfg, &config, &init);
+        // Per tile: active + idle == total non-stall cycles.
+        let busy_cycles = stats.cycles - stats.stall_cycles;
+        for (i, t) in stats.tiles.iter().enumerate() {
+            assert_eq!(
+                t.active_cycles + t.idle_cycles,
+                busy_cycles,
+                "tile {i} cycle accounting"
+            );
+        }
+        // Fetches are bounded by active cycles + idle runs.
+        for t in &stats.tiles {
+            assert!(t.cm_fetches <= t.active_cycles + t.idle_cycles);
+            assert!(t.cm_fetches >= t.active_cycles);
+        }
+    }
+
+    #[test]
+    fn bank_conflicts_stall() {
+        // Two loads to the same bank in one cycle. Build by hand: two
+        // parallel loads of address 0 and 8 (same bank with 8 banks).
+        let mut b = CdfgBuilder::new("conflict");
+        let bb = b.block("b");
+        b.select(bb);
+        let a0 = b.constant(0);
+        let a8 = b.constant(8);
+        let x = b.load_name(a0, "x");
+        let y = b.load_name(a8, "x");
+        let s = b.op(Opcode::Add, &[x, y]);
+        let out = b.constant(1);
+        b.store(out, s, "y");
+        b.ret();
+        let cdfg = b.finish().unwrap();
+        let config = CgraConfig::hom64();
+
+        // Hand placement: loads on tiles 0 and 1 at cycle 0.
+        use cmam_isa::{BlockMapping, KernelMapping, OperandSource, PlacedOp};
+        let ids = cdfg.dfg(bb).op_ids().to_vec();
+        let vx = cdfg.op(ids[0]).result.unwrap();
+        let vy = cdfg.op(ids[1]).result.unwrap();
+        let vs = cdfg.op(ids[2]).result.unwrap();
+        let mapping = KernelMapping {
+            blocks: vec![BlockMapping {
+                length: 3,
+                ops: vec![
+                    PlacedOp {
+                        op: ids[0],
+                        tile: TileId(0),
+                        cycle: 0,
+                        operands: vec![OperandSource::Const(0)],
+                        direct_symbol_write: false,
+                    },
+                    PlacedOp {
+                        op: ids[1],
+                        tile: TileId(1),
+                        cycle: 0,
+                        operands: vec![OperandSource::Const(8)],
+                        direct_symbol_write: false,
+                    },
+                    PlacedOp {
+                        op: ids[2],
+                        tile: TileId(0),
+                        cycle: 1,
+                        operands: vec![
+                            OperandSource::Rf {
+                                tile: TileId(0),
+                                value: vx,
+                            },
+                            OperandSource::Rf {
+                                tile: TileId(1),
+                                value: vy,
+                            },
+                        ],
+                        direct_symbol_write: false,
+                    },
+                    PlacedOp {
+                        op: ids[3],
+                        tile: TileId(0),
+                        cycle: 2,
+                        operands: vec![
+                            OperandSource::Const(1),
+                            OperandSource::Rf {
+                                tile: TileId(0),
+                                value: vs,
+                            },
+                        ],
+                        direct_symbol_write: false,
+                    },
+                ],
+                moves: vec![],
+            }],
+            symbol_homes: Default::default(),
+        };
+        let (binary, _) = assemble(&cdfg, &mapping, &config).unwrap();
+        let mut mem = vec![7i32; 16];
+        let stats = simulate(&binary, &config, &mut mem, SimOptions::default()).unwrap();
+        // Both loads hit bank 0 in cycle 0: one stall cycle.
+        assert_eq!(stats.stall_cycles, 1);
+        assert_eq!(mem[1], 14);
+        // With 16 banks there is no conflict.
+        let mut mem2 = vec![7i32; 16];
+        let stats2 = simulate(
+            &binary,
+            &config,
+            &mut mem2,
+            SimOptions {
+                mem_banks: 16,
+                max_cycles: 1000,
+            },
+        )
+        .unwrap();
+        assert_eq!(stats2.stall_cycles, 0);
+    }
+
+    #[test]
+    fn out_of_bounds_reported() {
+        let mut b = CdfgBuilder::new("oob");
+        let _ = b.block("b");
+        let a = b.constant(500);
+        let x = b.load_name(a, "x");
+        let o = b.constant(0);
+        b.store(o, x, "x");
+        b.ret();
+        let cdfg = b.finish().unwrap();
+        let config = CgraConfig::hom64();
+        let mapper = Mapper::new(MapperOptions::basic());
+        let r = mapper.map(&cdfg, &config).unwrap();
+        let (binary, _) = assemble(&cdfg, &r.mapping, &config).unwrap();
+        let mut mem = vec![0i32; 16];
+        let err = simulate(&binary, &config, &mut mem, SimOptions::default()).unwrap_err();
+        assert!(matches!(err, SimError::OutOfBounds { addr: 500, .. }));
+    }
+}

@@ -1,0 +1,106 @@
+//! Activity counters produced by the simulator, consumed by `cmam-energy`.
+
+use cmam_arch::TileId;
+use std::collections::HashMap;
+
+/// Per-tile activity over a whole kernel run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TileStats {
+    /// Cycles executing an instruction (ALU active).
+    pub active_cycles: u64,
+    /// Cycles idle under a pnop (clock-gated).
+    pub idle_cycles: u64,
+    /// Context-memory word fetches (one per executed instruction word; a
+    /// pnop is fetched once per idle run).
+    pub cm_fetches: u64,
+    /// Executed ALU operations (everything except moves and memory ops).
+    pub alu_ops: u64,
+    /// Executed moves.
+    pub moves: u64,
+    /// Executed loads.
+    pub loads: u64,
+    /// Executed stores.
+    pub stores: u64,
+    /// Operand reads from the own register file.
+    pub rf_reads: u64,
+    /// Operand reads from a neighbour's register file (through the
+    /// point-to-point interconnect).
+    pub neighbor_reads: u64,
+    /// Operand reads from the constant register file.
+    pub crf_reads: u64,
+    /// Register-file writes (results and move destinations).
+    pub rf_writes: u64,
+}
+
+/// Whole-run statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Total cycles including stalls (the latency reported in Figs 6-8
+    /// and 10).
+    pub cycles: u64,
+    /// Cycles lost to TCDM bank conflicts.
+    pub stall_cycles: u64,
+    /// Executions per block (by block index).
+    pub block_execs: HashMap<u32, u64>,
+    /// Per-tile counters.
+    pub tiles: Vec<TileStats>,
+}
+
+impl SimStats {
+    /// Counters of one tile.
+    pub fn tile(&self, t: TileId) -> &TileStats {
+        &self.tiles[t.0]
+    }
+
+    /// Total executed instructions over all tiles.
+    pub fn total_instructions(&self) -> u64 {
+        self.tiles
+            .iter()
+            .map(|t| t.alu_ops + t.moves + t.loads + t.stores)
+            .sum()
+    }
+
+    /// Total data-memory accesses.
+    pub fn total_mem_accesses(&self) -> u64 {
+        self.tiles.iter().map(|t| t.loads + t.stores).sum()
+    }
+
+    /// Average tile utilisation: active cycles over `cycles x tiles`.
+    pub fn utilization(&self) -> f64 {
+        if self.cycles == 0 || self.tiles.is_empty() {
+            return 0.0;
+        }
+        let active: u64 = self.tiles.iter().map(|t| t.active_cycles).sum();
+        active as f64 / (self.cycles.saturating_sub(self.stall_cycles) * self.tiles.len() as u64) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates() {
+        let mut s = SimStats {
+            cycles: 10,
+            stall_cycles: 0,
+            block_execs: HashMap::new(),
+            tiles: vec![TileStats::default(); 2],
+        };
+        s.tiles[0].alu_ops = 3;
+        s.tiles[0].loads = 1;
+        s.tiles[0].active_cycles = 4;
+        s.tiles[1].moves = 2;
+        s.tiles[1].stores = 1;
+        s.tiles[1].active_cycles = 3;
+        assert_eq!(s.total_instructions(), 7);
+        assert_eq!(s.total_mem_accesses(), 2);
+        assert!((s.utilization() - 7.0 / 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_handles_empty() {
+        let s = SimStats::default();
+        assert_eq!(s.utilization(), 0.0);
+    }
+}

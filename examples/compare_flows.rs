@@ -1,0 +1,70 @@
+//! Compare the basic (context-unaware) flow against the context-memory
+//! aware flow on one of the paper's kernels: context-word distribution,
+//! latency and energy on each Table I configuration.
+//!
+//! ```sh
+//! cargo run --release --example compare_flows
+//! ```
+
+use cmam::arch::{CgraConfig, TileId};
+use cmam::core::{FlowVariant, Mapper};
+use cmam::energy::{cgra_energy, EnergyParams};
+use cmam::isa::assemble;
+use cmam::sim::{simulate, SimOptions};
+
+fn main() {
+    let spec = cmam::kernels::fft::spec();
+    println!("kernel: {}\n{}", spec.name, spec.cdfg);
+
+    for (variant, config) in [
+        (FlowVariant::Basic, CgraConfig::hom64()),
+        (FlowVariant::Cab, CgraConfig::het1()),
+        (FlowVariant::Cab, CgraConfig::het2()),
+    ] {
+        let mapper = Mapper::new(variant.options());
+        let result = match mapper.map(&spec.cdfg, &config) {
+            Ok(r) => r,
+            Err(e) => {
+                println!("{variant} on {}: no mapping ({e})", config.name());
+                continue;
+            }
+        };
+        let (binary, _report) = match assemble(&spec.cdfg, &result.mapping, &config) {
+            Ok(x) => x,
+            Err(e) => {
+                println!("{variant} on {}: does not fit ({e})", config.name());
+                continue;
+            }
+        };
+        let mut mem = spec.mem.clone();
+        let stats = simulate(&binary, &config, &mut mem, SimOptions::default()).expect("simulate");
+        spec.check(&mem).expect("correct result");
+        let energy = cgra_energy(&EnergyParams::default(), &config, &stats, 0.2);
+
+        println!("== {variant} on {} ==", config.name());
+        println!(
+            "  latency {} cycles, energy {:.4} µJ, {} context words (max/tile {})",
+            stats.cycles,
+            energy.total(),
+            binary.total_context_words(),
+            binary.max_context_words()
+        );
+        // Context occupancy sparkline per tile.
+        let spark: String = (0..16)
+            .map(|i| {
+                let used = binary.context_words(TileId(i));
+                let cap = config.tile(TileId(i)).cm_words;
+                let frac = used as f64 / cap as f64;
+                match (frac * 5.0) as usize {
+                    0 => '.',
+                    1 => ':',
+                    2 => '-',
+                    3 => '=',
+                    4 => '#',
+                    _ => '@',
+                }
+            })
+            .collect();
+        println!("  occupancy T1..T16: [{spark}]  (.=<20% @=full)");
+    }
+}

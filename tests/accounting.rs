@@ -1,0 +1,91 @@
+//! Context-word accounting invariants (Section III-C): the mapper's
+//! counts, the `KernelMapping` arithmetic and the assembler's definitive
+//! word counts must all agree, and the fit inequality must hold for every
+//! memory-aware mapping.
+
+use cmam::arch::{CgraConfig, TileId};
+use cmam::core::{FlowVariant, Mapper};
+use cmam::isa::assemble;
+
+#[test]
+fn mapping_word_arithmetic_matches_assembler() {
+    // For every kernel and flow, KernelMapping::context_words (ops +
+    // moves + idle runs) must equal the assembler's per-tile word count
+    // (instructions + compressed pnops).
+    for spec in cmam::kernels::all() {
+        for (variant, config) in [
+            (FlowVariant::Basic, CgraConfig::hom64()),
+            (FlowVariant::Cab, CgraConfig::het1()),
+        ] {
+            let mapper = Mapper::new(variant.options());
+            let result = mapper.map(&spec.cdfg, &config).expect("maps");
+            let (_, report) = assemble(&spec.cdfg, &result.mapping, &config).expect("assembles");
+            for i in 0..16 {
+                let t = TileId(i);
+                assert_eq!(
+                    result.mapping.context_words(t),
+                    report.words(t),
+                    "{} / {variant}: tile {t}",
+                    spec.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn section_3c_inequality_holds_for_aware_mappings() {
+    // n(Mo) + n(pnop) <= n(I) per tile, and the global sum inequality.
+    for spec in cmam::kernels::all() {
+        for config in [CgraConfig::het1(), CgraConfig::het2()] {
+            let mapper = Mapper::new(FlowVariant::Cab.options());
+            let result = mapper
+                .map(&spec.cdfg, &config)
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+            let (_, report) = assemble(&spec.cdfg, &result.mapping, &config).expect("fits");
+            let mut total_words = 0;
+            for (t, tile) in config.tiles() {
+                let (ops, moves, pnops) = report.per_tile[t.0];
+                assert!(
+                    ops + moves + pnops <= tile.cm_words,
+                    "{}: {t} overflows",
+                    spec.name
+                );
+                total_words += ops + moves + pnops;
+            }
+            assert!(total_words <= config.total_cm_words());
+        }
+    }
+}
+
+#[test]
+fn move_and_pnop_totals_are_consistent() {
+    let spec = cmam::kernels::fft::spec();
+    let config = CgraConfig::hom64();
+    let mapper = Mapper::new(FlowVariant::Basic.options());
+    let result = mapper.map(&spec.cdfg, &config).expect("maps");
+    let (_, report) = assemble(&spec.cdfg, &result.mapping, &config).expect("assembles");
+    assert_eq!(result.mapping.total_moves(), report.total_moves());
+    assert_eq!(result.mapping.total_pnops(16), report.total_pnops());
+    // Every placed op instance is an operation word (no op lost).
+    let placed_ops: usize = result.mapping.blocks.iter().map(|b| b.ops.len()).sum();
+    assert_eq!(placed_ops, report.total_ops());
+}
+
+#[test]
+fn basic_flow_reports_uneven_distribution() {
+    // The Fig 2 premise: under the basic flow the hottest tile uses at
+    // least twice the words of the coldest.
+    let spec = cmam::kernels::matm::spec();
+    let config = CgraConfig::hom64();
+    let mapper = Mapper::new(FlowVariant::Basic.options());
+    let result = mapper.map(&spec.cdfg, &config).expect("maps");
+    let (binary, _) = assemble(&spec.cdfg, &result.mapping, &config).expect("assembles");
+    let words: Vec<usize> = (0..16).map(|i| binary.context_words(TileId(i))).collect();
+    let max = *words.iter().max().unwrap();
+    let min = *words.iter().min().unwrap();
+    assert!(
+        max >= 2 * min,
+        "expected hot spots, got max {max} / min {min}"
+    );
+}

@@ -1,0 +1,76 @@
+//! End-to-end correctness: every paper kernel, mapped by both flows onto
+//! the paper's configurations, must — after assembly and cycle-accurate
+//! simulation — leave the data memory in exactly the state of the golden
+//! reference interpreter.
+
+use cmam::arch::CgraConfig;
+use cmam::cdfg::interp;
+use cmam::core::{FlowVariant, Mapper};
+use cmam::isa::assemble;
+use cmam::sim::{simulate, SimOptions};
+
+fn golden_memory(spec: &cmam::kernels::KernelSpec) -> Vec<i32> {
+    let mut mem = spec.mem.clone();
+    interp::run(&spec.cdfg, &mut mem, 100_000_000).expect("interpreter runs");
+    mem
+}
+
+fn check_full_memory(spec: &cmam::kernels::KernelSpec, variant: FlowVariant, config: &CgraConfig) {
+    let mapper = Mapper::new(variant.options());
+    let result = mapper
+        .map(&spec.cdfg, config)
+        .unwrap_or_else(|e| panic!("{} / {variant} / {}: {e}", spec.name, config.name()));
+    let (binary, report) = assemble(&spec.cdfg, &result.mapping, config)
+        .unwrap_or_else(|e| panic!("{} / {variant} / {}: {e}", spec.name, config.name()));
+    // Context-memory fit (the Section III-C inequality) per tile.
+    for (t, tile) in config.tiles() {
+        assert!(
+            report.words(t) <= tile.cm_words,
+            "{}: tile {t} uses {} of {} words",
+            spec.name,
+            report.words(t),
+            tile.cm_words
+        );
+    }
+    let mut mem = spec.mem.clone();
+    simulate(&binary, config, &mut mem, SimOptions::default())
+        .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+    // Full-memory equality against the interpreter, not just the output
+    // range: scratch regions must match too.
+    assert_eq!(mem, golden_memory(spec), "{} memory mismatch", spec.name);
+}
+
+#[test]
+fn all_kernels_basic_flow_on_hom64() {
+    for spec in cmam::kernels::all() {
+        check_full_memory(&spec, FlowVariant::Basic, &CgraConfig::hom64());
+    }
+}
+
+#[test]
+fn all_kernels_context_aware_on_het1() {
+    for spec in cmam::kernels::all() {
+        check_full_memory(&spec, FlowVariant::Cab, &CgraConfig::het1());
+    }
+}
+
+#[test]
+fn all_kernels_context_aware_on_het2() {
+    for spec in cmam::kernels::all() {
+        check_full_memory(&spec, FlowVariant::Cab, &CgraConfig::het2());
+    }
+}
+
+#[test]
+fn cpu_baseline_matches_reference_for_all_kernels() {
+    for spec in cmam::kernels::all() {
+        let model = cmam::cpu::CpuModel::default();
+        let mut mem = spec.mem.clone();
+        let (stats, _) = model
+            .run(&spec.cdfg, &mut mem, 100_000_000)
+            .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        spec.check(&mem)
+            .unwrap_or_else(|(i, g, w)| panic!("{}: mem[{i}]={g} want {w}", spec.name));
+        assert!(stats.cycles > stats.instructions, "{}: CPI > 1", spec.name);
+    }
+}

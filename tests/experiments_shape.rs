@@ -1,0 +1,116 @@
+//! Experiment-shape assertions: cheap versions of the headline claims,
+//! run in CI so regressions in the mapper or the models are caught
+//! immediately. (The full figures come from the `cmam-bench` binaries.)
+
+use cmam::arch::CgraConfig;
+use cmam::core::{FlowVariant, Mapper};
+use cmam::cpu::CpuModel;
+use cmam::energy::{cgra_energy, cpu_energy, EnergyParams};
+use cmam::isa::assemble;
+use cmam::sim::{simulate, SimOptions};
+
+struct Run {
+    cycles: u64,
+    energy_uj: f64,
+}
+
+fn run(spec: &cmam::kernels::KernelSpec, variant: FlowVariant, config: &CgraConfig) -> Run {
+    let mapper = Mapper::new(variant.options());
+    let result = mapper.map(&spec.cdfg, config).expect("maps");
+    let (binary, _) = assemble(&spec.cdfg, &result.mapping, config).expect("fits");
+    let mut mem = spec.mem.clone();
+    let stats = simulate(&binary, config, &mut mem, SimOptions::default()).expect("simulates");
+    spec.check(&mem).expect("correct");
+    let e = cgra_energy(&EnergyParams::default(), config, &stats, 0.25);
+    Run {
+        cycles: stats.cycles,
+        energy_uj: e.total(),
+    }
+}
+
+/// Table II headline: the context-aware mapping on HET2 beats the basic
+/// mapping on HOM64 in energy for every kernel, with at least a 1.4x
+/// average gain, at comparable latency.
+#[test]
+fn context_aware_energy_gain_over_basic() {
+    let hom64 = CgraConfig::hom64();
+    let het2 = CgraConfig::het2();
+    let mut gains = Vec::new();
+    for spec in cmam::kernels::all() {
+        let basic = run(&spec, FlowVariant::Basic, &hom64);
+        let aware = run(&spec, FlowVariant::Cab, &het2);
+        let gain = basic.energy_uj / aware.energy_uj;
+        assert!(gain > 1.0, "{}: gain {gain}", spec.name);
+        // Latency stays comparable (within 50% as in Figs 6-8).
+        let lat = aware.cycles as f64 / basic.cycles as f64;
+        assert!(lat < 1.5, "{}: latency ratio {lat}", spec.name);
+        gains.push(gain);
+    }
+    let avg = gains.iter().sum::<f64>() / gains.len() as f64;
+    assert!(avg > 1.4, "average energy gain {avg} (paper: 2.3x)");
+}
+
+/// Fig 10 headline: every kernel runs several times faster on the CGRA
+/// than on the CPU, under both flows.
+#[test]
+fn cgra_speedup_over_cpu() {
+    for spec in cmam::kernels::all() {
+        let mut mem = spec.mem.clone();
+        let (cpu, _) = CpuModel::default()
+            .run(&spec.cdfg, &mut mem, 100_000_000)
+            .expect("cpu runs");
+        let aware = run(&spec, FlowVariant::Cab, &CgraConfig::het2());
+        let speedup = cpu.cycles as f64 / aware.cycles as f64;
+        assert!(speedup > 2.0, "{}: speed-up {speedup}", spec.name);
+    }
+}
+
+/// Table II headline vs the CPU: the context-aware CGRA also wins in
+/// energy against the scalar core, for every kernel.
+#[test]
+fn cgra_energy_gain_over_cpu() {
+    for spec in cmam::kernels::all() {
+        let mut mem = spec.mem.clone();
+        let (cpu, _) = CpuModel::default()
+            .run(&spec.cdfg, &mut mem, 100_000_000)
+            .expect("cpu runs");
+        let cpu_uj = cpu_energy(&EnergyParams::default(), &cpu).total();
+        let aware = run(&spec, FlowVariant::Cab, &CgraConfig::het2());
+        let gain = cpu_uj / aware.energy_uj;
+        assert!(gain > 2.0, "{}: energy gain {gain}", spec.name);
+    }
+}
+
+/// Table I structural claim: the heterogeneous configurations halve (or
+/// nearly halve) the total context memory of HOM64.
+#[test]
+fn het_configs_halve_context_memory()  {
+    let hom64 = CgraConfig::hom64().total_cm_words() as f64;
+    assert_eq!(CgraConfig::het2().total_cm_words() as f64, hom64 / 2.0);
+    assert!(CgraConfig::het1().total_cm_words() as f64 <= 0.6 * hom64);
+}
+
+/// Fig 11 shape: area ordering CPU < HET2 <= HET1 < HOM64.
+#[test]
+fn area_ordering_matches_fig11() {
+    use cmam::energy::{cgra_area, cpu_area, AreaParams};
+    let p = AreaParams::default();
+    let cpu = cpu_area(&p).total();
+    let hom64 = cgra_area(&p, &CgraConfig::hom64()).total();
+    let het1 = cgra_area(&p, &CgraConfig::het1()).total();
+    let het2 = cgra_area(&p, &CgraConfig::het2()).total();
+    assert!(cpu < het2 && het2 <= het1 && het1 < hom64);
+}
+
+/// The mapper is deterministic: same seed, same mapping — across kernels
+/// and flows.
+#[test]
+fn mapping_determinism_across_flows() {
+    let spec = cmam::kernels::dc::spec();
+    for variant in [FlowVariant::Basic, FlowVariant::Cab] {
+        let config = CgraConfig::het1();
+        let a = Mapper::new(variant.options()).map(&spec.cdfg, &config).unwrap();
+        let b = Mapper::new(variant.options()).map(&spec.cdfg, &config).unwrap();
+        assert_eq!(a.mapping, b.mapping, "{variant}");
+    }
+}

@@ -1,0 +1,69 @@
+//! Cross-checks the mapper's reachability arithmetic against the
+//! *materialised* time-extended directed graph (TEDG) of Section III-A:
+//! every direct (move-free) producer→consumer edge of a real mapping must
+//! correspond to a value-flow path in the TEDG, and every operand read
+//! must respect the TEDG's adjacency (own tile or direct neighbour).
+
+use cmam::arch::{CgraConfig, Tedg, TileId};
+use cmam::cdfg::ValueKind;
+use cmam::core::{FlowVariant, Mapper};
+use cmam::isa::OperandSource;
+
+#[test]
+fn mapped_dependencies_follow_tedg_edges() {
+    let spec = cmam::kernels::fir::spec();
+    let config = CgraConfig::hom64();
+    let mapper = Mapper::new(FlowVariant::Basic.options());
+    let result = mapper.map(&spec.cdfg, &config).expect("maps");
+
+    for (bidx, bm) in result.mapping.blocks.iter().enumerate() {
+        if bm.length < 2 {
+            continue;
+        }
+        let tedg = Tedg::unroll(config.geometry(), bm.length + 1);
+        // Producer instances per value (including moves creating copies).
+        let producers = |value, tile: TileId| -> Option<usize> {
+            bm.ops
+                .iter()
+                .filter(|po| {
+                    po.tile == tile && spec.cdfg.op(po.op).result == Some(value)
+                })
+                .map(|po| po.cycle)
+                .chain(
+                    bm.moves
+                        .iter()
+                        .filter(|m| m.tile == tile && m.value == value)
+                        .map(|m| m.cycle),
+                )
+                .min()
+        };
+        for po in &bm.ops {
+            for src in &po.operands {
+                let OperandSource::Rf { tile, value } = *src else {
+                    continue;
+                };
+                // Adjacency is a TEDG edge property.
+                assert!(
+                    config.geometry().distance(tile, po.tile) <= 1,
+                    "block {bidx}: non-adjacent read"
+                );
+                // Cross-block symbol reads start in the home RF (cycle 0);
+                // everything else must flow from a producer instance
+                // through the TEDG.
+                let is_symbol_home =
+                    matches!(spec.cdfg.value(value).kind, ValueKind::SymbolUse(_));
+                if is_symbol_home && producers(value, tile).is_none() {
+                    continue;
+                }
+                let p_cycle = producers(value, tile)
+                    .unwrap_or_else(|| panic!("block {bidx}: no producer for {value:?}"));
+                assert!(
+                    tedg.value_can_flow(tile, p_cycle, po.tile, po.cycle),
+                    "block {bidx}: {value:?} cannot flow {tile}@{p_cycle} -> {}@{}",
+                    po.tile,
+                    po.cycle
+                );
+            }
+        }
+    }
+}
