@@ -268,8 +268,9 @@ mod tests {
     fn distance_is_torus_metric() {
         let g = Geometry::new(4, 4);
         assert_eq!(g.distance(TileId(0), TileId(0)), 0);
-        assert_eq!(g.distance(TileId(0), TileId(3)), 1); // wrap in cols
-        assert_eq!(g.distance(TileId(0), TileId(10)), 4); // max on 4x4
+        // Wrap in cols, then the 4x4 maximum.
+        assert_eq!(g.distance(TileId(0), TileId(3)), 1);
+        assert_eq!(g.distance(TileId(0), TileId(10)), 4);
         // Symmetry.
         for a in g.tiles() {
             for b in g.tiles() {

@@ -117,7 +117,10 @@ impl Tedg {
         let mut index = HashMap::new();
         for c in 0..cycles {
             for t in geometry.tiles() {
-                for node in [TedgNode::Fu { tile: t, cycle: c }, TedgNode::Rf { tile: t, cycle: c }] {
+                for node in [
+                    TedgNode::Fu { tile: t, cycle: c },
+                    TedgNode::Rf { tile: t, cycle: c },
+                ] {
                     let ix = graph.add_node(node);
                     index.insert(node, ix);
                 }
@@ -135,7 +138,13 @@ impl Tedg {
                     graph.add_edge(nrf, fu, TedgEdge::NeighborRead);
                 }
                 if c + 1 < cycles {
-                    let rf_next = at(&index, TedgNode::Rf { tile: t, cycle: c + 1 });
+                    let rf_next = at(
+                        &index,
+                        TedgNode::Rf {
+                            tile: t,
+                            cycle: c + 1,
+                        },
+                    );
                     graph.add_edge(fu, rf_next, TedgEdge::WriteBack);
                     graph.add_edge(rf, rf_next, TedgEdge::Hold);
                 }

@@ -31,9 +31,7 @@ fn bench_simulator(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("assemble", spec.name),
             &result.mapping,
-            |b, mapping| {
-                b.iter(|| black_box(cmam_isa::assemble(&spec.cdfg, mapping, &config)))
-            },
+            |b, mapping| b.iter(|| black_box(cmam_isa::assemble(&spec.cdfg, mapping, &config))),
         );
     }
     group.finish();

@@ -46,7 +46,14 @@ fn main() {
         }
     }
     print_table(
-        &["Population", "Kernel", "Σ block len", "Moves", "Pnops", "Compile time"],
+        &[
+            "Population",
+            "Kernel",
+            "Σ block len",
+            "Moves",
+            "Pnops",
+            "Compile time",
+        ],
         &rows,
     );
     println!("\n(larger populations explore more partial mappings: better schedules,");

@@ -13,8 +13,8 @@ fn main() {
     let mut agg: Vec<f64> = Vec::new();
     for spec in cmam_kernels::all() {
         let (cpu, _) = run_cpu(&spec);
-        let basic = run_flow(&spec, FlowVariant::Basic, &CgraConfig::hom64())
-            .expect("basic maps on HOM64");
+        let basic =
+            run_flow(&spec, FlowVariant::Basic, &CgraConfig::hom64()).expect("basic maps on HOM64");
         let het1 = run_flow(&spec, FlowVariant::Cab, &CgraConfig::het1());
         let het2 = run_flow(&spec, FlowVariant::Cab, &CgraConfig::het2());
         let spd = |c: u64| cpu.cycles as f64 / c as f64;
@@ -38,7 +38,13 @@ fn main() {
         rows.push(row);
     }
     print_table(
-        &["Kernel", "CPU cyc", "basic/HOM64", "aware/HET1", "aware/HET2"],
+        &[
+            "Kernel",
+            "CPU cyc",
+            "basic/HOM64",
+            "aware/HET1",
+            "aware/HET2",
+        ],
         &rows,
     );
     if !agg.is_empty() {

@@ -29,7 +29,15 @@ fn main() {
         ]);
     }
     print_table(
-        &["Tile", "Kind", "Ops", "Moves", "Pnops", "Words", "Occupancy"],
+        &[
+            "Tile",
+            "Kind",
+            "Ops",
+            "Moves",
+            "Pnops",
+            "Words",
+            "Occupancy",
+        ],
         &rows,
     );
     let max = out.binary.max_context_words();

@@ -1,5 +1,8 @@
 //! Fig 6: latency with basic + ACMAP on the constrained configurations.
 
 fn main() {
-    cmam_bench::latency_sweep("Fig 6: latency, basic + ACMAP", cmam_core::FlowVariant::Acmap);
+    cmam_bench::latency_sweep(
+        "Fig 6: latency, basic + ACMAP",
+        cmam_core::FlowVariant::Acmap,
+    );
 }

@@ -1,3 +1,8 @@
+//! Smoke check: maps, assembles and simulates every kernel under the basic
+//! flow on `hom64` and the full context-aware flow on `het1`, printing
+//! per-run cycle counts and wall-clock times. Run this first after any
+//! mapper or simulator change.
+
 use cmam_arch::CgraConfig;
 use cmam_core::{FlowVariant, Mapper};
 use cmam_sim::{simulate, SimOptions};
@@ -13,13 +18,28 @@ fn main() {
             let t0 = Instant::now();
             let mapper = Mapper::new(variant.options());
             match mapper.map(&spec.cdfg, &config) {
-                Err(e) => println!("{:<14} {:<8} {:<22} MAP-FAIL {e}", spec.name, config.name(), variant.to_string()),
+                Err(e) => println!(
+                    "{:<14} {:<8} {:<22} MAP-FAIL {e}",
+                    spec.name,
+                    config.name(),
+                    variant.to_string()
+                ),
                 Ok(r) => match cmam_isa::assemble(&spec.cdfg, &r.mapping, &config) {
-                    Err(e) => println!("{:<14} {:<8} {:<22} ASM-FAIL {e}", spec.name, config.name(), variant.to_string()),
+                    Err(e) => println!(
+                        "{:<14} {:<8} {:<22} ASM-FAIL {e}",
+                        spec.name,
+                        config.name(),
+                        variant.to_string()
+                    ),
                     Ok((bin, rep)) => {
                         let mut mem = spec.mem.clone();
                         match simulate(&bin, &config, &mut mem, SimOptions::default()) {
-                            Err(e) => println!("{:<14} {:<8} {:<22} SIM-FAIL {e}", spec.name, config.name(), variant.to_string()),
+                            Err(e) => println!(
+                                "{:<14} {:<8} {:<22} SIM-FAIL {e}",
+                                spec.name,
+                                config.name(),
+                                variant.to_string()
+                            ),
                             Ok(st) => {
                                 let ok = spec.check(&mem).is_ok();
                                 println!(

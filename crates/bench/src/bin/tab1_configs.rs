@@ -1,7 +1,7 @@
 //! Table I: the four context-memory configurations.
 
-use cmam_bench::print_table;
 use cmam_arch::CgraConfig;
+use cmam_bench::print_table;
 
 fn main() {
     println!("# Table I: context-memory configurations\n");

@@ -63,8 +63,6 @@ fn main() {
             "\naware vs basic: avg {a:.2}x, max {mx:.2}x, min {mn:.2}x (paper: 2.3x / 3.1x / 1.4x)"
         );
         let (a, mx, mn) = stats(&gains_vs_cpu);
-        println!(
-            "aware vs CPU:   avg {a:.1}x, max {mx:.1}x, min {mn:.1}x (paper: 14x / 23x / 5x)"
-        );
+        println!("aware vs CPU:   avg {a:.1}x, max {mx:.1}x, min {mn:.1}x (paper: 14x / 23x / 5x)");
     }
 }

@@ -72,8 +72,9 @@ pub fn run_flow(
     let mut mem = spec.mem.clone();
     let sim = simulate(&binary, config, &mut mem, SimOptions::default())
         .map_err(|e| RunFailure::Execution(e.to_string()))?;
-    spec.check(&mem)
-        .map_err(|(i, got, want)| RunFailure::Execution(format!("mem[{i}] = {got}, want {want}")))?;
+    spec.check(&mem).map_err(|(i, got, want)| {
+        RunFailure::Execution(format!("mem[{i}] = {got}, want {want}"))
+    })?;
     Ok(RunOutcome {
         cycles: sim.cycles,
         sim,

@@ -35,9 +35,9 @@ impl DepGraph {
             succs.entry(id).or_default();
         }
         let add = |preds: &mut HashMap<OpId, Vec<OpId>>,
-                       succs: &mut HashMap<OpId, Vec<OpId>>,
-                       from: OpId,
-                       to: OpId| {
+                   succs: &mut HashMap<OpId, Vec<OpId>>,
+                   from: OpId,
+                   to: OpId| {
             let p = preds.entry(to).or_default();
             if !p.contains(&from) {
                 p.push(from);
@@ -91,7 +91,11 @@ pub fn order_edges(dfg: &Dfg<'_>) -> Vec<(OpId, OpId)> {
                 if let Some(&st) = last_store.get(&class.0) {
                     edges.push((st, op.id));
                 }
-                for &ld in loads_since_store.get(&class.0).map(Vec::as_slice).unwrap_or(&[]) {
+                for &ld in loads_since_store
+                    .get(&class.0)
+                    .map(Vec::as_slice)
+                    .unwrap_or(&[])
+                {
                     edges.push((ld, op.id));
                 }
                 loads_since_store.insert(class.0, Vec::new());

@@ -237,8 +237,7 @@ impl CdfgBuilder {
             _ => panic!("symbol writes must come from an op of the current block"),
         };
         assert!(
-            !self
-                .blocks[bb.0 as usize]
+            !self.blocks[bb.0 as usize]
                 .ops
                 .iter()
                 .any(|&o| self.ops[o.0 as usize].writes_symbol == Some(s)),

@@ -221,7 +221,14 @@ impl fmt::Display for Cdfg {
                 Some(Terminator::Return) => "return".to_owned(),
                 None => "<unterminated>".to_owned(),
             };
-            writeln!(f, "  {} \"{}\": {} ops, {}", bb.id, bb.name, bb.ops.len(), term)?;
+            writeln!(
+                f,
+                "  {} \"{}\": {} ops, {}",
+                bb.id,
+                bb.name,
+                bb.ops.len(),
+                term
+            )?;
         }
         Ok(())
     }

@@ -144,11 +144,7 @@ pub fn run(cdfg: &Cdfg, mem: &mut [i32], max_ops: u64) -> Result<InterpStats, In
                     None
                 }
                 opcode => {
-                    let args: Vec<i32> = op
-                        .args
-                        .iter()
-                        .map(|&a| read(&env, &symbols, a))
-                        .collect();
+                    let args: Vec<i32> = op.args.iter().map(|&a| read(&env, &symbols, a)).collect();
                     Some(opcode.eval(&args))
                 }
             };

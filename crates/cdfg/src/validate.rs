@@ -22,7 +22,7 @@ use crate::{BlockId, SymbolId};
 use std::error::Error;
 use std::fmt;
 
-/// A structural problem found by [`validate`].
+/// A structural problem found by [`Cdfg::validate`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ValidateError {
     /// The CDFG has no blocks.

@@ -59,7 +59,10 @@ impl fmt::Display for MapError {
                 write!(f, "no feasible binding while mapping {block}")
             }
             MapError::MemoryConstraint { block, step } => {
-                write!(f, "context-memory constraints unsatisfiable in {block} ({step})")
+                write!(
+                    f,
+                    "context-memory constraints unsatisfiable in {block} ({step})"
+                )
             }
         }
     }
@@ -162,7 +165,10 @@ impl Mapper {
         }
 
         let mapping = KernelMapping {
-            blocks: blocks.into_iter().map(|b| b.expect("all blocks mapped")).collect(),
+            blocks: blocks
+                .into_iter()
+                .map(|b| b.expect("all blocks mapped"))
+                .collect(),
             symbol_homes: state.homes.clone(),
         };
         Ok(MapResult { mapping, stats })

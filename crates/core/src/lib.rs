@@ -1,7 +1,7 @@
 //! # cmam-core — the paper's contribution: CGRA mapping flows
 //!
 //! Implements the *basic* mapping flow of Das et al. (the baseline from
-//! reference [1] of the paper) and the proposed **context-memory aware**
+//! reference \[1\] of the paper) and the proposed **context-memory aware**
 //! flow, as a set of independently toggleable steps so that every
 //! experiment of the paper (Figs 5-10) can be reproduced:
 //!

@@ -44,7 +44,10 @@ impl FlowVariant {
         if self != FlowVariant::Basic {
             o.traversal = Traversal::Weighted;
         }
-        o.acmap = matches!(self, FlowVariant::Acmap | FlowVariant::Ecmap | FlowVariant::Cab);
+        o.acmap = matches!(
+            self,
+            FlowVariant::Acmap | FlowVariant::Ecmap | FlowVariant::Cab
+        );
         o.ecmap = matches!(self, FlowVariant::Ecmap | FlowVariant::Cab);
         o.cab = self == FlowVariant::Cab;
         o

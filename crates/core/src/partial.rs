@@ -676,7 +676,13 @@ impl Partial {
     /// (inserting moves / re-computations as needed). Returns `false` on
     /// infeasibility; the state is then dirty, so callers must work on a
     /// clone.
-    pub fn try_place_op(&mut self, ctx: &MapCtx<'_>, op_id: OpId, tile: TileId, cycle: usize) -> bool {
+    pub fn try_place_op(
+        &mut self,
+        ctx: &MapCtx<'_>,
+        op_id: OpId,
+        tile: TileId,
+        cycle: usize,
+    ) -> bool {
         let op = ctx.cdfg.op(op_id);
         if cycle >= ctx.options.max_schedule {
             return false;
@@ -775,7 +781,10 @@ impl Partial {
         let dfg = ctx.cdfg.dfg(block);
         let writes: Vec<(OpId, SymbolId, ValueId)> = dfg
             .ops()
-            .filter_map(|o| o.writes_symbol.map(|s| (o.id, s, o.result.expect("writers have results"))))
+            .filter_map(|o| {
+                o.writes_symbol
+                    .map(|s| (o.id, s, o.result.expect("writers have results")))
+            })
             .collect();
         for (op_id, s, v) in writes {
             let home = match self.homes.get(&s) {
@@ -916,7 +925,11 @@ mod tests {
         let a1 = b.constant(1);
         b.store(a1, y, "m");
         b.ret();
-        (b.finish().unwrap(), CgraConfig::hom64(), MapperOptions::basic())
+        (
+            b.finish().unwrap(),
+            CgraConfig::hom64(),
+            MapperOptions::basic(),
+        )
     }
 
     #[test]
@@ -952,7 +965,8 @@ mod tests {
         let state = FlowState::new(16);
         let mut p = Partial::new(&state);
         let ops: Vec<OpId> = cdfg.dfg(cmam_cdfg::BlockId(0)).op_ids().to_vec();
-        assert!(p.try_place_op(&ctx, ops[0], TileId(0), 0)); // load at T1
+        // Load at T1.
+        assert!(p.try_place_op(&ctx, ops[0], TileId(0), 0));
         // Add placed on tile 10 (distance 4): needs a 3-move chain arriving
         // by cycle 4 at a neighbour of tile 10.
         assert!(p.try_place_op(&ctx, ops[1], TileId(10), 4));
@@ -1012,7 +1026,8 @@ mod tests {
         let t0 = TileId(0);
         // 2 instructions + 1 interior run.
         assert_eq!(p.acmap_words(t0), 3);
-        assert_eq!(p.ecmap_words(t0), 3); // no leading/trailing at frontier 4... interior only
+        // No leading/trailing at frontier 4... interior only.
+        assert_eq!(p.ecmap_words(t0), 3);
         // An idle tile costs one leading run under ECMAP but zero under
         // ACMAP.
         let t5 = TileId(5);
@@ -1087,7 +1102,11 @@ mod tests {
         assert!(p.try_place_op(&ctx, ops[0], TileId(10), 4));
         assert!(p.finalize(&ctx, bb));
         let bm = p.into_block_mapping();
-        let commit = bm.moves.iter().filter(|m| m.commit_symbol == Some(s)).count();
+        let commit = bm
+            .moves
+            .iter()
+            .filter(|m| m.commit_symbol == Some(s))
+            .count();
         assert_eq!(commit, 1);
         assert!(bm.moves.len() >= 4, "read route + commit route");
         assert!(!bm.ops.iter().any(|o| o.direct_symbol_write));

@@ -21,7 +21,9 @@ fn tiny() -> cmam_cdfg::Cdfg {
 fn maps_on_minimal_grids() {
     // 2x2 with one LSU row still maps the tiny kernel.
     let config = CgraConfig::builder(2, 2).lsu_rows(1).build().unwrap();
-    let r = Mapper::new(MapperOptions::basic()).map(&tiny(), &config).unwrap();
+    let r = Mapper::new(MapperOptions::basic())
+        .map(&tiny(), &config)
+        .unwrap();
     cmam_isa::assemble(&tiny(), &r.mapping, &config).unwrap();
 }
 
@@ -72,9 +74,14 @@ fn basic_flow_ignores_memory_constraints() {
     // paper's premise.
     let spec = cmam_kernels::nonsep::spec();
     let tight = CgraConfig::builder(4, 4).uniform_cm(8).build().unwrap();
-    let r = Mapper::new(MapperOptions::basic()).map(&spec.cdfg, &tight).unwrap();
+    let r = Mapper::new(MapperOptions::basic())
+        .map(&spec.cdfg, &tight)
+        .unwrap();
     let err = cmam_isa::assemble(&spec.cdfg, &r.mapping, &tight).unwrap_err();
-    assert!(matches!(err, cmam_isa::AssembleError::ContextOverflow { .. }));
+    assert!(matches!(
+        err,
+        cmam_isa::AssembleError::ContextOverflow { .. }
+    ));
 }
 
 #[test]
@@ -83,7 +90,9 @@ fn cab_respects_blacklisted_tiles() {
     // final mapping (stronger: the winning mapping fits exactly).
     let spec = cmam_kernels::sep::spec();
     let config = CgraConfig::het2();
-    let r = Mapper::new(FlowVariant::Cab.options()).map(&spec.cdfg, &config).unwrap();
+    let r = Mapper::new(FlowVariant::Cab.options())
+        .map(&spec.cdfg, &config)
+        .unwrap();
     for i in 0..16 {
         let t = TileId(i);
         assert!(r.mapping.context_words(t) <= config.tile(t).cm_words);
@@ -94,7 +103,9 @@ fn cab_respects_blacklisted_tiles() {
 fn stats_track_search_effort() {
     let spec = cmam_kernels::fir::spec();
     let config = CgraConfig::hom64();
-    let r = Mapper::new(MapperOptions::basic()).map(&spec.cdfg, &config).unwrap();
+    let r = Mapper::new(MapperOptions::basic())
+        .map(&spec.cdfg, &config)
+        .unwrap();
     assert!(r.stats.attempts > r.stats.candidates);
     assert!(r.stats.candidates > 0);
     assert!(r.stats.stochastic_pruned > 0, "population was capped");
@@ -131,7 +142,10 @@ fn memory_filters_fire_on_overconstrained_targets() {
     let spec = cmam_kernels::fir::spec();
     let tight = CgraConfig::builder(4, 4).uniform_cm(16).build().unwrap();
     let err = Mapper::new(FlowVariant::Ecmap.options()).map(&spec.cdfg, &tight);
-    assert!(matches!(err, Err(MapError::MemoryConstraint { .. })), "{err:?}");
+    assert!(
+        matches!(err, Err(MapError::MemoryConstraint { .. })),
+        "{err:?}"
+    );
 }
 
 #[test]

@@ -246,11 +246,8 @@ pub fn assemble(
     // --- Persistent registers: symbols grouped by home tile. ---
     let mut persistent: HashMap<SymbolId, (TileId, u8)> = HashMap::new();
     let mut persistent_count = vec![0usize; ntiles];
-    let mut homed: Vec<(SymbolId, TileId)> = mapping
-        .symbol_homes
-        .iter()
-        .map(|(&s, &t)| (s, t))
-        .collect();
+    let mut homed: Vec<(SymbolId, TileId)> =
+        mapping.symbol_homes.iter().map(|(&s, &t)| (s, t)).collect();
     homed.sort();
     for (s, home) in homed {
         let reg = persistent_count[home.0];
@@ -310,12 +307,7 @@ pub fn assemble(
         Err(AssembleError::NonAdjacentRead { tile: t, src })
     };
 
-    let mut tiles = vec![
-        TileProgram {
-            blocks: Vec::new()
-        };
-        ntiles
-    ];
+    let mut tiles = vec![TileProgram { blocks: Vec::new() }; ntiles];
 
     for (bidx, bm) in mapping.blocks.iter().enumerate() {
         // --- Gather instruction intents and detect slot conflicts. ---
@@ -478,22 +470,13 @@ pub fn assemble(
                         });
                     };
                     active.push((end, reg));
-                    copies.insert(
-                        (tile, value),
-                        Copy {
-                            reg,
-                            ready: start,
-                        },
-                    );
+                    copies.insert((tile, value), Copy { reg, ready: start });
                 }
             }
         }
 
         // --- Resolve a read of `value` from `src`'s RF at `cycle`. ---
-        let resolve = |value: ValueId,
-                       src: TileId,
-                       cycle: usize|
-         -> Result<u8, AssembleError> {
+        let resolve = |value: ValueId, src: TileId, cycle: usize| -> Result<u8, AssembleError> {
             if let Some(c) = copies.get(&(src, value)) {
                 if cycle < c.ready {
                     return Err(AssembleError::ValueNotReady {
@@ -629,16 +612,18 @@ pub fn assemble(
 
     let terminators = cdfg
         .block_ids()
-        .map(|b| match cdfg.block(b).terminator.as_ref().expect("validated") {
-            Terminator::Jump(t) => BinTerminator::Jump(t.0),
-            Terminator::Branch {
-                taken, fallthrough, ..
-            } => BinTerminator::Branch {
-                taken: taken.0,
-                fallthrough: fallthrough.0,
+        .map(
+            |b| match cdfg.block(b).terminator.as_ref().expect("validated") {
+                Terminator::Jump(t) => BinTerminator::Jump(t.0),
+                Terminator::Branch {
+                    taken, fallthrough, ..
+                } => BinTerminator::Branch {
+                    taken: taken.0,
+                    fallthrough: fallthrough.0,
+                },
+                Terminator::Return => BinTerminator::Return,
             },
-            Terminator::Return => BinTerminator::Return,
-        })
+        )
         .collect();
 
     let binary = CgraBinary {
@@ -656,7 +641,7 @@ pub fn assemble(
 mod tests {
     use super::*;
     use crate::mapping::{BlockMapping, PlacedMove, PlacedOp};
-    use cmam_cdfg::{CdfgBuilder, Opcode};
+    use cmam_cdfg::CdfgBuilder;
 
     /// One block: r = load(0); store(1, r). Two LSU ops.
     fn tiny_cdfg() -> (Cdfg, ValueId) {

@@ -12,7 +12,7 @@
 //!   home tiles;
 //! * [`program`] — assembled per-tile contexts ([`TileProgram`],
 //!   [`CgraBinary`]) with per-tile word counts;
-//! * [`assemble`] — lowers a [`KernelMapping`] to a [`CgraBinary`]:
+//! * [`mod@assemble`] — lowers a [`KernelMapping`] to a [`CgraBinary`]:
 //!   register allocation, CRF allocation, pnop compression and the
 //!   Section III-C accounting check
 //!   `n(Mo) + n(pnop) ≤ n(I)` for every tile.

@@ -4,7 +4,7 @@
 //! executes on which `(tile, cycle)` slot, where each operand is read from,
 //! which `move` instructions realise the routing, and where each symbol
 //! variable lives. Lowering to concrete registers, CRF slots and context
-//! words is the assembler's job ([`crate::assemble`]).
+//! words is the assembler's job ([`crate::assemble()`]).
 
 use cmam_arch::TileId;
 use cmam_cdfg::{BlockId, OpId, SymbolId, ValueId};

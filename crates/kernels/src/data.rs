@@ -5,7 +5,9 @@
 /// identical inputs without depending on an RNG crate here.
 pub fn lcg_fill(seed: u64, len: usize, range: i32) -> Vec<i32> {
     assert!(range > 0, "range must be positive");
-    let mut s = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    let mut s = seed
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
     let mut out = Vec::with_capacity(len);
     for _ in 0..len {
         s = s

@@ -71,7 +71,9 @@ mod tests {
             ]
         );
         for k in &kernels {
-            k.cdfg.validate().unwrap_or_else(|e| panic!("{}: {e}", k.name));
+            k.cdfg
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", k.name));
             assert!(!k.expected.is_empty(), "{} has no expected data", k.name);
             assert!(k.out.end <= k.mem.len(), "{} output range oob", k.name);
         }

@@ -71,7 +71,8 @@ impl SimStats {
             return 0.0;
         }
         let active: u64 = self.tiles.iter().map(|t| t.active_cycles).sum();
-        active as f64 / (self.cycles.saturating_sub(self.stall_cycles) * self.tiles.len() as u64) as f64
+        active as f64
+            / (self.cycles.saturating_sub(self.stall_cycles) * self.tiles.len() as u64) as f64
     }
 }
 

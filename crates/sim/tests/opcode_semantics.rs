@@ -111,7 +111,9 @@ fn abs_through_pipeline() {
     builder.ret();
     let cdfg = builder.finish().unwrap();
     let config = CgraConfig::hom64();
-    let result = Mapper::new(MapperOptions::basic()).map(&cdfg, &config).unwrap();
+    let result = Mapper::new(MapperOptions::basic())
+        .map(&cdfg, &config)
+        .unwrap();
     let (bin, _) = assemble(&cdfg, &result.mapping, &config).unwrap();
     let mut mem = vec![0i32; 16];
     mem[0] = -99;
@@ -149,7 +151,9 @@ fn branch_not_taken_path_executes() {
     b.ret();
     let cdfg = b.finish().unwrap();
     let config = CgraConfig::hom64();
-    let result = Mapper::new(MapperOptions::basic()).map(&cdfg, &config).unwrap();
+    let result = Mapper::new(MapperOptions::basic())
+        .map(&cdfg, &config)
+        .unwrap();
     let (bin, _) = assemble(&cdfg, &result.mapping, &config).unwrap();
     for (input, want) in [(5, 1), (-5, 2), (0, 2)] {
         let mut mem = vec![0i32; 16];

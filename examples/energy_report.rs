@@ -42,7 +42,11 @@ fn main() {
         .run(&spec.cdfg, &mut mem, 100_000_000)
         .expect("cpu run");
     spec.check(&mem).expect("cpu correct");
-    row("CPU (or1k-like)", cpu_stats.cycles, &cpu_energy(&params, &cpu_stats));
+    row(
+        "CPU (or1k-like)",
+        cpu_stats.cycles,
+        &cpu_energy(&params, &cpu_stats),
+    );
 
     // CGRA targets.
     for (variant, config) in [
@@ -59,8 +63,20 @@ fn main() {
         let mut mem = spec.mem.clone();
         let stats = simulate(&binary, &config, &mut mem, SimOptions::default()).expect("sim");
         spec.check(&mem).expect("cgra correct");
-        let label = format!("{} ({})", config.name(), if variant == FlowVariant::Basic { "basic" } else { "aware" });
-        row(&label, stats.cycles, &cgra_energy(&params, &config, &stats, 0.25));
+        let label = format!(
+            "{} ({})",
+            config.name(),
+            if variant == FlowVariant::Basic {
+                "basic"
+            } else {
+                "aware"
+            }
+        );
+        row(
+            &label,
+            stats.cycles,
+            &cgra_energy(&params, &config, &stats, 0.25),
+        );
     }
     println!("\n(instruction supply = CM fetches on the CGRA, ifetch+pipeline on the CPU;");
     println!(" shrinking the context memories attacks exactly that column plus leakage)");

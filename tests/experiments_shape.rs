@@ -84,7 +84,7 @@ fn cgra_energy_gain_over_cpu() {
 /// Table I structural claim: the heterogeneous configurations halve (or
 /// nearly halve) the total context memory of HOM64.
 #[test]
-fn het_configs_halve_context_memory()  {
+fn het_configs_halve_context_memory() {
     let hom64 = CgraConfig::hom64().total_cm_words() as f64;
     assert_eq!(CgraConfig::het2().total_cm_words() as f64, hom64 / 2.0);
     assert!(CgraConfig::het1().total_cm_words() as f64 <= 0.6 * hom64);
@@ -109,8 +109,12 @@ fn mapping_determinism_across_flows() {
     let spec = cmam::kernels::dc::spec();
     for variant in [FlowVariant::Basic, FlowVariant::Cab] {
         let config = CgraConfig::het1();
-        let a = Mapper::new(variant.options()).map(&spec.cdfg, &config).unwrap();
-        let b = Mapper::new(variant.options()).map(&spec.cdfg, &config).unwrap();
+        let a = Mapper::new(variant.options())
+            .map(&spec.cdfg, &config)
+            .unwrap();
+        let b = Mapper::new(variant.options())
+            .map(&spec.cdfg, &config)
+            .unwrap();
         assert_eq!(a.mapping, b.mapping, "{variant}");
     }
 }

@@ -23,9 +23,8 @@ struct GenOp {
 
 fn gen_ops(max: usize) -> impl Strategy<Value = Vec<GenOp>> {
     prop::collection::vec(
-        (0u8..8, 0usize..64, 0usize..64, 0usize..64, -20i32..20).prop_map(
-            |(kind, a, b, c, imm)| GenOp { kind, a, b, c, imm },
-        ),
+        (0u8..8, 0usize..64, 0usize..64, 0usize..64, -20i32..20)
+            .prop_map(|(kind, a, b, c, imm)| GenOp { kind, a, b, c, imm }),
         1..max,
     )
 }
@@ -38,7 +37,7 @@ fn build(ops: &[GenOp]) -> Cdfg {
     let bb = b.block("b0");
     b.select(bb);
     let mut values: Vec<ValueId> = Vec::new();
-    let mut pick = |values: &[ValueId], b: &mut CdfgBuilder, idx: usize, imm: i32| -> ValueId {
+    let pick = |values: &[ValueId], b: &mut CdfgBuilder, idx: usize, imm: i32| -> ValueId {
         if values.is_empty() || idx % 3 == 0 {
             b.constant(imm)
         } else {

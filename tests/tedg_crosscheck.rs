@@ -25,9 +25,7 @@ fn mapped_dependencies_follow_tedg_edges() {
         let producers = |value, tile: TileId| -> Option<usize> {
             bm.ops
                 .iter()
-                .filter(|po| {
-                    po.tile == tile && spec.cdfg.op(po.op).result == Some(value)
-                })
+                .filter(|po| po.tile == tile && spec.cdfg.op(po.op).result == Some(value))
                 .map(|po| po.cycle)
                 .chain(
                     bm.moves
@@ -50,8 +48,7 @@ fn mapped_dependencies_follow_tedg_edges() {
                 // Cross-block symbol reads start in the home RF (cycle 0);
                 // everything else must flow from a producer instance
                 // through the TEDG.
-                let is_symbol_home =
-                    matches!(spec.cdfg.value(value).kind, ValueKind::SymbolUse(_));
+                let is_symbol_home = matches!(spec.cdfg.value(value).kind, ValueKind::SymbolUse(_));
                 if is_symbol_home && producers(value, tile).is_none() {
                     continue;
                 }

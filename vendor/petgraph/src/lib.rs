@@ -1,0 +1,232 @@
+//! Offline stub of the `petgraph` crate — see `vendor/README.md`.
+//!
+//! Implements the directed-graph subset the TEDG needs: node/edge
+//! insertion, counts, indexing by [`graph::NodeIndex`], and iteration over
+//! a node's outgoing edges through the [`visit::EdgeRef`] abstraction.
+
+/// Graph data structures.
+pub mod graph {
+    use std::ops::Index;
+
+    /// Opaque handle of a node inside a [`DiGraph`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+    pub struct NodeIndex(usize);
+
+    impl NodeIndex {
+        /// Creates an index from a raw position.
+        pub fn new(ix: usize) -> Self {
+            NodeIndex(ix)
+        }
+
+        /// The raw position of the node in insertion order.
+        pub fn index(self) -> usize {
+            self.0
+        }
+    }
+
+    /// Opaque handle of an edge inside a [`DiGraph`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+    pub struct EdgeIndex(usize);
+
+    impl EdgeIndex {
+        /// The raw position of the edge in insertion order.
+        pub fn index(self) -> usize {
+            self.0
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    struct EdgeData<E> {
+        source: usize,
+        target: usize,
+        weight: E,
+    }
+
+    /// A growable directed graph with node weights `N` and edge weights `E`.
+    #[derive(Debug, Clone, Default)]
+    pub struct DiGraph<N, E> {
+        nodes: Vec<N>,
+        edges: Vec<EdgeData<E>>,
+        /// Outgoing edge ids per node, in insertion order.
+        out: Vec<Vec<usize>>,
+    }
+
+    impl<N, E> DiGraph<N, E> {
+        /// Creates an empty graph.
+        pub fn new() -> Self {
+            DiGraph {
+                nodes: Vec::new(),
+                edges: Vec::new(),
+                out: Vec::new(),
+            }
+        }
+
+        /// Adds a node and returns its index.
+        pub fn add_node(&mut self, weight: N) -> NodeIndex {
+            self.nodes.push(weight);
+            self.out.push(Vec::new());
+            NodeIndex(self.nodes.len() - 1)
+        }
+
+        /// Adds a directed edge `a -> b` and returns its index.
+        ///
+        /// # Panics
+        ///
+        /// Panics if either endpoint is not a node of this graph.
+        pub fn add_edge(&mut self, a: NodeIndex, b: NodeIndex, weight: E) -> EdgeIndex {
+            assert!(
+                a.0 < self.nodes.len() && b.0 < self.nodes.len(),
+                "endpoint out of bounds"
+            );
+            let id = self.edges.len();
+            self.edges.push(EdgeData {
+                source: a.0,
+                target: b.0,
+                weight,
+            });
+            self.out[a.0].push(id);
+            EdgeIndex(id)
+        }
+
+        /// Number of nodes.
+        pub fn node_count(&self) -> usize {
+            self.nodes.len()
+        }
+
+        /// Number of edges.
+        pub fn edge_count(&self) -> usize {
+            self.edges.len()
+        }
+
+        /// The node weight behind `ix`, if in bounds.
+        pub fn node_weight(&self, ix: NodeIndex) -> Option<&N> {
+            self.nodes.get(ix.0)
+        }
+
+        /// Iterates over the outgoing edges of `a` in insertion order.
+        pub fn edges(&self, a: NodeIndex) -> Edges<'_, E> {
+            Edges {
+                graph_edges: &self.edges,
+                ids: self.out.get(a.0).map(|v| v.as_slice()).unwrap_or(&[]),
+                pos: 0,
+            }
+        }
+    }
+
+    impl<N, E> Index<NodeIndex> for DiGraph<N, E> {
+        type Output = N;
+
+        fn index(&self, ix: NodeIndex) -> &N {
+            &self.nodes[ix.0]
+        }
+    }
+
+    /// A borrowed view of one edge, yielded by [`DiGraph::edges`].
+    #[derive(Debug)]
+    pub struct EdgeReference<'a, E> {
+        id: usize,
+        source: usize,
+        target: usize,
+        weight: &'a E,
+    }
+
+    impl<E> Clone for EdgeReference<'_, E> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<E> Copy for EdgeReference<'_, E> {}
+
+    impl<'a, E> crate::visit::EdgeRef for EdgeReference<'a, E> {
+        type NodeId = NodeIndex;
+        type EdgeId = EdgeIndex;
+        type Weight = E;
+
+        fn source(&self) -> NodeIndex {
+            NodeIndex(self.source)
+        }
+
+        fn target(&self) -> NodeIndex {
+            NodeIndex(self.target)
+        }
+
+        fn weight(&self) -> &'a E {
+            self.weight
+        }
+
+        fn id(&self) -> EdgeIndex {
+            EdgeIndex(self.id)
+        }
+    }
+
+    /// Iterator over a node's outgoing edges.
+    #[derive(Debug, Clone)]
+    pub struct Edges<'a, E> {
+        graph_edges: &'a [EdgeData<E>],
+        ids: &'a [usize],
+        pos: usize,
+    }
+
+    impl<'a, E> Iterator for Edges<'a, E> {
+        type Item = EdgeReference<'a, E>;
+
+        fn next(&mut self) -> Option<Self::Item> {
+            let id = *self.ids.get(self.pos)?;
+            self.pos += 1;
+            let e = &self.graph_edges[id];
+            Some(EdgeReference {
+                id,
+                source: e.source,
+                target: e.target,
+                weight: &e.weight,
+            })
+        }
+    }
+}
+
+/// Graph-traversal traits.
+pub mod visit {
+    /// A reference to a graph edge: endpoints plus weight.
+    pub trait EdgeRef: Copy {
+        /// Node handle type.
+        type NodeId;
+        /// Edge handle type.
+        type EdgeId;
+        /// Edge weight type.
+        type Weight;
+
+        /// The edge's source node.
+        fn source(&self) -> Self::NodeId;
+        /// The edge's target node.
+        fn target(&self) -> Self::NodeId;
+        /// The edge's weight.
+        fn weight(&self) -> &Self::Weight;
+        /// The edge's own handle.
+        fn id(&self) -> Self::EdgeId;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::graph::DiGraph;
+    use super::visit::EdgeRef;
+
+    #[test]
+    fn build_and_walk() {
+        let mut g: DiGraph<&'static str, u32> = DiGraph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        g.add_edge(a, b, 1);
+        g.add_edge(a, c, 2);
+        g.add_edge(b, c, 3);
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g[b], "b");
+        let out: Vec<(&str, u32)> = g.edges(a).map(|e| (g[e.target()], *e.weight())).collect();
+        assert_eq!(out, vec![("b", 1), ("c", 2)]);
+        assert!(g.edges(c).next().is_none());
+        assert_eq!(g.edges(b).next().unwrap().source(), b);
+    }
+}

@@ -1,0 +1,77 @@
+//! Test execution: configuration and the case-running loop.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Configuration of a [`TestRunner`]; `ProptestConfig` in the prelude.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Unused by the stub (no shrinking); kept for API compatibility.
+    pub max_shrink_iters: u32,
+    /// Seed of the deterministic case generator.
+    pub rng_seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: 256,
+            max_shrink_iters: 0,
+            rng_seed: 0x5EED_CA5E_5EED_CA5E,
+        }
+    }
+}
+
+/// The random source handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    /// Underlying generator (public to the crate's strategy impls only).
+    pub(crate) rng: StdRng,
+}
+
+/// Runs a strategy's generated cases through a test closure.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: Config,
+    rng: TestRng,
+}
+
+impl TestRunner {
+    /// Creates a runner for `config`.
+    pub fn new(config: Config) -> Self {
+        let rng = TestRng {
+            rng: StdRng::seed_from_u64(config.rng_seed),
+        };
+        TestRunner { config, rng }
+    }
+
+    /// Generates [`Config::cases`] values and calls `test` on each.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first failing case's panic after printing the
+    /// generated input (the stub does not shrink).
+    pub fn run<S, F>(&mut self, strategy: &S, mut test: F)
+    where
+        S: Strategy,
+        S::Value: std::fmt::Debug,
+        F: FnMut(S::Value),
+    {
+        for case in 0..self.config.cases {
+            let value = strategy.new_value(&mut self.rng);
+            let shown = format!("{value:?}");
+            if let Err(panic) = catch_unwind(AssertUnwindSafe(|| test(value))) {
+                eprintln!(
+                    "proptest case {case}/{} failed (no shrinking in the offline stub).\n\
+                     Input: {shown}",
+                    self.config.cases
+                );
+                resume_unwind(panic);
+            }
+        }
+    }
+}
