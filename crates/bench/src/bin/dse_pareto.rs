@@ -1,0 +1,178 @@
+//! Design-space exploration (beyond the paper): sweep a generated space
+//! of CGRA configurations — context-memory depth x heterogeneity x
+//! geometry, see [`cmam_engine::dse::config_space`] — over all seven
+//! kernels with the full context-aware flow, and print the energy/latency
+//! Pareto frontier.
+//!
+//! This is exactly the workload the engine exists for: ~170 jobs,
+//! submitted as one batch, executed on the work-stealing pool and
+//! memoised under `target/cmam-cache/`, so re-running the sweep after the
+//! first time costs milliseconds. Use `--jobs N` to bound the workers,
+//! `--csv` for machine-readable tables.
+
+use cmam_bench::{cgra_energy_of, emit_table, engine, ratio, JobRequest};
+use cmam_core::FlowVariant;
+use std::time::Instant;
+
+/// Per-configuration aggregate over the whole kernel mix.
+struct ConfigPoint {
+    name: String,
+    shape: String,
+    cm_words: usize,
+    mapped: usize,
+    energy_uj: f64,
+    cycles: u64,
+}
+
+fn main() {
+    println!("# DSE: energy/latency Pareto frontier over generated configurations\n");
+    let specs = cmam_kernels::all();
+    let space = cmam_engine::dse::config_space();
+    let mut requests = Vec::new();
+    for config in &space {
+        for spec in &specs {
+            requests.push(JobRequest::flow(spec, FlowVariant::Cab, config));
+        }
+    }
+    println!(
+        "sweeping {} configurations x {} kernels = {} jobs (full flow: {})\n",
+        space.len(),
+        specs.len(),
+        requests.len(),
+        FlowVariant::Cab
+    );
+    let t0 = Instant::now();
+    let results = engine().run_batch(&requests);
+    let elapsed = t0.elapsed();
+
+    let mut points: Vec<ConfigPoint> = Vec::new();
+    for (c, config) in space.iter().enumerate() {
+        let mut point = ConfigPoint {
+            name: config.name().to_owned(),
+            shape: format!("{}x{}", config.geometry().rows(), config.geometry().cols()),
+            cm_words: config.total_cm_words(),
+            mapped: 0,
+            energy_uj: 0.0,
+            cycles: 0,
+        };
+        for (k, spec) in specs.iter().enumerate() {
+            if let Ok(out) = &results[c * specs.len() + k] {
+                point.mapped += 1;
+                point.energy_uj += cgra_energy_of(spec, config, out).total();
+                point.cycles += out.cycles;
+            }
+        }
+        points.push(point);
+    }
+
+    // A configuration is feasible when the full kernel mix maps; only
+    // feasible points compete for the frontier (an infeasible config has
+    // no meaningful mix energy).
+    let feasible: Vec<usize> = (0..points.len())
+        .filter(|&i| points[i].mapped == specs.len())
+        .collect();
+    // Pareto dominance: strictly better in at least one of
+    // (energy, latency), no worse in the other.
+    let dominated = |i: usize| {
+        feasible.iter().any(|&j| {
+            j != i
+                && points[j].energy_uj <= points[i].energy_uj
+                && points[j].cycles <= points[i].cycles
+                && (points[j].energy_uj < points[i].energy_uj
+                    || points[j].cycles < points[i].cycles)
+        })
+    };
+    let frontier: Vec<usize> = feasible
+        .iter()
+        .copied()
+        .filter(|&i| !dominated(i))
+        .collect();
+
+    let reference = feasible
+        .iter()
+        .find(|&&i| points[i].name == "U64-L2")
+        .copied();
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let feasible_here = p.mapped == specs.len();
+            vec![
+                p.name.clone(),
+                p.shape.clone(),
+                p.cm_words.to_string(),
+                format!("{}/{}", p.mapped, specs.len()),
+                if feasible_here {
+                    format!("{:.4}", p.energy_uj)
+                } else {
+                    "-".to_owned()
+                },
+                if feasible_here {
+                    p.cycles.to_string()
+                } else {
+                    "-".to_owned()
+                },
+                match reference {
+                    Some(r) if feasible_here => ratio(Some(points[r].energy_uj / p.energy_uj)),
+                    _ => "-".to_owned(),
+                },
+                if frontier.contains(&i) { "*" } else { "" }.to_owned(),
+            ]
+        })
+        .collect();
+    emit_table(
+        &[
+            "Config",
+            "Shape",
+            "CM words",
+            "Mapped",
+            "Mix energy µJ",
+            "Mix cycles",
+            "vs U64-L2",
+            "Pareto",
+        ],
+        &rows,
+    );
+
+    println!("\n## Pareto frontier (energy- and latency-minimal mixes)\n");
+    let mut frontier_sorted = frontier.clone();
+    frontier_sorted.sort_by(|&a, &b| {
+        points[a]
+            .energy_uj
+            .partial_cmp(&points[b].energy_uj)
+            .expect("frontier energies are finite")
+    });
+    let frontier_rows: Vec<Vec<String>> = frontier_sorted
+        .iter()
+        .map(|&i| {
+            let p = &points[i];
+            vec![
+                p.name.clone(),
+                p.cm_words.to_string(),
+                format!("{:.4}", p.energy_uj),
+                p.cycles.to_string(),
+            ]
+        })
+        .collect();
+    emit_table(
+        &["Config", "CM words", "Mix energy µJ", "Mix cycles"],
+        &frontier_rows,
+    );
+    println!(
+        "\n{} of {} configurations feasible for the full mix; {} on the frontier",
+        feasible.len(),
+        space.len(),
+        frontier.len()
+    );
+    let stats = engine().stats();
+    eprintln!(
+        "dse: {} jobs in {elapsed:?} on {} workers \
+         (executed {}, memory hits {}, disk hits {}, deduped {})",
+        stats.submitted,
+        engine().workers(),
+        stats.executed,
+        stats.memory_hits,
+        stats.disk_hits,
+        stats.deduped,
+    );
+}

@@ -4,14 +4,16 @@
 //! (HET1) / 19x (HET2), min 5x.
 
 use cmam_arch::CgraConfig;
-use cmam_bench::{print_table, run_cpu, run_flow};
+use cmam_bench::{emit_table, prewarm_smoke_matrix, run_cpu, run_flow};
 use cmam_core::FlowVariant;
 
 fn main() {
     println!("# Fig 10: CGRA speed-up over the CPU\n");
+    let specs = cmam_kernels::all();
+    prewarm_smoke_matrix(&specs);
     let mut rows = Vec::new();
     let mut agg: Vec<f64> = Vec::new();
-    for spec in cmam_kernels::all() {
+    for spec in &specs {
         let (cpu, _) = run_cpu(&spec);
         let basic =
             run_flow(&spec, FlowVariant::Basic, &CgraConfig::hom64()).expect("basic maps on HOM64");
@@ -37,7 +39,7 @@ fn main() {
         }
         rows.push(row);
     }
-    print_table(
+    emit_table(
         &[
             "Kernel",
             "CPU cyc",

@@ -3,7 +3,7 @@
 //! context memories; a 64-word CM is ~40% of a PE.
 
 use cmam_arch::CgraConfig;
-use cmam_bench::print_table;
+use cmam_bench::emit_table;
 use cmam_energy::{cgra_area, cpu_area, AreaParams};
 
 fn main() {
@@ -31,7 +31,7 @@ fn main() {
             format!("{:.2}x", a.total() / cpu.total()),
         ]);
     }
-    print_table(
+    emit_table(
         &[
             "Design",
             "Logic",

@@ -3,7 +3,7 @@
 //! spots while most compute tiles stay underused.
 
 use cmam_arch::{CgraConfig, TileId};
-use cmam_bench::{print_table, run_flow};
+use cmam_bench::{emit_table, run_flow};
 use cmam_core::FlowVariant;
 
 fn main() {
@@ -28,7 +28,7 @@ fn main() {
             format!("{:>3.0}% {bar}", 100.0 * words as f64 / cap as f64),
         ]);
     }
-    print_table(
+    emit_table(
         &[
             "Tile",
             "Kind",

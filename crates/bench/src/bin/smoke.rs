@@ -1,59 +1,60 @@
 //! Smoke check: maps, assembles and simulates every kernel under the basic
-//! flow on `hom64` and the full context-aware flow on `het1`, printing
-//! per-run cycle counts and wall-clock times. Run this first after any
-//! mapper or simulator change.
+//! flow on `hom64` and the full context-aware flow on `het1`/`het2`,
+//! printing per-run cycle counts and context-word accounting. Run this
+//! first after any mapper or simulator change.
+//!
+//! The whole matrix is submitted as one engine batch, so it runs in
+//! parallel (`--jobs N`) and memoises into `target/cmam-cache/`. Stdout is
+//! deliberately free of wall-clock noise: a cached re-run, or a run with a
+//! different `--jobs` count, must produce byte-identical output (CI diffs
+//! two consecutive runs). Timing and engine counters go to stderr.
 
-use cmam_arch::CgraConfig;
-use cmam_core::{FlowVariant, Mapper};
-use cmam_sim::{simulate, SimOptions};
+use cmam_bench::{engine, smoke_matrix, JobRequest};
 use std::time::Instant;
 
 fn main() {
-    for spec in cmam_kernels::all() {
-        for (variant, config) in [
-            (FlowVariant::Basic, CgraConfig::hom64()),
-            (FlowVariant::Cab, CgraConfig::het1()),
-            (FlowVariant::Cab, CgraConfig::het2()),
-        ] {
-            let t0 = Instant::now();
-            let mapper = Mapper::new(variant.options());
-            match mapper.map(&spec.cdfg, &config) {
-                Err(e) => println!(
-                    "{:<14} {:<8} {:<22} MAP-FAIL {e}",
-                    spec.name,
-                    config.name(),
-                    variant.to_string()
-                ),
-                Ok(r) => match cmam_isa::assemble(&spec.cdfg, &r.mapping, &config) {
-                    Err(e) => println!(
-                        "{:<14} {:<8} {:<22} ASM-FAIL {e}",
-                        spec.name,
-                        config.name(),
-                        variant.to_string()
-                    ),
-                    Ok((bin, rep)) => {
-                        let mut mem = spec.mem.clone();
-                        match simulate(&bin, &config, &mut mem, SimOptions::default()) {
-                            Err(e) => println!(
-                                "{:<14} {:<8} {:<22} SIM-FAIL {e}",
-                                spec.name,
-                                config.name(),
-                                variant.to_string()
-                            ),
-                            Ok(st) => {
-                                let ok = spec.check(&mem).is_ok();
-                                println!(
-                                    "{:<14} {:<8} {:<22} {} cycles={} maxwords={} moves={} pnops={} t={:?}",
-                                    spec.name, config.name(), variant.to_string(),
-                                    if ok { "OK " } else { "WRONG-RESULT" },
-                                    st.cycles, bin.max_context_words(), rep.total_moves(), rep.total_pnops(),
-                                    t0.elapsed()
-                                );
-                            }
-                        }
-                    }
-                },
-            }
+    let specs = cmam_kernels::all();
+    let matrix = smoke_matrix();
+    let mut requests = Vec::new();
+    let mut labels = Vec::new();
+    for spec in &specs {
+        for (variant, config) in &matrix {
+            requests.push(JobRequest::flow(spec, *variant, config));
+            labels.push(variant.to_string());
         }
     }
+    let t0 = Instant::now();
+    let results = engine().run_batch(&requests);
+    let elapsed = t0.elapsed();
+    for ((req, label), result) in requests.iter().zip(&labels).zip(&results) {
+        match result {
+            Err(e) => println!(
+                "{:<14} {:<8} {:<22} FAIL {e}",
+                req.spec.name,
+                req.config.name(),
+                label
+            ),
+            Ok(out) => println!(
+                "{:<14} {:<8} {:<22} OK  cycles={} maxwords={} moves={} pnops={}",
+                req.spec.name,
+                req.config.name(),
+                label,
+                out.cycles,
+                out.binary.max_context_words(),
+                out.report.total_moves(),
+                out.report.total_pnops(),
+            ),
+        }
+    }
+    let stats = engine().stats();
+    eprintln!(
+        "smoke: {} jobs in {elapsed:?} on {} workers \
+         (executed {}, memory hits {}, disk hits {}, deduped {})",
+        stats.submitted,
+        engine().workers(),
+        stats.executed,
+        stats.memory_hits,
+        stats.disk_hits,
+        stats.deduped,
+    );
 }

@@ -1,7 +1,7 @@
 //! Table I: the four context-memory configurations.
 
 use cmam_arch::CgraConfig;
-use cmam_bench::print_table;
+use cmam_bench::emit_table;
 
 fn main() {
     println!("# Table I: context-memory configurations\n");
@@ -36,7 +36,7 @@ fn main() {
             ]
         })
         .collect();
-    print_table(
+    emit_table(
         &["Config", "LSU tiles", "CM 64", "CM 32", "CM 16", "Total"],
         &rows,
     );

@@ -4,7 +4,7 @@
 //! 14x (max 23x, min 5x).
 
 use cmam_arch::CgraConfig;
-use cmam_bench::{cgra_energy_of, print_table, run_cpu, run_flow};
+use cmam_bench::{cgra_energy_of, emit_table, prewarm_smoke_matrix, run_cpu, run_flow};
 use cmam_core::FlowVariant;
 
 fn main() {
@@ -12,10 +12,12 @@ fn main() {
     let hom64 = CgraConfig::hom64();
     let het1 = CgraConfig::het1();
     let het2 = CgraConfig::het2();
+    let specs = cmam_kernels::all();
+    prewarm_smoke_matrix(&specs);
     let mut rows = Vec::new();
     let mut gains_vs_basic: Vec<f64> = Vec::new();
     let mut gains_vs_cpu: Vec<f64> = Vec::new();
-    for spec in cmam_kernels::all() {
+    for spec in &specs {
         let (_, cpu_e) = run_cpu(&spec);
         let cpu_uj = cpu_e.total();
         let basic = run_flow(&spec, FlowVariant::Basic, &hom64).expect("basic maps");
@@ -41,7 +43,7 @@ fn main() {
         }
         rows.push(row);
     }
-    print_table(
+    emit_table(
         &[
             "Kernel",
             "CPU µJ",

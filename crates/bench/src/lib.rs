@@ -3,86 +3,62 @@
 //! Shared plumbing for the per-figure binaries (`tab1_configs`,
 //! `fig2_occupancy`, `fig5_traversal`, `fig6_acmap`, `fig7_ecmap`,
 //! `fig8_cab`, `fig9_compile_time`, `fig10_speedup`, `fig11_area`,
-//! `tab2_energy`) and the Criterion benches. Every binary regenerates one
-//! table or figure of the paper; `EXPERIMENTS.md` records paper-vs-measured
-//! for each.
+//! `tab2_energy`, `dse_pareto`) and the Criterion benches. Every binary
+//! regenerates one table or figure of the paper (or, for `dse_pareto`, a
+//! scenario beyond it).
+//!
+//! All mapping work is submitted through the shared [`engine()`] — a
+//! [`cmam_engine::Engine`] that deduplicates identical jobs, runs batches
+//! on a work-stealing thread pool and memoises every outcome in memory
+//! and on disk (`target/cmam-cache/`). Every binary therefore understands
+//! `--jobs N` (worker threads), `--no-cache` (disable the disk store) and
+//! `--csv` (machine-readable output alongside each table).
 
 use cmam_arch::CgraConfig;
 use cmam_cdfg::{Cdfg, Opcode};
-use cmam_core::{FlowVariant, MapError, Mapper};
+use cmam_core::FlowVariant;
 use cmam_cpu::{CpuModel, CpuStats};
 use cmam_energy::{cpu_energy, EnergyBreakdown, EnergyParams};
-use cmam_isa::{AsmReport, CgraBinary};
 use cmam_kernels::KernelSpec;
-use cmam_sim::{simulate, SimOptions, SimStats};
-use std::time::{Duration, Instant};
+use std::sync::OnceLock;
 
-/// Everything measured for one (kernel, flow, configuration) run.
-#[derive(Debug, Clone)]
-pub struct RunOutcome {
-    /// Executed cycles (including stalls).
-    pub cycles: u64,
-    /// Simulator activity counters.
-    pub sim: SimStats,
-    /// Context-word accounting.
-    pub report: AsmReport,
-    /// The assembled binary.
-    pub binary: CgraBinary,
-    /// Wall-clock mapping time.
-    pub compile_time: Duration,
-    /// Mapper search statistics.
-    pub map_stats: cmam_core::MapStats,
+pub use cmam_engine::{
+    smoke_matrix, Engine, EngineOptions, EngineStats, FailStage, JobRequest, RunFailure, RunOutcome,
+};
+
+/// The process-wide compilation engine, configured once from the
+/// command-line arguments (`--jobs N`, `--no-cache`).
+///
+/// Binaries share this instance so that repeated (kernel, flow, config)
+/// combinations — e.g. the HOM64 baseline every figure normalises to —
+/// compile exactly once per process, and once per *cache lifetime* across
+/// processes.
+pub fn engine() -> &'static Engine {
+    static ENGINE: OnceLock<Engine> = OnceLock::new();
+    ENGINE.get_or_init(|| Engine::new(EngineOptions::from_args()))
 }
 
-/// Why a run produced no data point (the "zero bars" of Figs 6-8).
-#[derive(Debug, Clone)]
-pub enum RunFailure {
-    /// The mapper found no solution under the given constraints.
-    Map(MapError),
-    /// The mapping violated a constraint at assembly (only possible for
-    /// memory-unaware flows on constrained configurations).
-    Assemble(cmam_isa::AssembleError),
-    /// Simulation failed or produced wrong results (always a bug).
-    Execution(String),
-}
-
-impl std::fmt::Display for RunFailure {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            RunFailure::Map(e) => write!(f, "no mapping: {e}"),
-            RunFailure::Assemble(e) => write!(f, "does not fit: {e}"),
-            RunFailure::Execution(e) => write!(f, "execution failure: {e}"),
-        }
-    }
+/// Warms the shared engine with one parallel batch over the canonical
+/// smoke matrix for the given kernels; per-row [`run_flow`] lookups after
+/// this are memo hits, so callers keep simple sequential table-building
+/// code while the actual mapping work ran in parallel.
+pub fn prewarm_smoke_matrix(specs: &[KernelSpec]) {
+    let matrix = smoke_matrix();
+    let requests: Vec<JobRequest> = specs
+        .iter()
+        .flat_map(|s| matrix.iter().map(move |(v, c)| JobRequest::flow(s, *v, c)))
+        .collect();
+    engine().run_batch(&requests);
 }
 
 /// Maps, assembles, simulates and checks one kernel with one flow variant
-/// on one configuration.
+/// on one configuration, through the shared [`engine()`].
 pub fn run_flow(
     spec: &KernelSpec,
     variant: FlowVariant,
     config: &CgraConfig,
 ) -> Result<RunOutcome, RunFailure> {
-    let mapper = Mapper::new(variant.options());
-    let t0 = Instant::now();
-    let result = mapper.map(&spec.cdfg, config).map_err(RunFailure::Map)?;
-    let compile_time = t0.elapsed();
-    let (binary, report) =
-        cmam_isa::assemble(&spec.cdfg, &result.mapping, config).map_err(RunFailure::Assemble)?;
-    let mut mem = spec.mem.clone();
-    let sim = simulate(&binary, config, &mut mem, SimOptions::default())
-        .map_err(|e| RunFailure::Execution(e.to_string()))?;
-    spec.check(&mem).map_err(|(i, got, want)| {
-        RunFailure::Execution(format!("mem[{i}] = {got}, want {want}"))
-    })?;
-    Ok(RunOutcome {
-        cycles: sim.cycles,
-        sim,
-        report,
-        binary,
-        compile_time,
-        map_stats: result.stats,
-    })
+    engine().run_one(&JobRequest::flow(spec, variant, config))
 }
 
 /// Runs the CPU baseline for a kernel, returning the profile and checking
@@ -131,38 +107,141 @@ pub fn cgra_energy_of(spec: &KernelSpec, config: &CgraConfig, out: &RunOutcome) 
     )
 }
 
+/// Whether `--csv` was passed to the current process.
+pub fn csv_flag() -> bool {
+    std::env::args().skip(1).any(|a| a == "--csv")
+}
+
 /// Renders a markdown-style table: a header row plus data rows.
+///
+/// Ragged input is tolerated: rows wider than the header grow extra
+/// columns, rows narrower than the widest are padded with empty cells.
+/// An empty row set prints just the header and separator.
 pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
-    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    let ncols = rows
+        .iter()
+        .map(Vec::len)
+        .max()
+        .unwrap_or(0)
+        .max(headers.len());
+    let mut widths = vec![0usize; ncols];
+    for (i, h) in headers.iter().enumerate() {
+        widths[i] = h.len();
+    }
     for row in rows {
         for (i, cell) in row.iter().enumerate() {
             widths[i] = widths[i].max(cell.len());
         }
     }
-    let line = |cells: Vec<String>| {
+    let line = |cells: &[String]| {
         let mut s = String::from("|");
-        for (i, c) in cells.iter().enumerate() {
-            s.push_str(&format!(" {:<w$} |", c, w = widths[i]));
+        for (i, w) in widths.iter().enumerate() {
+            let empty = String::new();
+            let c = cells.get(i).unwrap_or(&empty);
+            s.push_str(&format!(" {:<w$} |", c, w = w));
         }
         println!("{s}");
     };
-    line(headers.iter().map(|h| h.to_string()).collect());
+    line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
     let mut sep = String::from("|");
     for w in &widths {
         sep.push_str(&format!("{}|", "-".repeat(w + 2)));
     }
     println!("{sep}");
     for row in rows {
-        line(row.clone());
+        line(row);
     }
 }
 
-/// Formats a ratio as e.g. `2.31x`, or `-` for a missing data point.
+/// Renders the same data as RFC-4180-style CSV (quoting cells containing
+/// commas, quotes or newlines).
+pub fn print_csv(headers: &[&str], rows: &[Vec<String>]) {
+    let quote = |cell: &str| -> String {
+        if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+            format!("\"{}\"", cell.replace('"', "\"\""))
+        } else {
+            cell.to_owned()
+        }
+    };
+    println!(
+        "{}",
+        headers
+            .iter()
+            .map(|h| quote(h))
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    for row in rows {
+        println!(
+            "{}",
+            row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(",")
+        );
+    }
+}
+
+/// Prints the table, and — when the process was invoked with `--csv` —
+/// the same data again as CSV after a blank line. Every experiment binary
+/// emits its tables through this.
+pub fn emit_table(headers: &[&str], rows: &[Vec<String>]) {
+    print_table(headers, rows);
+    if csv_flag() {
+        println!();
+        print_csv(headers, rows);
+    }
+}
+
+/// Formats a ratio as e.g. `2.31x`, or `-` for a missing or undefined
+/// data point (`None`, NaN or an infinity — a `0/0` latency ratio must
+/// render as missing, not as `NaNx`).
 pub fn ratio(value: Option<f64>) -> String {
     match value {
-        Some(v) => format!("{v:.2}x"),
-        None => "-".to_owned(),
+        Some(v) if v.is_finite() => format!("{v:.2}x"),
+        _ => "-".to_owned(),
     }
+}
+
+/// Shared driver for Figs 6-8: latency of one flow variant on the
+/// constrained configurations (HOM32, HET1, HET2), normalised to the
+/// basic mapping on HOM64. Failures print as `0 (none)` — the zero bars
+/// of the paper's charts.
+///
+/// All 28 jobs (7 kernels x (1 baseline + 3 configs)) are submitted as a
+/// single engine batch, so they run in parallel and dedup against other
+/// figures' jobs; the table is rendered afterwards in deterministic
+/// order, so the output is byte-identical for any `--jobs` count.
+pub fn latency_sweep(title: &str, variant: FlowVariant) {
+    println!("# {title} (flow: {variant})\n");
+    let specs = cmam_kernels::all();
+    let hom64 = CgraConfig::hom64();
+    let configs = [CgraConfig::hom32(), CgraConfig::het1(), CgraConfig::het2()];
+    let mut requests = Vec::new();
+    for spec in &specs {
+        requests.push(JobRequest::flow(spec, FlowVariant::Basic, &hom64));
+        for config in &configs {
+            requests.push(JobRequest::flow(spec, variant, config));
+        }
+    }
+    let results = engine().run_batch(&requests);
+    let mut rows = Vec::new();
+    let per_kernel = 1 + configs.len();
+    for (k, spec) in specs.iter().enumerate() {
+        let base = results[k * per_kernel]
+            .as_ref()
+            .expect("basic maps on HOM64");
+        let mut row = vec![spec.name.to_owned(), base.cycles.to_string()];
+        for (c, config) in configs.iter().enumerate() {
+            match &results[k * per_kernel + 1 + c] {
+                Ok(out) => row.push(format!("{:.2}", out.cycles as f64 / base.cycles as f64)),
+                Err(e) => {
+                    row.push("0 (none)".to_owned());
+                    eprintln!("  [{}] {}: {e}", config.name(), spec.name);
+                }
+            }
+        }
+        rows.push(row);
+    }
+    emit_table(&["Kernel", "base cyc", "HOM32", "HET1", "HET2"], &rows);
+    println!("\n(latency normalised to basic mapping on HOM64; 0 = no mapping found)");
 }
 
 #[cfg(test)]
@@ -183,31 +262,43 @@ mod tests {
         assert!(stats.cycles > 0);
         assert!(energy.total() > 0.0);
     }
-}
 
-/// Shared driver for Figs 6-8: latency of one flow variant on the
-/// constrained configurations (HOM32, HET1, HET2), normalised to the
-/// basic mapping on HOM64. Failures print as `0 (none)` — the zero bars
-/// of the paper's charts.
-pub fn latency_sweep(title: &str, variant: FlowVariant) {
-    println!("# {title} (flow: {variant})\n");
-    let configs = [CgraConfig::hom32(), CgraConfig::het1(), CgraConfig::het2()];
-    let mut rows = Vec::new();
-    for spec in cmam_kernels::all() {
-        let base =
-            run_flow(&spec, FlowVariant::Basic, &CgraConfig::hom64()).expect("basic maps on HOM64");
-        let mut row = vec![spec.name.to_owned(), base.cycles.to_string()];
-        for config in &configs {
-            match run_flow(&spec, variant, config) {
-                Ok(out) => row.push(format!("{:.2}", out.cycles as f64 / base.cycles as f64)),
-                Err(e) => {
-                    row.push("0 (none)".to_owned());
-                    eprintln!("  [{}] {}: {e}", config.name(), spec.name);
-                }
-            }
-        }
-        rows.push(row);
+    #[test]
+    fn ratio_formats_values_and_rejects_non_finite() {
+        assert_eq!(ratio(Some(2.309)), "2.31x");
+        assert_eq!(ratio(Some(0.0)), "0.00x");
+        assert_eq!(ratio(None), "-");
+        assert_eq!(ratio(Some(f64::NAN)), "-");
+        assert_eq!(ratio(Some(f64::INFINITY)), "-");
+        assert_eq!(ratio(Some(f64::NEG_INFINITY)), "-");
     }
-    print_table(&["Kernel", "base cyc", "HOM32", "HET1", "HET2"], &rows);
-    println!("\n(latency normalised to basic mapping on HOM64; 0 = no mapping found)");
+
+    #[test]
+    fn print_table_handles_empty_and_ragged_rows() {
+        // These must simply not panic; the old implementation indexed
+        // `widths[i]` out of bounds for rows wider than the header.
+        print_table(&["A", "B"], &[]);
+        print_table(&["A"], &[vec!["1".into(), "2".into(), "3".into()], vec![]]);
+        print_table(&[], &[vec!["x".into()]]);
+    }
+
+    #[test]
+    fn csv_quotes_only_what_needs_quoting() {
+        // print_csv writes to stdout; exercise the quoting rule through a
+        // row that would break naive joining.
+        print_csv(
+            &["name", "note"],
+            &[vec!["a,b".into(), "say \"hi\"\nok".into()]],
+        );
+    }
+
+    #[test]
+    fn run_flow_through_engine_matches_direct_execution() {
+        let spec = cmam_kernels::dc::spec();
+        let config = CgraConfig::hom64();
+        let via_engine = run_flow(&spec, FlowVariant::Basic, &config).expect("DC maps");
+        let direct = cmam_engine::execute(&JobRequest::flow(&spec, FlowVariant::Basic, &config))
+            .expect("DC maps");
+        assert_eq!(via_engine.content_digest(), direct.content_digest());
+    }
 }

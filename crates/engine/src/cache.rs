@@ -1,0 +1,562 @@
+//! The two-level artifact cache: an in-process memo table plus an on-disk
+//! store of plain serialized text under `target/cmam-cache/`.
+//!
+//! Artifacts are keyed by the job's content hash (see
+//! [`crate::fingerprint`]): any change to the kernel CDFG, the CGRA
+//! configuration or the mapper options produces a new key, so entries
+//! never need invalidation — stale ones are simply never addressed again.
+//! The serialization is a deliberately boring line-oriented text format
+//! (no serde, the workspace stays offline); a parse failure of any kind is
+//! treated as a cache miss and the entry is rewritten.
+
+use crate::fingerprint::FORMAT_VERSION;
+use crate::job::{FailStage, JobResult, RunFailure, RunOutcome};
+use cmam_arch::Direction;
+use cmam_cdfg::Opcode;
+use cmam_isa::program::BinTerminator;
+use cmam_isa::{AsmReport, CgraBinary, Instr, Operand, TileProgram};
+use cmam_sim::{SimStats, TileStats};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// On-disk artifact store. Construction never fails: if the directory
+/// cannot be created the store silently degrades to a no-op (a cache must
+/// never turn a working sweep into an error).
+#[derive(Debug)]
+pub struct DiskCache {
+    dir: Option<PathBuf>,
+    counter: AtomicU64,
+}
+
+impl DiskCache {
+    /// Opens (creating if needed) the store under `dir`; `None` disables
+    /// persistence entirely.
+    pub fn new(dir: Option<PathBuf>) -> Self {
+        let dir = dir.filter(|d| std::fs::create_dir_all(d).is_ok());
+        DiskCache {
+            dir,
+            counter: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether a backing directory is active.
+    pub fn enabled(&self) -> bool {
+        self.dir.is_some()
+    }
+
+    fn path_for(&self, key: u64) -> Option<PathBuf> {
+        self.dir.as_ref().map(|d| d.join(format!("{key:016x}.run")))
+    }
+
+    /// Loads the artifact for `key`, or `None` on miss/corruption.
+    pub fn load(&self, key: u64) -> Option<JobResult> {
+        let text = std::fs::read_to_string(self.path_for(key)?).ok()?;
+        parse_result(&text)
+    }
+
+    /// Persists the artifact for `key`. Best-effort: write errors are
+    /// swallowed (the in-memory cache still holds the result).
+    pub fn store(&self, key: u64, result: &JobResult) {
+        let Some(path) = self.path_for(key) else {
+            return;
+        };
+        let Some(dir) = path.parent() else { return };
+        // Write-then-rename so concurrent engines never observe a torn
+        // artifact; the counter keeps temp names unique within a process.
+        let tmp = dir.join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            self.counter.fetch_add(1, Ordering::Relaxed)
+        ));
+        let stored = std::fs::write(&tmp, serialize_result(result)).is_ok()
+            && std::fs::rename(&tmp, &path).is_ok();
+        if !stored {
+            // Clean up whether the write or the rename failed — a partial
+            // write (disk full) must not leave orphan temp files behind.
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some(other) => out.push(other),
+                None => {}
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn instr_to_text(i: &Instr) -> String {
+    match i {
+        Instr::Pnop { cycles } => format!("p{cycles}"),
+        Instr::Exec { opcode, dst, srcs } => {
+            let dst = dst.map(|d| d.to_string()).unwrap_or_else(|| "-".into());
+            let srcs = srcs
+                .iter()
+                .map(|s| match s {
+                    Operand::Crf(i) => format!("c{i}"),
+                    Operand::Reg(i) => format!("r{i}"),
+                    Operand::Neighbor(d, i) => {
+                        let d = match d {
+                            Direction::North => 'N',
+                            Direction::East => 'E',
+                            Direction::South => 'S',
+                            Direction::West => 'W',
+                        };
+                        format!("n{d}{i}")
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join(",");
+            format!("e:{opcode}:{dst}:{srcs}")
+        }
+    }
+}
+
+fn opcode_from_name(name: &str) -> Option<Opcode> {
+    Opcode::ALL.iter().copied().find(|o| o.to_string() == name)
+}
+
+fn instr_from_text(s: &str) -> Option<Instr> {
+    if let Some(c) = s.strip_prefix('p') {
+        return Some(Instr::Pnop {
+            cycles: c.parse().ok()?,
+        });
+    }
+    let mut parts = s.splitn(4, ':');
+    if parts.next()? != "e" {
+        return None;
+    }
+    let opcode = opcode_from_name(parts.next()?)?;
+    let dst_text = parts.next()?;
+    let dst = if dst_text == "-" {
+        None
+    } else {
+        Some(dst_text.parse().ok()?)
+    };
+    let srcs_text = parts.next()?;
+    let mut srcs = Vec::new();
+    if !srcs_text.is_empty() {
+        for tok in srcs_text.split(',') {
+            let mut chars = tok.chars();
+            let kind = chars.next()?;
+            let rest = chars.as_str();
+            srcs.push(match kind {
+                'c' => Operand::Crf(rest.parse().ok()?),
+                'r' => Operand::Reg(rest.parse().ok()?),
+                'n' => {
+                    let mut chars = rest.chars();
+                    let dir = match chars.next()? {
+                        'N' => Direction::North,
+                        'E' => Direction::East,
+                        'S' => Direction::South,
+                        'W' => Direction::West,
+                        _ => return None,
+                    };
+                    Operand::Neighbor(dir, chars.as_str().parse().ok()?)
+                }
+                _ => return None,
+            });
+        }
+    }
+    Some(Instr::Exec { opcode, dst, srcs })
+}
+
+/// Renders a job result as the on-disk text artifact.
+pub fn serialize_result(result: &JobResult) -> String {
+    let mut out = format!("cmam-run v{FORMAT_VERSION}\n");
+    match result {
+        Err(f) => {
+            out.push_str("err\n");
+            out.push_str(&format!(
+                "stage {}\n",
+                match f.stage {
+                    FailStage::Map => "map",
+                    FailStage::Assemble => "assemble",
+                    FailStage::Execution => "execution",
+                }
+            ));
+            out.push_str(&format!("compile_ns {}\n", f.compile_time.as_nanos()));
+            out.push_str(&format!("message {}\n", escape(&f.message)));
+        }
+        Ok(o) => {
+            out.push_str("ok\n");
+            out.push_str(&format!("compile_ns {}\n", o.compile_time.as_nanos()));
+            out.push_str(&format!("cycles {}\n", o.cycles));
+            out.push_str(&format!("tiles {}\n", o.sim.tiles.len()));
+            out.push_str(&format!("sim {} {}\n", o.sim.cycles, o.sim.stall_cycles));
+            let mut blocks: Vec<(u32, u64)> =
+                o.sim.block_execs.iter().map(|(&b, &n)| (b, n)).collect();
+            blocks.sort_unstable();
+            let blocks = blocks
+                .iter()
+                .map(|(b, n)| format!("{b}:{n}"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            out.push_str(&format!("sim.blocks {blocks}\n"));
+            for t in &o.sim.tiles {
+                out.push_str(&format!(
+                    "sim.tile {} {} {} {} {} {} {} {} {} {} {}\n",
+                    t.active_cycles,
+                    t.idle_cycles,
+                    t.cm_fetches,
+                    t.alu_ops,
+                    t.moves,
+                    t.loads,
+                    t.stores,
+                    t.rf_reads,
+                    t.neighbor_reads,
+                    t.crf_reads,
+                    t.rf_writes,
+                ));
+            }
+            let report = o
+                .report
+                .per_tile
+                .iter()
+                .map(|(a, m, p)| format!("{a}:{m}:{p}"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            out.push_str(&format!("report {report}\n"));
+            out.push_str(&format!(
+                "map {} {} {} {} {} {} {}\n",
+                o.map_stats.candidates,
+                o.map_stats.attempts,
+                o.map_stats.acmap_pruned,
+                o.map_stats.ecmap_pruned,
+                o.map_stats.stochastic_pruned,
+                o.map_stats.finalize_failures,
+                o.map_stats.escalations,
+            ));
+            out.push_str(&format!("bin.name {}\n", escape(&o.binary.name)));
+            out.push_str(&format!("bin.entry {}\n", o.binary.entry));
+            let lengths = o
+                .binary
+                .block_lengths
+                .iter()
+                .map(usize::to_string)
+                .collect::<Vec<_>>()
+                .join(" ");
+            out.push_str(&format!("bin.lengths {lengths}\n"));
+            let terms = o
+                .binary
+                .terminators
+                .iter()
+                .map(|t| match t {
+                    BinTerminator::Jump(b) => format!("j{b}"),
+                    BinTerminator::Branch { taken, fallthrough } => {
+                        format!("b{taken},{fallthrough}")
+                    }
+                    BinTerminator::Return => "r".to_owned(),
+                })
+                .collect::<Vec<_>>()
+                .join(" ");
+            out.push_str(&format!("bin.terms {terms}\n"));
+            for crf in &o.binary.crf {
+                let words = crf.iter().map(i32::to_string).collect::<Vec<_>>().join(" ");
+                out.push_str(&format!("bin.crf {words}\n"));
+            }
+            for tile in &o.binary.tiles {
+                out.push_str(&format!("bin.tile {}\n", tile.blocks.len()));
+                for block in &tile.blocks {
+                    let words = block
+                        .iter()
+                        .map(instr_to_text)
+                        .collect::<Vec<_>>()
+                        .join("|");
+                    out.push_str(&format!("bin.block {words}\n"));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Parses an on-disk artifact back into a job result. `None` on any
+/// malformed or version-mismatched input (treated as a cache miss).
+pub fn parse_result(text: &str) -> Option<JobResult> {
+    let mut lines = text.lines();
+    if lines.next()? != format!("cmam-run v{FORMAT_VERSION}") {
+        return None;
+    }
+    let status = lines.next()?;
+    // Every subsequent line is "<tag> <payload>"; `field` pops one and
+    // checks the tag.
+    let mut field = |tag: &str| -> Option<String> {
+        let line = lines.next()?;
+        let (got, payload) = line.split_once(' ').unwrap_or((line, ""));
+        (got == tag).then(|| payload.to_owned())
+    };
+    match status {
+        "err" => {
+            let stage = parse_failure_stage(&field("stage")?)?;
+            let compile_time = nanos_to_duration(&field("compile_ns")?)?;
+            let message = unescape(&field("message")?);
+            Some(Err(RunFailure {
+                stage,
+                message,
+                compile_time,
+            }))
+        }
+        "ok" => {
+            let compile_time = nanos_to_duration(&field("compile_ns")?)?;
+            let cycles: u64 = field("cycles")?.parse().ok()?;
+            let ntiles: usize = field("tiles")?.parse().ok()?;
+            let sim_line = field("sim")?;
+            let mut sim_parts = sim_line.split_whitespace();
+            let sim_cycles: u64 = sim_parts.next()?.parse().ok()?;
+            let stall_cycles: u64 = sim_parts.next()?.parse().ok()?;
+            let mut block_execs = HashMap::new();
+            for pair in field("sim.blocks")?.split_whitespace() {
+                let (b, n) = pair.split_once(':')?;
+                block_execs.insert(b.parse().ok()?, n.parse().ok()?);
+            }
+            let mut tiles = Vec::with_capacity(ntiles);
+            for _ in 0..ntiles {
+                let line = field("sim.tile")?;
+                let v: Vec<u64> = line
+                    .split_whitespace()
+                    .map(str::parse)
+                    .collect::<Result<_, _>>()
+                    .ok()?;
+                if v.len() != 11 {
+                    return None;
+                }
+                tiles.push(TileStats {
+                    active_cycles: v[0],
+                    idle_cycles: v[1],
+                    cm_fetches: v[2],
+                    alu_ops: v[3],
+                    moves: v[4],
+                    loads: v[5],
+                    stores: v[6],
+                    rf_reads: v[7],
+                    neighbor_reads: v[8],
+                    crf_reads: v[9],
+                    rf_writes: v[10],
+                });
+            }
+            let sim = SimStats {
+                cycles: sim_cycles,
+                stall_cycles,
+                block_execs,
+                tiles,
+            };
+            let mut per_tile = Vec::with_capacity(ntiles);
+            for triple in field("report")?.split_whitespace() {
+                let mut it = triple.split(':');
+                per_tile.push((
+                    it.next()?.parse().ok()?,
+                    it.next()?.parse().ok()?,
+                    it.next()?.parse().ok()?,
+                ));
+            }
+            if per_tile.len() != ntiles {
+                return None;
+            }
+            let report = AsmReport { per_tile };
+            let map_line = field("map")?;
+            let m: Vec<u64> = map_line
+                .split_whitespace()
+                .map(str::parse)
+                .collect::<Result<_, _>>()
+                .ok()?;
+            if m.len() != 7 {
+                return None;
+            }
+            let map_stats = cmam_core::MapStats {
+                candidates: m[0],
+                attempts: m[1],
+                acmap_pruned: m[2],
+                ecmap_pruned: m[3],
+                stochastic_pruned: m[4],
+                finalize_failures: m[5],
+                escalations: m[6],
+            };
+            let name = unescape(&field("bin.name")?);
+            let entry: u32 = field("bin.entry")?.parse().ok()?;
+            let block_lengths: Vec<usize> = field("bin.lengths")?
+                .split_whitespace()
+                .map(str::parse)
+                .collect::<Result<_, _>>()
+                .ok()?;
+            let mut terminators = Vec::new();
+            for tok in field("bin.terms")?.split_whitespace() {
+                // strip_prefix, not split_at(1): a corrupted artifact whose
+                // token starts with a multi-byte character must be a miss,
+                // not a char-boundary panic.
+                terminators.push(if let Some(b) = tok.strip_prefix('j') {
+                    BinTerminator::Jump(b.parse().ok()?)
+                } else if let Some(rest) = tok.strip_prefix('b') {
+                    let (t, f) = rest.split_once(',')?;
+                    BinTerminator::Branch {
+                        taken: t.parse().ok()?,
+                        fallthrough: f.parse().ok()?,
+                    }
+                } else if tok == "r" {
+                    BinTerminator::Return
+                } else {
+                    return None;
+                });
+            }
+            let mut crf = Vec::with_capacity(ntiles);
+            for _ in 0..ntiles {
+                let words: Vec<i32> = field("bin.crf")?
+                    .split_whitespace()
+                    .map(str::parse)
+                    .collect::<Result<_, _>>()
+                    .ok()?;
+                crf.push(words);
+            }
+            let mut tiles = Vec::with_capacity(ntiles);
+            for _ in 0..ntiles {
+                let nblocks: usize = field("bin.tile")?.parse().ok()?;
+                let mut blocks = Vec::with_capacity(nblocks);
+                for _ in 0..nblocks {
+                    let line = field("bin.block")?;
+                    let mut words = Vec::new();
+                    if !line.is_empty() {
+                        for tok in line.split('|') {
+                            words.push(instr_from_text(tok)?);
+                        }
+                    }
+                    blocks.push(words);
+                }
+                tiles.push(TileProgram { blocks });
+            }
+            let binary = CgraBinary {
+                name,
+                tiles,
+                crf,
+                block_lengths,
+                terminators,
+                entry,
+            };
+            Some(Ok(RunOutcome {
+                cycles,
+                sim,
+                report,
+                binary,
+                compile_time,
+                map_stats,
+            }))
+        }
+        _ => None,
+    }
+}
+
+fn parse_failure_stage(s: &str) -> Option<FailStage> {
+    match s {
+        "map" => Some(FailStage::Map),
+        "assemble" => Some(FailStage::Assemble),
+        "execution" => Some(FailStage::Execution),
+        _ => None,
+    }
+}
+
+fn nanos_to_duration(s: &str) -> Option<Duration> {
+    let n: u128 = s.parse().ok()?;
+    Some(Duration::new(
+        (n / 1_000_000_000) as u64,
+        (n % 1_000_000_000) as u32,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{execute, JobRequest};
+    use cmam_arch::CgraConfig;
+    use cmam_core::FlowVariant;
+
+    #[test]
+    fn outcome_round_trips_through_text() {
+        let spec = cmam_kernels::fir::spec();
+        let config = CgraConfig::hom64();
+        let req = JobRequest::flow(&spec, FlowVariant::Basic, &config);
+        let result = execute(&req);
+        let out = result.as_ref().expect("FIR maps on HOM64");
+        let parsed = parse_result(&serialize_result(&result)).expect("parses");
+        let back = parsed.expect("still ok");
+        assert_eq!(back.cycles, out.cycles);
+        assert_eq!(back.sim, out.sim);
+        assert_eq!(back.report.per_tile, out.report.per_tile);
+        assert_eq!(back.binary, out.binary);
+        assert_eq!(back.compile_time, out.compile_time);
+        assert_eq!(back.content_digest(), out.content_digest());
+    }
+
+    #[test]
+    fn failure_round_trips_through_text() {
+        let f = RunFailure {
+            stage: FailStage::Assemble,
+            message: "tile T3 needs 99 words\nbut has 16".into(),
+            compile_time: Duration::from_nanos(123_456_789),
+        };
+        let parsed = parse_result(&serialize_result(&Err(f.clone()))).expect("parses");
+        let back = parsed.expect_err("still err");
+        assert_eq!(back.stage, f.stage);
+        assert_eq!(back.message, f.message);
+        assert_eq!(back.compile_time, f.compile_time);
+    }
+
+    #[test]
+    fn corrupt_or_versioned_text_is_a_miss() {
+        assert!(parse_result("").is_none());
+        assert!(parse_result("cmam-run v999\nok\n").is_none());
+        assert!(parse_result("cmam-run v1\nok\ncompile_ns nope\n").is_none());
+    }
+
+    #[test]
+    fn instr_text_round_trips() {
+        let instrs = [
+            Instr::Pnop { cycles: 17 },
+            Instr::Exec {
+                opcode: Opcode::Add,
+                dst: Some(3),
+                srcs: vec![Operand::Reg(1), Operand::Crf(2)],
+            },
+            Instr::Exec {
+                opcode: Opcode::Store,
+                dst: None,
+                srcs: vec![
+                    Operand::Neighbor(Direction::West, 4),
+                    Operand::Neighbor(Direction::North, 0),
+                ],
+            },
+        ];
+        for i in &instrs {
+            assert_eq!(instr_from_text(&instr_to_text(i)).as_ref(), Some(i));
+        }
+    }
+
+    #[test]
+    fn disk_cache_survives_a_missing_dir_gracefully() {
+        let cache = DiskCache::new(None);
+        assert!(!cache.enabled());
+        assert!(cache.load(42).is_none());
+        cache.store(
+            42,
+            &Err(RunFailure {
+                stage: FailStage::Map,
+                message: "x".into(),
+                compile_time: Duration::ZERO,
+            }),
+        );
+    }
+}

@@ -1,0 +1,134 @@
+//! Design-space generation for the `dse_pareto` workload.
+//!
+//! The paper evaluates four hand-picked configurations (Table I). This
+//! module generates a *space* of configurations spanning three axes —
+//! context-memory depth, heterogeneity pattern, and array geometry /
+//! LSU placement — so the engine can sweep them all and report the
+//! energy/latency Pareto frontier per kernel mix, a scenario beyond the
+//! paper's fixed table.
+
+use cmam_arch::{CgraConfig, TileId};
+
+fn build(
+    name: String,
+    rows: usize,
+    cols: usize,
+    lsu_rows: usize,
+    cm_for: impl Fn(usize, usize) -> usize,
+) -> CgraConfig {
+    let mut b = CgraConfig::builder(rows, cols)
+        .name(name)
+        .lsu_rows(lsu_rows);
+    for r in 0..rows {
+        for c in 0..cols {
+            b = b.cm_for(TileId(r * cols + c), cm_for(r, c));
+        }
+    }
+    b.build().expect("generated configuration is valid")
+}
+
+/// The generated configuration space: 24 configurations spanning CM depth
+/// (16/32/48/64 words), heterogeneity (uniform, row-graded, LSU-biased,
+/// checkerboard) and geometry/LSU placement (4x4 with 1 or 2 LSU rows,
+/// plus a wide 4x8 and a tall 8x2 variant).
+///
+/// Names encode the axes: `U<d>` uniform depth, `G…` graded rows,
+/// `B<l>/<c>` LSU-biased, `C<a>/<b>` checkerboard; an `-L<n>` suffix gives
+/// the number of LSU rows and `-<r>x<c>` the geometry when not 4x4.
+pub fn config_space() -> Vec<CgraConfig> {
+    let mut out = Vec::new();
+    // Axis 1: uniform CM depth x LSU placement (8 configs). U64-L2 is the
+    // paper's HOM64 shape, so the space contains Table I's corners.
+    for depth in [16usize, 32, 48, 64] {
+        for lsu_rows in [1usize, 2] {
+            out.push(build(
+                format!("U{depth}-L{lsu_rows}"),
+                4,
+                4,
+                lsu_rows,
+                |_, _| depth,
+            ));
+        }
+    }
+    // Axis 2a: row-graded heterogeneity — deeper CMs on the LSU rows,
+    // shallow on the far rows (6 configs).
+    for (tag, profile) in [
+        ("G64", [64usize, 48, 32, 16]),
+        ("G48", [48, 32, 32, 16]),
+        ("G32", [32, 32, 16, 16]),
+    ] {
+        for lsu_rows in [1usize, 2] {
+            out.push(build(
+                format!("{tag}-L{lsu_rows}"),
+                4,
+                4,
+                lsu_rows,
+                move |r, _| profile[r],
+            ));
+        }
+    }
+    // Axis 2b: LSU-biased — deep CMs only where the load/store pressure
+    // concentrates (4 configs).
+    for (lsu_depth, compute_depth) in [(64usize, 16usize), (64, 32)] {
+        for lsu_rows in [1usize, 2] {
+            out.push(build(
+                format!("B{lsu_depth}/{compute_depth}-L{lsu_rows}"),
+                4,
+                4,
+                lsu_rows,
+                move |r, _| {
+                    if r < lsu_rows {
+                        lsu_depth
+                    } else {
+                        compute_depth
+                    }
+                },
+            ));
+        }
+    }
+    // Axis 2c: checkerboard heterogeneity (2 configs).
+    for (a, b) in [(64usize, 16usize), (48, 32)] {
+        out.push(build(format!("C{a}/{b}-L2"), 4, 4, 2, move |r, c| {
+            if (r + c) % 2 == 0 {
+                a
+            } else {
+                b
+            }
+        }));
+    }
+    // Axis 3: geometry — a wide 4x8 array (more tiles, shallow CMs) and a
+    // tall 8x2 array (long routes, the stress case) (4 configs).
+    for depth in [16usize, 32] {
+        out.push(build(format!("U{depth}-L1-4x8"), 4, 8, 1, move |_, _| {
+            depth
+        }));
+    }
+    for depth in [32usize, 64] {
+        out.push(build(format!("U{depth}-L2-8x2"), 8, 2, 2, move |_, _| {
+            depth
+        }));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn space_has_at_least_twenty_distinct_configs() {
+        let space = config_space();
+        assert!(space.len() >= 20, "only {} configs", space.len());
+        let names: HashSet<&str> = space.iter().map(|c| c.name()).collect();
+        assert_eq!(names.len(), space.len(), "duplicate config names");
+    }
+
+    #[test]
+    fn every_config_validates_and_has_lsus() {
+        for c in config_space() {
+            assert!(!c.lsu_tiles().is_empty(), "{}", c.name());
+            assert!(c.total_cm_words() > 0, "{}", c.name());
+        }
+    }
+}

@@ -1,0 +1,312 @@
+//! Stable content hashing for job keys and outcome digests.
+//!
+//! The engine addresses every compilation job by a content hash of its
+//! inputs `(Cdfg, CgraConfig, MapperOptions)`. [`std::hash::Hash`] is not
+//! used because its output is not guaranteed stable across Rust releases,
+//! while the hash here names on-disk cache artifacts that must survive
+//! recompilation. The implementation is 64-bit FNV-1a, which is stable by
+//! construction, dependency-free, and fast enough for graph-sized inputs.
+
+use cmam_arch::{CgraConfig, Geometry, TileConfig};
+use cmam_cdfg::{Cdfg, Terminator, ValueKind};
+use cmam_core::{MapperOptions, Traversal};
+use cmam_kernels::KernelSpec;
+
+/// Bumped whenever the fingerprint coverage or the on-disk artifact format
+/// changes, so stale cache entries are never misread.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Build-time hash of every toolchain source file whose code influences a
+/// job outcome (mapper, assembler, simulator, kernels, arch, and the
+/// engine itself — see `build.rs`). Folded into every job key so that
+/// editing the toolchain invalidates the on-disk cache: without this, a
+/// rebuilt `smoke` would happily answer "did my mapper change help?" from
+/// artifacts produced by the *old* mapper.
+pub const TOOLCHAIN_HASH: &str = env!("CMAM_TOOLCHAIN_HASH");
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A 64-bit FNV-1a hasher with typed `feed` helpers.
+#[derive(Debug, Clone)]
+pub struct Fnv64(u64);
+
+impl Fnv64 {
+    /// A fresh hasher, salted with [`FORMAT_VERSION`] and
+    /// [`TOOLCHAIN_HASH`].
+    pub fn new() -> Self {
+        let mut h = Fnv64(FNV_OFFSET);
+        h.feed_u64(FORMAT_VERSION as u64);
+        h.feed_bytes(TOOLCHAIN_HASH.as_bytes());
+        h
+    }
+
+    /// Absorbs raw bytes.
+    pub fn feed_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorbs a `u64` in little-endian byte order.
+    pub fn feed_u64(&mut self, v: u64) {
+        self.feed_bytes(&v.to_le_bytes());
+    }
+
+    /// Absorbs a `usize` (widened so 32- and 64-bit hosts agree).
+    pub fn feed_usize(&mut self, v: usize) {
+        self.feed_u64(v as u64);
+    }
+
+    /// Absorbs an `i64` (two's-complement bit pattern).
+    pub fn feed_i64(&mut self, v: i64) {
+        self.feed_u64(v as u64);
+    }
+
+    /// Absorbs a length-prefixed string.
+    pub fn feed_str(&mut self, s: &str) {
+        self.feed_usize(s.len());
+        self.feed_bytes(s.as_bytes());
+    }
+
+    /// Absorbs a boolean.
+    pub fn feed_bool(&mut self, v: bool) {
+        self.feed_u64(v as u64);
+    }
+
+    /// The accumulated hash.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+/// Types that can absorb themselves into a [`Fnv64`] content hash.
+///
+/// Implementations must cover every field that influences the outcome of a
+/// compilation job; two inputs with equal fingerprints are treated as the
+/// same job and deduplicated.
+pub trait Fingerprint {
+    /// Feeds `self` into the hasher.
+    fn fingerprint(&self, h: &mut Fnv64);
+
+    /// Convenience: hashes `self` alone.
+    fn content_hash(&self) -> u64 {
+        let mut h = Fnv64::new();
+        self.fingerprint(&mut h);
+        h.finish()
+    }
+}
+
+impl Fingerprint for Traversal {
+    fn fingerprint(&self, h: &mut Fnv64) {
+        h.feed_u64(match self {
+            Traversal::Forward => 0,
+            Traversal::Weighted => 1,
+        });
+    }
+}
+
+impl Fingerprint for MapperOptions {
+    fn fingerprint(&self, h: &mut Fnv64) {
+        self.traversal.fingerprint(h);
+        h.feed_bool(self.acmap);
+        h.feed_bool(self.ecmap);
+        h.feed_bool(self.cab);
+        h.feed_usize(self.population);
+        h.feed_usize(self.expansion);
+        h.feed_usize(self.slack);
+        h.feed_usize(self.max_schedule);
+        h.feed_u64(self.seed);
+    }
+}
+
+impl Fingerprint for Geometry {
+    fn fingerprint(&self, h: &mut Fnv64) {
+        h.feed_usize(self.rows());
+        h.feed_usize(self.cols());
+    }
+}
+
+impl Fingerprint for TileConfig {
+    fn fingerprint(&self, h: &mut Fnv64) {
+        h.feed_bool(self.has_lsu);
+        h.feed_usize(self.cm_words);
+        h.feed_usize(self.rf_words);
+        h.feed_usize(self.crf_words);
+    }
+}
+
+impl Fingerprint for CgraConfig {
+    fn fingerprint(&self, h: &mut Fnv64) {
+        // The name is part of the identity on purpose: experiment tables
+        // key rows by configuration name, and a renamed config should not
+        // silently alias a cached artifact produced under another label.
+        h.feed_str(self.name());
+        self.geometry().fingerprint(h);
+        for (_, tile) in self.tiles() {
+            tile.fingerprint(h);
+        }
+    }
+}
+
+impl Fingerprint for Cdfg {
+    fn fingerprint(&self, h: &mut Fnv64) {
+        h.feed_str(self.name());
+        h.feed_u64(self.entry().0 as u64);
+        h.feed_usize(self.num_blocks());
+        for b in self.block_ids() {
+            let block = self.block(b);
+            h.feed_u64(b.0 as u64);
+            h.feed_usize(block.ops.len());
+            for &op_id in &block.ops {
+                let op = self.op(op_id);
+                h.feed_u64(op.opcode as u64);
+                h.feed_usize(op.args.len());
+                for a in &op.args {
+                    h.feed_u64(a.0 as u64);
+                }
+                match op.result {
+                    Some(v) => h.feed_i64(v.0 as i64),
+                    None => h.feed_i64(-1),
+                }
+                match op.writes_symbol {
+                    Some(s) => h.feed_i64(s.0 as i64),
+                    None => h.feed_i64(-1),
+                }
+                match op.alias {
+                    Some(a) => h.feed_i64(a.0 as i64),
+                    None => h.feed_i64(-1),
+                }
+            }
+            match block.terminator {
+                None => h.feed_u64(0),
+                Some(Terminator::Jump(t)) => {
+                    h.feed_u64(1);
+                    h.feed_u64(t.0 as u64);
+                }
+                Some(Terminator::Branch {
+                    op,
+                    taken,
+                    fallthrough,
+                }) => {
+                    h.feed_u64(2);
+                    h.feed_u64(op.0 as u64);
+                    h.feed_u64(taken.0 as u64);
+                    h.feed_u64(fallthrough.0 as u64);
+                }
+                Some(Terminator::Return) => h.feed_u64(3),
+            }
+            // Per-block data nodes: constants feed the CRF allocation,
+            // symbol uses feed the home-tile routing, so both are inputs.
+            for v in self.dfg(b).values() {
+                h.feed_u64(v.id.0 as u64);
+                match v.kind {
+                    ValueKind::Const(c) => {
+                        h.feed_u64(0);
+                        h.feed_i64(c as i64);
+                    }
+                    ValueKind::SymbolUse(s) => {
+                        h.feed_u64(1);
+                        h.feed_u64(s.0 as u64);
+                    }
+                    ValueKind::Def(o) => {
+                        h.feed_u64(2);
+                        h.feed_u64(o.0 as u64);
+                    }
+                }
+            }
+        }
+        h.feed_usize(self.num_symbols());
+        for (_, sym) in self.symbols() {
+            h.feed_str(&sym.name);
+        }
+    }
+}
+
+impl Fingerprint for KernelSpec {
+    fn fingerprint(&self, h: &mut Fnv64) {
+        h.feed_str(self.name);
+        self.cdfg.fingerprint(h);
+        // The memory image and expected outputs are simulation inputs: a
+        // kernel re-instanced with different data is a different job.
+        h.feed_usize(self.mem.len());
+        for &w in &self.mem {
+            h.feed_i64(w as i64);
+        }
+        h.feed_usize(self.out.start);
+        h.feed_usize(self.out.end);
+        h.feed_usize(self.expected.len());
+        for &w in &self.expected {
+            h.feed_i64(w as i64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmam_core::FlowVariant;
+
+    #[test]
+    fn fnv_is_stable_and_order_sensitive() {
+        let mut a = Fnv64::new();
+        a.feed_str("ab");
+        let mut b = Fnv64::new();
+        b.feed_str("ab");
+        assert_eq!(a.finish(), b.finish());
+        let mut c = Fnv64::new();
+        c.feed_str("ba");
+        assert_ne!(a.finish(), c.finish());
+    }
+
+    #[test]
+    fn options_hash_separates_variants() {
+        let hashes: Vec<u64> = FlowVariant::ALL
+            .iter()
+            .map(|v| v.options().content_hash())
+            .collect();
+        for i in 0..hashes.len() {
+            for j in (i + 1)..hashes.len() {
+                assert_ne!(hashes[i], hashes[j], "variants {i} and {j} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn config_hash_separates_table_one() {
+        let hashes: Vec<u64> = CgraConfig::table_one()
+            .iter()
+            .map(Fingerprint::content_hash)
+            .collect();
+        for i in 0..hashes.len() {
+            for j in (i + 1)..hashes.len() {
+                assert_ne!(hashes[i], hashes[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_hashes_are_distinct_and_reproducible() {
+        let first: Vec<u64> = cmam_kernels::all()
+            .iter()
+            .map(Fingerprint::content_hash)
+            .collect();
+        let second: Vec<u64> = cmam_kernels::all()
+            .iter()
+            .map(Fingerprint::content_hash)
+            .collect();
+        assert_eq!(first, second, "hashing must be a pure function");
+        for i in 0..first.len() {
+            for j in (i + 1)..first.len() {
+                assert_ne!(first[i], first[j]);
+            }
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! Job descriptions and the map→assemble→simulate→check pipeline.
+
+use crate::fingerprint::{Fingerprint, Fnv64};
+use cmam_arch::CgraConfig;
+use cmam_core::{FlowVariant, Mapper, MapperOptions};
+use cmam_isa::{AsmReport, CgraBinary};
+use cmam_kernels::KernelSpec;
+use cmam_sim::{simulate, SimOptions, SimStats};
+use std::time::{Duration, Instant};
+
+/// Everything measured for one (kernel, options, configuration) run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Executed cycles (including stalls).
+    pub cycles: u64,
+    /// Simulator activity counters.
+    pub sim: SimStats,
+    /// Context-word accounting.
+    pub report: AsmReport,
+    /// The assembled binary.
+    pub binary: CgraBinary,
+    /// Wall-clock mapping time. For a cache hit this is the time measured
+    /// when the artifact was first produced, not the (near-zero) lookup
+    /// time — so compile-time experiments stay reproducible across runs.
+    pub compile_time: Duration,
+    /// Mapper search statistics.
+    pub map_stats: cmam_core::MapStats,
+}
+
+impl RunOutcome {
+    /// Hash of every deterministic field (everything except
+    /// [`RunOutcome::compile_time`], which is wall-clock noise). Two runs
+    /// of the same job must agree on this digest regardless of thread
+    /// count or cache state — the determinism tests assert exactly that.
+    pub fn content_digest(&self) -> u64 {
+        let mut h = Fnv64::new();
+        h.feed_u64(self.cycles);
+        h.feed_u64(self.sim.cycles);
+        h.feed_u64(self.sim.stall_cycles);
+        let mut blocks: Vec<(u32, u64)> =
+            self.sim.block_execs.iter().map(|(&b, &n)| (b, n)).collect();
+        blocks.sort_unstable();
+        for (b, n) in blocks {
+            h.feed_u64(b as u64);
+            h.feed_u64(n);
+        }
+        for t in &self.sim.tiles {
+            for v in [
+                t.active_cycles,
+                t.idle_cycles,
+                t.cm_fetches,
+                t.alu_ops,
+                t.moves,
+                t.loads,
+                t.stores,
+                t.rf_reads,
+                t.neighbor_reads,
+                t.crf_reads,
+                t.rf_writes,
+            ] {
+                h.feed_u64(v);
+            }
+        }
+        for &(o, m, p) in &self.report.per_tile {
+            h.feed_usize(o);
+            h.feed_usize(m);
+            h.feed_usize(p);
+        }
+        h.feed_str(&format!("{}", self.binary));
+        h.feed_str(&cmam_isa::listing::context_listing(&self.binary));
+        for s in [
+            self.map_stats.candidates,
+            self.map_stats.attempts,
+            self.map_stats.acmap_pruned,
+            self.map_stats.ecmap_pruned,
+            self.map_stats.stochastic_pruned,
+            self.map_stats.finalize_failures,
+            self.map_stats.escalations,
+        ] {
+            h.feed_u64(s);
+        }
+        h.finish()
+    }
+}
+
+/// Which pipeline stage a failed run died in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailStage {
+    /// The mapper found no solution under the given constraints.
+    Map,
+    /// The mapping violated a constraint at assembly (only possible for
+    /// memory-unaware flows on constrained configurations).
+    Assemble,
+    /// Simulation failed or produced wrong results (always a bug).
+    Execution,
+}
+
+/// Why a run produced no data point (the "zero bars" of Figs 6-8).
+///
+/// The failure is carried as a stage tag plus the rendered error message
+/// so it round-trips through the on-disk artifact cache; experiment
+/// binaries only ever display it.
+#[derive(Debug, Clone)]
+pub struct RunFailure {
+    /// The stage that failed.
+    pub stage: FailStage,
+    /// The stage error, rendered.
+    pub message: String,
+    /// Wall-clock time spent in the mapper before the failure (compile
+    /// time is consumed whether or not a mapping is found — Fig 9 counts
+    /// failed searches too).
+    pub compile_time: Duration,
+}
+
+impl std::fmt::Display for RunFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.stage {
+            FailStage::Map => write!(f, "no mapping: {}", self.message),
+            FailStage::Assemble => write!(f, "does not fit: {}", self.message),
+            FailStage::Execution => write!(f, "execution failure: {}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for RunFailure {}
+
+/// What a job evaluates to: a full outcome or a displayable failure.
+pub type JobResult = Result<RunOutcome, RunFailure>;
+
+/// The canonical smoke matrix: per kernel, the basic flow on HOM64 plus
+/// the full context-aware flow on HET1 and HET2. The `smoke`,
+/// `fig10_speedup` and `tab2_energy` binaries all evaluate exactly these
+/// combinations, CI diffs two consecutive `smoke` runs over them, and the
+/// engine's determinism tests assert over them — one list, one place.
+pub fn smoke_matrix() -> Vec<(FlowVariant, CgraConfig)> {
+    vec![
+        (FlowVariant::Basic, CgraConfig::hom64()),
+        (FlowVariant::Cab, CgraConfig::het1()),
+        (FlowVariant::Cab, CgraConfig::het2()),
+    ]
+}
+
+/// One batch-compilation job: a kernel, a target configuration and the
+/// full mapper option set. The kernel and configuration are borrowed
+/// (they are shared across many jobs in a sweep); the options are owned
+/// because they are usually derived per-job from a [`FlowVariant`].
+#[derive(Debug, Clone)]
+pub struct JobRequest<'a> {
+    /// The kernel to compile and simulate.
+    pub spec: &'a KernelSpec,
+    /// The target CGRA instance.
+    pub config: &'a CgraConfig,
+    /// All mapper knobs (a [`FlowVariant`] resolves to these).
+    pub options: MapperOptions,
+}
+
+impl<'a> JobRequest<'a> {
+    /// A job for one of the paper's cumulative flow variants.
+    ///
+    /// The variant is fully captured by its [`FlowVariant::options`] set,
+    /// so two requests whose variants resolve to the same options are the
+    /// same job — exactly the dedup the engine wants.
+    pub fn flow(spec: &'a KernelSpec, variant: FlowVariant, config: &'a CgraConfig) -> Self {
+        JobRequest {
+            spec,
+            config,
+            options: variant.options(),
+        }
+    }
+
+    /// The content hash keying this job in the cache.
+    pub fn key(&self) -> u64 {
+        let mut h = Fnv64::new();
+        self.spec.fingerprint(&mut h);
+        self.config.fingerprint(&mut h);
+        self.options.fingerprint(&mut h);
+        h.finish()
+    }
+
+    /// A short human-readable label (for logs and engine stats).
+    pub fn label(&self) -> String {
+        format!("{}@{}", self.spec.name, self.config.name())
+    }
+}
+
+/// Maps, assembles, simulates and checks one job. This is the pure part
+/// of the pipeline: for fixed inputs the result is bit-identical no matter
+/// which thread runs it (the mapper's stochastic pruning is seeded from
+/// [`MapperOptions::seed`]), which is what makes parallel execution and
+/// content-addressed memoisation sound.
+pub fn execute(req: &JobRequest<'_>) -> JobResult {
+    let mapper = Mapper::new(req.options.clone());
+    let t0 = Instant::now();
+    let map_result = mapper.map(&req.spec.cdfg, req.config);
+    let compile_time = t0.elapsed();
+    let fail = |stage, message: String| RunFailure {
+        stage,
+        message,
+        compile_time,
+    };
+    let result = match map_result {
+        Ok(r) => r,
+        Err(e) => return Err(fail(FailStage::Map, e.to_string())),
+    };
+    let (binary, report) = cmam_isa::assemble(&req.spec.cdfg, &result.mapping, req.config)
+        .map_err(|e| fail(FailStage::Assemble, e.to_string()))?;
+    let mut mem = req.spec.mem.clone();
+    let sim = simulate(&binary, req.config, &mut mem, SimOptions::default())
+        .map_err(|e| fail(FailStage::Execution, e.to_string()))?;
+    req.spec.check(&mem).map_err(|(i, got, want)| {
+        fail(
+            FailStage::Execution,
+            format!("mem[{i}] = {got}, want {want}"),
+        )
+    })?;
+    Ok(RunOutcome {
+        cycles: sim.cycles,
+        sim,
+        report,
+        binary,
+        compile_time,
+        map_stats: result.stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failure_display_matches_legacy_wording() {
+        let f = RunFailure {
+            stage: FailStage::Map,
+            message: "x".into(),
+            compile_time: Duration::ZERO,
+        };
+        assert_eq!(f.to_string(), "no mapping: x");
+        let f = RunFailure {
+            stage: FailStage::Assemble,
+            message: "y".into(),
+            compile_time: Duration::ZERO,
+        };
+        assert_eq!(f.to_string(), "does not fit: y");
+    }
+
+    #[test]
+    fn identical_requests_share_a_key_and_distinct_ones_do_not() {
+        let spec = cmam_kernels::fir::spec();
+        let hom64 = CgraConfig::hom64();
+        let het1 = CgraConfig::het1();
+        let basic = FlowVariant::Basic.options();
+        let cab = FlowVariant::Cab.options();
+        let a = JobRequest {
+            spec: &spec,
+            config: &hom64,
+            options: basic.clone(),
+        };
+        let b = JobRequest {
+            spec: &spec,
+            config: &hom64,
+            options: basic.clone(),
+        };
+        assert_eq!(a.key(), b.key());
+        let c = JobRequest {
+            spec: &spec,
+            config: &het1,
+            options: basic,
+        };
+        let d = JobRequest {
+            spec: &spec,
+            config: &hom64,
+            options: cab,
+        };
+        assert_ne!(a.key(), c.key());
+        assert_ne!(a.key(), d.key());
+    }
+}

@@ -1,0 +1,310 @@
+//! # cmam-engine — parallel, content-addressed compilation engine
+//!
+//! The paper's whole evaluation is a sweep: the map→assemble→simulate→
+//! energy pipeline re-run per `(kernel, configuration, flow variant)` to
+//! find the energy-optimal context-memory configuration (Table I,
+//! Figs 6-8). This crate turns each such run into a *job* keyed by a
+//! content hash of its inputs and executes batches of jobs on a
+//! work-stealing `std::thread` pool with two levels of memoisation:
+//!
+//! * **dedup** — identical jobs submitted twice in a batch (or across
+//!   batches) execute once;
+//! * **in-memory cache** — every result is memoised for the process
+//!   lifetime;
+//! * **on-disk cache** — results are persisted as plain serialized text
+//!   under `target/cmam-cache/` (override with `CMAM_CACHE_DIR`), so
+//!   repeated sweeps across processes are near-free.
+//!
+//! Mapping is a pure seeded function, so a parallel run is bit-identical
+//! to a sequential one; the engine's tests assert this over the full
+//! smoke sweep. Experiment binaries therefore accept `--jobs N` and
+//! `--no-cache` without any change in output.
+
+pub mod cache;
+pub mod dse;
+pub mod fingerprint;
+pub mod job;
+pub mod pool;
+
+pub use fingerprint::{Fingerprint, Fnv64, FORMAT_VERSION};
+pub use job::{execute, smoke_matrix, FailStage, JobRequest, JobResult, RunFailure, RunOutcome};
+
+use cache::DiskCache;
+use std::collections::{HashMap, HashSet};
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+/// Engine construction knobs.
+#[derive(Debug, Clone)]
+pub struct EngineOptions {
+    /// Worker threads for batch execution; `0` means one per available
+    /// core.
+    pub jobs: usize,
+    /// On-disk artifact directory; `None` disables persistence (the
+    /// in-memory memo table is always active).
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl EngineOptions {
+    /// The default cache location mandated by the engine's contract:
+    /// `target/cmam-cache/`, kept under the build tree so `cargo clean`
+    /// clears it. Overridable with `CMAM_CACHE_DIR`.
+    pub fn default_cache_dir() -> PathBuf {
+        if let Ok(dir) = std::env::var("CMAM_CACHE_DIR") {
+            return PathBuf::from(dir);
+        }
+        if let Ok(dir) = std::env::var("CARGO_TARGET_DIR") {
+            return PathBuf::from(dir).join("cmam-cache");
+        }
+        // Binaries and test harnesses run with different working
+        // directories (workspace root vs. crate root), so resolve the
+        // target tree from the executable's own location.
+        if let Ok(exe) = std::env::current_exe() {
+            if let Some(target) = exe
+                .ancestors()
+                .find(|p| p.file_name() == Some(std::ffi::OsStr::new("target")))
+            {
+                return target.join("cmam-cache");
+            }
+        }
+        PathBuf::from("target").join("cmam-cache")
+    }
+
+    /// Options parsed from the process arguments: `--jobs N` (or
+    /// `--jobs=N`) picks the worker count, `--no-cache` disables the disk
+    /// store. Unknown arguments are ignored — experiment binaries layer
+    /// their own flags (e.g. `--csv`) on the same argv.
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut jobs = 0usize;
+        let mut cache = true;
+        let mut i = 0;
+        while i < args.len() {
+            if args[i] == "--no-cache" {
+                cache = false;
+            } else if args[i] == "--jobs" {
+                // Only consume the next token when it actually is the
+                // count — `--jobs --no-cache` must not swallow the flag.
+                if let Some(n) = args.get(i + 1).and_then(|v| v.parse().ok()) {
+                    jobs = n;
+                    i += 1;
+                } else {
+                    eprintln!("warning: --jobs expects a number; using all cores");
+                }
+            } else if let Some(v) = args[i].strip_prefix("--jobs=") {
+                match v.parse() {
+                    Ok(n) => jobs = n,
+                    Err(_) => {
+                        eprintln!("warning: --jobs expects a number; using all cores");
+                    }
+                }
+            }
+            i += 1;
+        }
+        EngineOptions {
+            jobs,
+            cache_dir: cache.then(EngineOptions::default_cache_dir),
+        }
+    }
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            jobs: 0,
+            cache_dir: Some(EngineOptions::default_cache_dir()),
+        }
+    }
+}
+
+/// Counters describing what a batch (or a whole engine lifetime) did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Jobs submitted through [`Engine::run_batch`] / [`Engine::run_one`].
+    pub submitted: u64,
+    /// Submissions that were duplicates of another job in the same batch.
+    pub deduped: u64,
+    /// Submissions answered from the in-memory memo table.
+    pub memory_hits: u64,
+    /// Submissions answered from the on-disk artifact store.
+    pub disk_hits: u64,
+    /// Jobs actually executed (mapped, assembled, simulated).
+    pub executed: u64,
+}
+
+/// The batch compilation engine. One instance per process is the normal
+/// deployment (see `cmam_bench::engine()`); all methods take `&self` and
+/// are thread-safe.
+#[derive(Debug)]
+pub struct Engine {
+    options: EngineOptions,
+    disk: DiskCache,
+    memo: Mutex<HashMap<u64, JobResult>>,
+    stats: Mutex<EngineStats>,
+}
+
+impl Engine {
+    /// Builds an engine with the given options.
+    pub fn new(options: EngineOptions) -> Self {
+        let disk = DiskCache::new(options.cache_dir.clone());
+        Engine {
+            options,
+            disk,
+            memo: Mutex::new(HashMap::new()),
+            stats: Mutex::new(EngineStats::default()),
+        }
+    }
+
+    /// The effective worker count.
+    pub fn workers(&self) -> usize {
+        if self.options.jobs > 0 {
+            self.options.jobs
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+
+    /// Whether the on-disk store is active.
+    pub fn disk_cache_enabled(&self) -> bool {
+        self.disk.enabled()
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> EngineStats {
+        *self.stats.lock().expect("stats poisoned")
+    }
+
+    /// Runs a batch of jobs, returning results in submission order.
+    ///
+    /// Duplicate jobs (by content hash) execute once; results already in
+    /// the memo table or the disk store are returned without executing
+    /// anything. The remaining jobs run on the work-stealing pool. The
+    /// result vector is a pure function of the requests — thread count and
+    /// cache state never change it, only how fast it arrives.
+    pub fn run_batch(&self, requests: &[JobRequest<'_>]) -> Vec<JobResult> {
+        let keys: Vec<u64> = requests.iter().map(JobRequest::key).collect();
+        let mut batch_stats = EngineStats {
+            submitted: requests.len() as u64,
+            ..EngineStats::default()
+        };
+        // Resolve each submission against (in order): earlier submissions
+        // in this batch, the memo table, the disk store. What's left is
+        // the unique frontier that actually executes. The memo lock is
+        // never held across disk I/O.
+        let mut probes: Vec<usize> = Vec::new();
+        {
+            let memo = self.memo.lock().expect("memo poisoned");
+            let mut seen_in_batch: HashSet<u64> = HashSet::new();
+            for (i, &key) in keys.iter().enumerate() {
+                if !seen_in_batch.insert(key) {
+                    batch_stats.deduped += 1;
+                } else if memo.contains_key(&key) {
+                    batch_stats.memory_hits += 1;
+                } else {
+                    probes.push(i);
+                }
+            }
+        }
+        let mut pending: Vec<usize> = Vec::new();
+        let mut from_disk: Vec<(u64, JobResult)> = Vec::new();
+        for i in probes {
+            match self.disk.load(keys[i]) {
+                Some(result) => {
+                    batch_stats.disk_hits += 1;
+                    from_disk.push((keys[i], result));
+                }
+                None => pending.push(i),
+            }
+        }
+        if !from_disk.is_empty() {
+            let mut memo = self.memo.lock().expect("memo poisoned");
+            memo.extend(from_disk);
+        }
+        // Execute the frontier in parallel. Each worker persists its
+        // result to disk as soon as the job finishes, so an interrupted
+        // sweep keeps everything already computed; the memo lock is NOT
+        // held here — workers only compute and write artifacts.
+        batch_stats.executed = pending.len() as u64;
+        let computed = pool::run_indexed(pending.len(), self.workers(), |p| {
+            let result = job::execute(&requests[pending[p]]);
+            self.disk.store(keys[pending[p]], &result);
+            result
+        });
+        {
+            let mut memo = self.memo.lock().expect("memo poisoned");
+            for (p, result) in pending.iter().zip(computed) {
+                memo.insert(keys[*p], result);
+            }
+        }
+        {
+            let mut stats = self.stats.lock().expect("stats poisoned");
+            stats.submitted += batch_stats.submitted;
+            stats.deduped += batch_stats.deduped;
+            stats.memory_hits += batch_stats.memory_hits;
+            stats.disk_hits += batch_stats.disk_hits;
+            stats.executed += batch_stats.executed;
+        }
+        let memo = self.memo.lock().expect("memo poisoned");
+        keys.iter()
+            .map(|k| memo.get(k).expect("every key resolved").clone())
+            .collect()
+    }
+
+    /// Runs a single job through the same dedup/cache/execute path.
+    pub fn run_one(&self, request: &JobRequest<'_>) -> JobResult {
+        self.run_batch(std::slice::from_ref(request))
+            .pop()
+            .expect("one request yields one result")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmam_arch::CgraConfig;
+    use cmam_core::FlowVariant;
+
+    #[test]
+    fn dedup_within_a_batch_executes_once() {
+        let engine = Engine::new(EngineOptions {
+            jobs: 2,
+            cache_dir: None,
+        });
+        let spec = cmam_kernels::dc::spec();
+        let config = CgraConfig::hom64();
+        let reqs: Vec<JobRequest<'_>> = (0..4)
+            .map(|_| JobRequest::flow(&spec, FlowVariant::Basic, &config))
+            .collect();
+        let results = engine.run_batch(&reqs);
+        assert_eq!(results.len(), 4);
+        let stats = engine.stats();
+        assert_eq!(stats.submitted, 4);
+        assert_eq!(stats.executed, 1);
+        assert_eq!(stats.deduped, 3);
+        let digests: Vec<u64> = results
+            .iter()
+            .map(|r| r.as_ref().expect("DC maps").content_digest())
+            .collect();
+        assert!(digests.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn memo_table_answers_repeat_batches() {
+        let engine = Engine::new(EngineOptions {
+            jobs: 1,
+            cache_dir: None,
+        });
+        let spec = cmam_kernels::dc::spec();
+        let config = CgraConfig::hom64();
+        let req = JobRequest::flow(&spec, FlowVariant::Basic, &config);
+        let first = engine.run_one(&req).expect("DC maps");
+        let second = engine.run_one(&req).expect("DC maps");
+        assert_eq!(engine.stats().executed, 1);
+        assert_eq!(engine.stats().memory_hits, 1);
+        assert_eq!(first.content_digest(), second.content_digest());
+        // Memoised results even preserve the measured compile time.
+        assert_eq!(first.compile_time, second.compile_time);
+    }
+}

@@ -1,0 +1,125 @@
+//! A dependency-free work-stealing thread pool over `std::thread`.
+//!
+//! The engine's jobs are independent and known up front, so the pool is a
+//! fork-join over a fixed index range: every worker owns a deque seeded
+//! round-robin with job indices, pops its own work from the front, and —
+//! when empty — steals from the *back* of a sibling's deque. Stealing from
+//! the opposite end keeps contention low (owner and thief touch different
+//! ends) and is the classic Chase–Lev discipline, implemented here with a
+//! plain `Mutex<VecDeque>` per worker since job granularity is whole
+//! mapper searches (milliseconds), not microtasks.
+//!
+//! Job results are returned in index order, so callers observe the same
+//! result vector no matter how work was interleaved — parallel execution
+//! is observationally identical to sequential execution as long as the
+//! job function itself is pure.
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::Mutex;
+
+/// Runs `job(i)` for every `i in 0..n` on `threads` workers and returns
+/// the results in index order.
+///
+/// With `threads <= 1` (or fewer than two jobs) everything runs inline on
+/// the calling thread — the degenerate case the determinism tests compare
+/// the parallel pool against.
+///
+/// # Panics
+///
+/// Propagates a panic from any job after the scope unwinds.
+pub fn run_indexed<T, F>(n: usize, threads: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(job).collect();
+    }
+    let workers = threads.min(n);
+    // Round-robin seeding: worker w starts with jobs w, w+workers, ...
+    let deques: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+        .map(|w| Mutex::new((w..n).step_by(workers).collect()))
+        .collect();
+    let (tx, rx) = mpsc::channel::<(usize, T)>();
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let tx = tx.clone();
+            let deques = &deques;
+            let job = &job;
+            scope.spawn(move || loop {
+                // Own work first (front of own deque)...
+                let mut next = deques[w].lock().expect("pool poisoned").pop_front();
+                if next.is_none() {
+                    // ...then steal from the back of a sibling's deque.
+                    for v in 0..workers {
+                        if v == w {
+                            continue;
+                        }
+                        next = deques[v].lock().expect("pool poisoned").pop_back();
+                        if next.is_some() {
+                            break;
+                        }
+                    }
+                }
+                // No queue has work left and none will appear (the job set
+                // is fixed), so the worker retires.
+                let Some(i) = next else { return };
+                let out = job(i);
+                if tx.send((i, out)).is_err() {
+                    return;
+                }
+            });
+        }
+        drop(tx);
+        // Collect inside the scope body but assert completeness only
+        // after the scope joins: if a worker panicked, its sender drops,
+        // the loop below simply ends early, and `thread::scope` itself
+        // re-raises the worker's panic — so the job's own panic message
+        // surfaces instead of a misleading missing-slot error.
+        for (i, out) in rx {
+            slots[i] = Some(out);
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every job index reported a result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        for threads in [1, 2, 4, 7] {
+            let out = run_indexed(25, threads, |i| i * i);
+            assert_eq!(out, (0..25).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let out = run_indexed(100, 4, |i| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            i
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+        assert_eq!(out.len(), 100);
+    }
+
+    #[test]
+    fn zero_and_one_job_edge_cases() {
+        assert_eq!(run_indexed(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(run_indexed(1, 4, |i| i + 41), vec![41]);
+    }
+
+    #[test]
+    fn more_threads_than_jobs_is_fine() {
+        assert_eq!(run_indexed(3, 16, |i| i), vec![0, 1, 2]);
+    }
+}

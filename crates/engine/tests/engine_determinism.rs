@@ -1,0 +1,110 @@
+//! The engine's two core guarantees, asserted over the full smoke sweep:
+//!
+//! 1. **Determinism** — a parallel run is bit-identical to a sequential
+//!    (`jobs = 1`) run. Mapping is a pure seeded function, so thread
+//!    count must never leak into results.
+//! 2. **Memoisation** — a second engine over the same disk cache answers
+//!    the whole sweep without executing anything, and returns identical
+//!    `RunOutcome`s (including the originally measured compile times).
+
+use cmam_arch::CgraConfig;
+use cmam_core::FlowVariant;
+use cmam_engine::{Engine, EngineOptions, JobRequest, JobResult};
+use cmam_kernels::KernelSpec;
+use std::path::PathBuf;
+
+/// The full smoke sweep: every kernel crossed with the canonical
+/// [`cmam_engine::smoke_matrix`] combinations — the same job set the
+/// `smoke` binary submits and CI diffs.
+fn smoke_sweep() -> Vec<(KernelSpec, FlowVariant, CgraConfig)> {
+    let mut out = Vec::new();
+    for spec in cmam_kernels::all() {
+        for (variant, config) in cmam_engine::smoke_matrix() {
+            out.push((spec.clone(), variant, config));
+        }
+    }
+    out
+}
+
+fn run_matrix(engine: &Engine, matrix: &[(KernelSpec, FlowVariant, CgraConfig)]) -> Vec<JobResult> {
+    let requests: Vec<JobRequest> = matrix
+        .iter()
+        .map(|(spec, variant, config)| JobRequest::flow(spec, *variant, config))
+        .collect();
+    engine.run_batch(&requests)
+}
+
+/// Digest of a whole result vector; failures hash their display text.
+fn digests(results: &[JobResult]) -> Vec<String> {
+    results
+        .iter()
+        .map(|r| match r {
+            Ok(out) => format!("ok:{:016x}", out.content_digest()),
+            Err(e) => format!("err:{e}"),
+        })
+        .collect()
+}
+
+fn temp_cache_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cmam-engine-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn parallel_run_is_bit_identical_to_sequential() {
+    let matrix = smoke_sweep();
+    let sequential = Engine::new(EngineOptions {
+        jobs: 1,
+        cache_dir: None,
+    });
+    let parallel = Engine::new(EngineOptions {
+        jobs: 4,
+        cache_dir: None,
+    });
+    let seq = run_matrix(&sequential, &matrix);
+    let par = run_matrix(&parallel, &matrix);
+    assert_eq!(sequential.stats().executed, parallel.stats().executed);
+    assert_eq!(
+        digests(&seq),
+        digests(&par),
+        "thread count changed a mapping outcome — the flow is not pure"
+    );
+}
+
+#[test]
+fn second_run_hits_the_disk_cache_with_identical_outcomes() {
+    let dir = temp_cache_dir("cache");
+    let matrix = smoke_sweep();
+
+    let first_engine = Engine::new(EngineOptions {
+        jobs: 2,
+        cache_dir: Some(dir.clone()),
+    });
+    let first = run_matrix(&first_engine, &matrix);
+    let first_stats = first_engine.stats();
+    assert!(first_stats.executed > 0, "cold run must execute jobs");
+    assert_eq!(first_stats.disk_hits, 0, "cold cache cannot hit");
+
+    // A fresh engine — empty memo table — over the same directory must
+    // answer everything from disk.
+    let second_engine = Engine::new(EngineOptions {
+        jobs: 2,
+        cache_dir: Some(dir.clone()),
+    });
+    let second = run_matrix(&second_engine, &matrix);
+    let second_stats = second_engine.stats();
+    assert_eq!(second_stats.executed, 0, "warm run must not execute");
+    assert_eq!(
+        second_stats.disk_hits, first_stats.executed,
+        "every unique job must come back from disk"
+    );
+    assert_eq!(digests(&first), digests(&second));
+    // The memoised artifacts preserve even the measured compile times.
+    for (a, b) in first.iter().zip(&second) {
+        if let (Ok(a), Ok(b)) = (a, b) {
+            assert_eq!(a.compile_time, b.compile_time);
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -16,7 +16,9 @@
 //!   context-memory aware flow (weighted traversal + ACMAP + ECMAP + CAB);
 //! * [`sim`] — cycle-level CGRA simulator;
 //! * [`cpu`] — or1k-like scalar CPU baseline;
-//! * [`energy`] — area and energy models (Fig 11, Table II).
+//! * [`energy`] — area and energy models (Fig 11, Table II);
+//! * [`engine`] — parallel, content-addressed batch compilation engine
+//!   (job dedup, work-stealing pool, in-memory + on-disk memoisation).
 //!
 //! See the repository README for a quickstart and `DESIGN.md` for the
 //! system inventory and experiment index.
@@ -26,6 +28,7 @@ pub use cmam_cdfg as cdfg;
 pub use cmam_core as core;
 pub use cmam_cpu as cpu;
 pub use cmam_energy as energy;
+pub use cmam_engine as engine;
 pub use cmam_isa as isa;
 pub use cmam_kernels as kernels;
 pub use cmam_sim as sim;
