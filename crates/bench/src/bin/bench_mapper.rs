@@ -1,0 +1,81 @@
+//! The tracked mapper microbenchmark: times the raw `Mapper::map` hot
+//! loop — sequential, uncached, like `fig9_compile_time` — over every
+//! kernel and writes `BENCH_mapper.json` (see
+//! [`cmam_bench::mapper_bench`] for the schema).
+//!
+//! Flags: `--quick` (1 iteration instead of 5, the CI setting),
+//! `--iters N` (explicit iteration count), `--out PATH` (where to write
+//! the JSON; default `BENCH_mapper.json` in the current directory).
+
+use cmam_bench::mapper_bench;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iterations: u32 = 5;
+    let mut out = "BENCH_mapper.json".to_owned();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => iterations = 1,
+            "--iters" => {
+                i += 1;
+                iterations = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .expect("--iters needs a positive integer");
+            }
+            "--out" => {
+                i += 1;
+                out = args.get(i).expect("--out needs a path").clone();
+            }
+            other => {
+                eprintln!("unknown flag {other} (known: --quick, --iters N, --out PATH)");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    assert!(iterations > 0, "--iters must be positive");
+
+    eprintln!("bench_mapper: {iterations} iteration(s) per job, sequential, uncached");
+    let report = mapper_bench::run(iterations);
+
+    let mut rows = Vec::new();
+    for j in &report.jobs {
+        rows.push(vec![
+            j.kernel.clone(),
+            j.config.clone(),
+            j.variant.clone(),
+            if j.ok { "ok" } else { "FAIL" }.to_owned(),
+            format!("{:.2}", j.wall_ms),
+            format!("{:.0}", j.ops_per_sec),
+            format!("{:.0}", j.candidates_per_sec),
+            j.peak_population.to_string(),
+            j.rollbacks.to_string(),
+        ]);
+    }
+    cmam_bench::emit_table(
+        &[
+            "Kernel",
+            "Config",
+            "Flow",
+            "map",
+            "ms/map",
+            "ops/s",
+            "cand/s",
+            "peak pop",
+            "rollbacks",
+        ],
+        &rows,
+    );
+    println!(
+        "\ntotals: {:.0} ops mapped/s, {:.0} candidates/s, {:.1} ms wall (1 iteration of all jobs)",
+        report.total_ops_per_sec(),
+        report.total_candidates_per_sec(),
+        report.total_wall_ms()
+    );
+
+    let json = mapper_bench::render_json(&report);
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    eprintln!("wrote {out}");
+}

@@ -22,6 +22,12 @@ struct ConfigPoint {
     mapped: usize,
     energy_uj: f64,
     cycles: u64,
+    /// Mapper search effort over the mix: candidate bindings generated —
+    /// a compile-cost measure free of wall-clock noise (cache hits and
+    /// parallel contention would corrupt a timing column here).
+    candidates: u64,
+    /// Peak candidate-pool size over the mix's mapping runs.
+    peak_population: u64,
 }
 
 fn main() {
@@ -54,12 +60,16 @@ fn main() {
             mapped: 0,
             energy_uj: 0.0,
             cycles: 0,
+            candidates: 0,
+            peak_population: 0,
         };
         for (k, spec) in specs.iter().enumerate() {
             if let Ok(out) = &results[c * specs.len() + k] {
                 point.mapped += 1;
                 point.energy_uj += cgra_energy_of(spec, config, out).total();
                 point.cycles += out.cycles;
+                point.candidates += out.map_stats.candidates;
+                point.peak_population = point.peak_population.max(out.map_stats.peak_population);
             }
         }
         points.push(point);
@@ -116,6 +126,8 @@ fn main() {
                     Some(r) if feasible_here => ratio(Some(points[r].energy_uj / p.energy_uj)),
                     _ => "-".to_owned(),
                 },
+                p.candidates.to_string(),
+                p.peak_population.to_string(),
                 if frontier.contains(&i) { "*" } else { "" }.to_owned(),
             ]
         })
@@ -129,6 +141,8 @@ fn main() {
             "Mix energy µJ",
             "Mix cycles",
             "vs U64-L2",
+            "candidates",
+            "peak pop",
             "Pareto",
         ],
         &rows,

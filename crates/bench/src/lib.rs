@@ -22,6 +22,8 @@ use cmam_energy::{cpu_energy, EnergyBreakdown, EnergyParams};
 use cmam_kernels::KernelSpec;
 use std::sync::OnceLock;
 
+pub mod mapper_bench;
+
 pub use cmam_engine::{
     smoke_matrix, Engine, EngineOptions, EngineStats, FailStage, JobRequest, RunFailure, RunOutcome,
 };

@@ -1,0 +1,541 @@
+//! The tracked mapper microbenchmark behind the `bench_mapper` binary.
+//!
+//! Measures the raw `Mapper::map` hot loop — sequential, uncached, no
+//! assembly or simulation — over every kernel, and renders the result as
+//! `BENCH_mapper.json` so the repo carries a comparable performance
+//! trajectory across PRs. The JSON is written by hand (the workspace is
+//! offline, no serde); [`json`] provides the minimal parser the schema
+//! unit tests validate against.
+
+use cmam_arch::CgraConfig;
+use cmam_core::{FlowVariant, Mapper};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Schema tag of the emitted JSON; bump on any shape change.
+pub const SCHEMA: &str = "cmam-bench-mapper-v1";
+
+/// One measured (kernel, flow, config) combination.
+#[derive(Debug, Clone)]
+pub struct MapperBenchJob {
+    /// Kernel name.
+    pub kernel: String,
+    /// Flow variant label.
+    pub variant: String,
+    /// Target configuration name.
+    pub config: String,
+    /// Whether every iteration produced a mapping.
+    pub ok: bool,
+    /// CDFG operation count (`Σ n(Vo)` — what "mapped ops" counts).
+    pub ops: u64,
+    /// Wall-clock of one `Mapper::map`, averaged over the iterations, in
+    /// milliseconds.
+    pub wall_ms: f64,
+    /// CDFG ops mapped per second of mapper wall-clock.
+    pub ops_per_sec: f64,
+    /// Candidate bindings generated per second.
+    pub candidates_per_sec: f64,
+    /// Peak candidate-pool size during the search.
+    pub peak_population: u64,
+    /// Candidate deltas rolled back during the search.
+    pub rollbacks: u64,
+}
+
+/// The whole benchmark run.
+#[derive(Debug, Clone)]
+pub struct MapperBenchReport {
+    /// `Mapper::map` calls per combination.
+    pub iterations: u32,
+    /// Per-combination measurements.
+    pub jobs: Vec<MapperBenchJob>,
+}
+
+impl MapperBenchReport {
+    /// Total CDFG ops mapped per second over all successful jobs.
+    pub fn total_ops_per_sec(&self) -> f64 {
+        let (ops, secs) = self
+            .jobs
+            .iter()
+            .filter(|j| j.ok)
+            .fold((0u64, 0f64), |(o, s), j| (o + j.ops, s + j.wall_ms / 1e3));
+        if secs > 0.0 {
+            ops as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Total candidate bindings generated per second over all jobs.
+    pub fn total_candidates_per_sec(&self) -> f64 {
+        let secs: f64 = self.jobs.iter().map(|j| j.wall_ms / 1e3).sum();
+        let cands: f64 = self
+            .jobs
+            .iter()
+            .map(|j| j.candidates_per_sec * j.wall_ms / 1e3)
+            .sum();
+        if secs > 0.0 {
+            cands / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Total wall-clock in milliseconds (one iteration of every job).
+    pub fn total_wall_ms(&self) -> f64 {
+        self.jobs.iter().map(|j| j.wall_ms).sum()
+    }
+}
+
+/// The benchmark matrix: the basic flow on the unconstrained target plus
+/// the full aware flow on a constrained one — the two ends of the Fig 9
+/// compile-effort axis.
+pub fn bench_matrix() -> Vec<(FlowVariant, CgraConfig)> {
+    vec![
+        (FlowVariant::Basic, CgraConfig::hom64()),
+        (FlowVariant::Cab, CgraConfig::het1()),
+    ]
+}
+
+/// Runs the benchmark: maps every kernel × [`bench_matrix`] combination
+/// `iterations` times, sequentially, with no caching, timing only
+/// `Mapper::map`.
+pub fn run(iterations: u32) -> MapperBenchReport {
+    assert!(iterations > 0, "at least one iteration");
+    let specs = cmam_kernels::all();
+    let mut jobs = Vec::new();
+    for spec in &specs {
+        for (variant, config) in bench_matrix() {
+            let mapper = Mapper::new(variant.options());
+            let mut ok = true;
+            let mut candidates = 0u64;
+            let mut peak_population = 0u64;
+            let mut rollbacks = 0u64;
+            let t0 = Instant::now();
+            for _ in 0..iterations {
+                match mapper.map(&spec.cdfg, &config) {
+                    Ok(r) => {
+                        candidates = r.stats.candidates;
+                        peak_population = r.stats.peak_population;
+                        rollbacks = r.stats.rollbacks;
+                    }
+                    Err(_) => ok = false,
+                }
+            }
+            let wall_s = t0.elapsed().as_secs_f64() / iterations as f64;
+            let ops = spec.cdfg.total_ops() as u64;
+            jobs.push(MapperBenchJob {
+                kernel: spec.name.to_owned(),
+                variant: variant.to_string(),
+                config: config.name().to_owned(),
+                ok,
+                ops,
+                wall_ms: wall_s * 1e3,
+                ops_per_sec: if ok && wall_s > 0.0 {
+                    ops as f64 / wall_s
+                } else {
+                    0.0
+                },
+                candidates_per_sec: if wall_s > 0.0 {
+                    candidates as f64 / wall_s
+                } else {
+                    0.0
+                },
+                peak_population,
+                rollbacks,
+            });
+        }
+    }
+    MapperBenchReport { iterations, jobs }
+}
+
+fn json_f64(v: f64) -> String {
+    // JSON has no NaN/Infinity; clamp to 0 (a job that never ran).
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "0".to_owned()
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders the report as the `BENCH_mapper.json` document.
+pub fn render_json(report: &MapperBenchReport) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema\": {},", json_str(SCHEMA));
+    let _ = writeln!(s, "  \"iterations\": {},", report.iterations);
+    s.push_str("  \"jobs\": [\n");
+    for (i, j) in report.jobs.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"kernel\": {}, \"variant\": {}, \"config\": {}, \"ok\": {}, \
+             \"ops\": {}, \"wall_ms\": {}, \"ops_per_sec\": {}, \
+             \"candidates_per_sec\": {}, \"peak_population\": {}, \"rollbacks\": {}}}",
+            json_str(&j.kernel),
+            json_str(&j.variant),
+            json_str(&j.config),
+            j.ok,
+            j.ops,
+            json_f64(j.wall_ms),
+            json_f64(j.ops_per_sec),
+            json_f64(j.candidates_per_sec),
+            j.peak_population,
+            j.rollbacks,
+        );
+        s.push_str(if i + 1 < report.jobs.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"totals\": {\n");
+    let _ = writeln!(
+        s,
+        "    \"ops_mapped_per_sec\": {},",
+        json_f64(report.total_ops_per_sec())
+    );
+    let _ = writeln!(
+        s,
+        "    \"candidates_per_sec\": {},",
+        json_f64(report.total_candidates_per_sec())
+    );
+    let _ = writeln!(s, "    \"wall_ms\": {}", json_f64(report.total_wall_ms()));
+    s.push_str("  }\n");
+    s.push_str("}\n");
+    s
+}
+
+/// A minimal JSON reader, just big enough to unit-test the emitted
+/// schema (and to let CI scripts diff benchmark numbers without pulling
+/// a JSON dependency into the offline workspace).
+pub mod json {
+    /// A parsed JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`
+        Null,
+        /// `true` / `false`
+        Bool(bool),
+        /// Any number (parsed as `f64`).
+        Num(f64),
+        /// A string literal.
+        Str(String),
+        /// An array.
+        Arr(Vec<Value>),
+        /// An object, in source order.
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// Looks up a key of an object value.
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        /// The numeric payload, if this is a number.
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Num(n) => Some(*n),
+                _ => None,
+            }
+        }
+
+        /// The string payload, if this is a string.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// The elements, if this is an array.
+        pub fn as_arr(&self) -> Option<&[Value]> {
+            match self {
+                Value::Arr(v) => Some(v),
+                _ => None,
+            }
+        }
+    }
+
+    /// Parses a complete JSON document (trailing garbage is an error).
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+        skip_ws(b, pos);
+        if *pos < b.len() && b[*pos] == c {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", c as char, *pos))
+        }
+    }
+
+    fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b'{') => parse_obj(b, pos),
+            Some(b'[') => parse_arr(b, pos),
+            Some(b'"') => Ok(Value::Str(parse_str(b, pos)?)),
+            Some(b't') => parse_lit(b, pos, "true", Value::Bool(true)),
+            Some(b'f') => parse_lit(b, pos, "false", Value::Bool(false)),
+            Some(b'n') => parse_lit(b, pos, "null", Value::Null),
+            Some(_) => parse_num(b, pos),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Value) -> Result<Value, String> {
+        if b[*pos..].starts_with(lit.as_bytes()) {
+            *pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", *pos))
+        }
+    }
+
+    fn parse_num(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        let start = *pos;
+        while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+            *pos += 1;
+        }
+        std::str::from_utf8(&b[start..*pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(Value::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn parse_str(b: &[u8], pos: &mut usize) -> Result<String, String> {
+        expect(b, pos, b'"')?;
+        let mut out = String::new();
+        loop {
+            match b.get(*pos) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    *pos += 1;
+                    match b.get(*pos) {
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = b
+                                .get(*pos + 1..*pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or("bad \\u escape")?;
+                            let code = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                            out.push(char::from_u32(code).ok_or("bad codepoint")?);
+                            *pos += 4;
+                        }
+                        Some(&c) => out.push(c as char),
+                        None => return Err("unterminated escape".into()),
+                    }
+                    *pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 sequences pass through unchanged.
+                    let s = std::str::from_utf8(&b[*pos..]).map_err(|e| e.to_string())?;
+                    let c = s.chars().next().expect("non-empty");
+                    out.push(c);
+                    *pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_arr(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(b, pos, b'[')?;
+        let mut out = Vec::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b']') {
+            *pos += 1;
+            return Ok(Value::Arr(out));
+        }
+        loop {
+            out.push(parse_value(b, pos)?);
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b']') => {
+                    *pos += 1;
+                    return Ok(Value::Arr(out));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+            }
+        }
+    }
+
+    fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(b, pos, b'{')?;
+        let mut out = Vec::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Ok(Value::Obj(out));
+        }
+        loop {
+            skip_ws(b, pos);
+            let key = parse_str(b, pos)?;
+            expect(b, pos, b':')?;
+            let val = parse_value(b, pos)?;
+            out.push((key, val));
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b'}') => {
+                    *pos += 1;
+                    return Ok(Value::Obj(out));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MapperBenchReport {
+        MapperBenchReport {
+            iterations: 2,
+            jobs: vec![
+                MapperBenchJob {
+                    kernel: "fir".into(),
+                    variant: "basic".into(),
+                    config: "HOM64".into(),
+                    ok: true,
+                    ops: 40,
+                    wall_ms: 10.0,
+                    ops_per_sec: 4000.0,
+                    candidates_per_sec: 9000.0,
+                    peak_population: 192,
+                    rollbacks: 512,
+                },
+                MapperBenchJob {
+                    kernel: "fft".into(),
+                    variant: "basic+ACMAP+ECMAP+CAB".into(),
+                    config: "HET1".into(),
+                    ok: false,
+                    ops: 60,
+                    wall_ms: 5.0,
+                    ops_per_sec: 0.0,
+                    candidates_per_sec: 0.0,
+                    peak_population: 0,
+                    rollbacks: 0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_schema_has_all_required_fields() {
+        let doc = json::parse(&render_json(&sample())).expect("valid JSON");
+        assert_eq!(
+            doc.get("schema").and_then(json::Value::as_str),
+            Some(SCHEMA)
+        );
+        assert_eq!(
+            doc.get("iterations").and_then(json::Value::as_f64),
+            Some(2.0)
+        );
+        let jobs = doc.get("jobs").and_then(json::Value::as_arr).expect("jobs");
+        assert_eq!(jobs.len(), 2);
+        for job in jobs {
+            for key in [
+                "kernel",
+                "variant",
+                "config",
+                "ok",
+                "ops",
+                "wall_ms",
+                "ops_per_sec",
+                "candidates_per_sec",
+                "peak_population",
+                "rollbacks",
+            ] {
+                assert!(job.get(key).is_some(), "job missing {key}");
+            }
+        }
+        let totals = doc.get("totals").expect("totals");
+        for key in ["ops_mapped_per_sec", "candidates_per_sec", "wall_ms"] {
+            assert!(totals.get(key).is_some(), "totals missing {key}");
+        }
+    }
+
+    #[test]
+    fn totals_aggregate_only_successful_jobs_for_ops() {
+        let r = sample();
+        // 40 ops in 10 ms -> 4000/s; the failed fft job contributes
+        // neither ops nor wall to the throughput figure (a failing search
+        // must not be able to inflate or dilute the tracked number).
+        let expected = 40.0 / (10.0 / 1e3);
+        assert!((r.total_ops_per_sec() - expected).abs() < 1.0);
+        assert!((r.total_wall_ms() - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        let mut r = sample();
+        r.jobs[0].kernel = "we\"ird\nname".into();
+        let doc = json::parse(&render_json(&r)).expect("still valid");
+        let jobs = doc.get("jobs").and_then(json::Value::as_arr).unwrap();
+        assert_eq!(
+            jobs[0].get("kernel").and_then(json::Value::as_str),
+            Some("we\"ird\nname")
+        );
+    }
+
+    #[test]
+    fn mini_json_parser_handles_the_grammar() {
+        use json::{parse, Value};
+        assert_eq!(parse("null").unwrap(), Value::Null);
+        assert_eq!(parse(" true ").unwrap(), Value::Bool(true));
+        assert_eq!(parse("-1.5e2").unwrap(), Value::Num(-150.0));
+        assert_eq!(parse("[]").unwrap(), Value::Arr(vec![]));
+        assert_eq!(parse("{}").unwrap(), Value::Obj(vec![]));
+        let v = parse("{\"a\": [1, {\"b\": \"c\"}]}").unwrap();
+        assert_eq!(v.get("a").and_then(Value::as_arr).map(|a| a.len()), Some(2));
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("12 34").is_err());
+    }
+}

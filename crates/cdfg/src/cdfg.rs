@@ -157,6 +157,12 @@ impl Cdfg {
         self.symbols.len()
     }
 
+    /// Total number of value (data) nodes over all blocks — the bound of
+    /// the dense `ValueId`-indexed tables the mapper keeps.
+    pub fn num_values(&self) -> usize {
+        self.values.len()
+    }
+
     /// Name of a memory alias class.
     ///
     /// # Panics

@@ -101,6 +101,14 @@ pub struct MapStats {
     pub finalize_failures: u64,
     /// Number of slack escalations needed.
     pub escalations: u64,
+    /// Largest candidate pool alive at once (after binding expansion,
+    /// before the memory filters) — the search's peak memory pressure,
+    /// a timing-noise-free effort measure for Fig 9 and the DSE sweep.
+    pub peak_population: u64,
+    /// Trial bindings undone on shared partial state during candidate
+    /// expansion. Always zero in this mapper: candidates are evaluated
+    /// on clones, never rolled back.
+    pub rollbacks: u64,
 }
 
 /// A successful mapping plus its statistics.
@@ -238,6 +246,8 @@ impl Mapper {
                 }
                 return Err(MapError::Unroutable { block });
             }
+
+            stats.peak_population = stats.peak_population.max(pool.len() as u64);
 
             if self.options.acmap {
                 stats.acmap_pruned += acmap_filter(&mut pool, ctx) as u64;

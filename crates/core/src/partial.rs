@@ -40,7 +40,7 @@ use cmam_arch::{CgraConfig, TileId};
 use cmam_cdfg::analysis::DepGraph;
 use cmam_cdfg::{BlockId, Cdfg, OpId, SymbolId, ValueId, ValueKind};
 use cmam_isa::{BlockMapping, OperandSource, PlacedMove, PlacedOp};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Shared, immutable context for one mapping run.
 #[derive(Debug, Clone, Copy)]
@@ -72,8 +72,9 @@ pub struct FlowState {
     pub base_words: Vec<usize>,
     /// CRF contents per tile accumulated so far.
     pub crf: Vec<Vec<i32>>,
-    /// Pinned symbol homes.
-    pub homes: HashMap<SymbolId, TileId>,
+    /// Pinned symbol homes (sorted by symbol id, so every consumer
+    /// observes a deterministic order).
+    pub homes: BTreeMap<SymbolId, TileId>,
     /// Persistent (symbol) registers in use per tile.
     pub persistent_count: Vec<usize>,
     /// Peak block-local register pressure per tile over the committed
@@ -87,7 +88,7 @@ impl FlowState {
         FlowState {
             base_words: vec![0; ntiles],
             crf: vec![Vec::new(); ntiles],
-            homes: HashMap::new(),
+            homes: BTreeMap::new(),
             persistent_count: vec![0; ntiles],
             rf_pressure: vec![0; ntiles],
         }
@@ -116,7 +117,7 @@ pub struct Partial {
     /// Live intervals of block-local copies per tile.
     intervals: Vec<Vec<CopyInterval>>,
     crf: Vec<Vec<i32>>,
-    homes: HashMap<SymbolId, TileId>,
+    homes: BTreeMap<SymbolId, TileId>,
     persistent_count: Vec<usize>,
     /// Peak committed RF pressure per tile (from previous blocks).
     rf_pressure: Vec<usize>,
@@ -166,7 +167,7 @@ impl Partial {
 
     /// Current symbol home assignment (including homes pinned by this
     /// partial).
-    pub fn homes(&self) -> &HashMap<SymbolId, TileId> {
+    pub fn homes(&self) -> &BTreeMap<SymbolId, TileId> {
         &self.homes
     }
 

@@ -1,0 +1,222 @@
+//! Golden-equivalence suite: the mapper must keep producing **exactly**
+//! the same `KernelMapping` and `MapStats` it produced before the
+//! hot-loop optimizations, for every kernel × smoke configuration × flow
+//! variant at the fixed default seed.
+//!
+//! The golden file (`tests/golden/mapper.golden`) was generated against
+//! the pre-optimization mapper (the clone-per-candidate, HashMap-state
+//! implementation) and is the contract every performance refactor must
+//! preserve: flat state, incremental ACMAP/ECMAP counters and try/undo
+//! candidate expansion are all observationally invisible.
+//!
+//! Regenerate (only when an *intentional* semantic change lands) with:
+//!
+//! ```text
+//! CMAM_REGEN_GOLDEN=1 cargo test -p cmam_core --test golden_equivalence
+//! ```
+
+use cmam_arch::CgraConfig;
+use cmam_core::{FlowVariant, Mapper};
+use cmam_isa::{KernelMapping, OperandSource};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// FNV-1a, the same construction the engine uses for content hashes
+/// (reimplemented here because `cmam_core` must not depend on
+/// `cmam_engine`).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+}
+
+/// A canonical content hash of a mapping: every placement, route, operand
+/// source, commit flag and symbol home. Two mappings with equal digests
+/// are byte-identical for every downstream consumer (assembler,
+/// simulator, reports).
+fn mapping_digest(m: &KernelMapping) -> u64 {
+    let mut h = Fnv::new();
+    h.usize(m.blocks.len());
+    for b in &m.blocks {
+        h.usize(b.length);
+        h.usize(b.ops.len());
+        for o in &b.ops {
+            h.u64(o.op.0 as u64);
+            h.usize(o.tile.0);
+            h.usize(o.cycle);
+            h.u64(o.direct_symbol_write as u64);
+            h.usize(o.operands.len());
+            for s in &o.operands {
+                match s {
+                    OperandSource::Const(c) => {
+                        h.u64(1);
+                        h.u64(*c as u32 as u64);
+                    }
+                    OperandSource::Rf { tile, value } => {
+                        h.u64(2);
+                        h.usize(tile.0);
+                        h.u64(value.0 as u64);
+                    }
+                }
+            }
+        }
+        h.usize(b.moves.len());
+        for mv in &b.moves {
+            h.u64(mv.value.0 as u64);
+            h.usize(mv.src_tile.0);
+            h.usize(mv.tile.0);
+            h.usize(mv.cycle);
+            match mv.commit_symbol {
+                Some(s) => {
+                    h.u64(1);
+                    h.u64(s.0 as u64);
+                }
+                None => h.u64(0),
+            }
+        }
+    }
+    // Homes sorted by symbol id: stable across map-representation changes.
+    let mut homes: Vec<(u32, usize)> = m.symbol_homes.iter().map(|(s, t)| (s.0, t.0)).collect();
+    homes.sort_unstable();
+    h.usize(homes.len());
+    for (s, t) in homes {
+        h.u64(s as u64);
+        h.usize(t);
+    }
+    h.0
+}
+
+fn configs() -> Vec<CgraConfig> {
+    // The smoke configurations (the unconstrained baseline plus both
+    // heterogeneous constrained targets), and two uniformly tight
+    // targets chosen so that the ACMAP/ECMAP filters actually drop
+    // candidates and some searches fail — covering the pruning counters,
+    // the finalize-failure path and the error formatting, which the
+    // smoke configurations never trigger.
+    vec![
+        CgraConfig::hom64(),
+        CgraConfig::het1(),
+        CgraConfig::het2(),
+        CgraConfig::builder(4, 4)
+            .uniform_cm(16)
+            .name("TIGHT16")
+            .build()
+            .expect("valid config"),
+        CgraConfig::builder(4, 4)
+            .uniform_cm(24)
+            .name("TIGHT24")
+            .build()
+            .expect("valid config"),
+    ]
+}
+
+/// One observed line of the suite, in the golden file's format:
+///
+/// `<kernel> <variant> <config> ok <mapping-hash> <8 stat counters>`
+/// `<kernel> <variant> <config> err <error message with spaces escaped>`
+fn observe(kernel: &str, variant: FlowVariant, config: &CgraConfig) -> String {
+    let spec = cmam_kernels::all()
+        .into_iter()
+        .find(|s| s.name == kernel)
+        .expect("known kernel");
+    let mapper = Mapper::new(variant.options());
+    match mapper.map(&spec.cdfg, config) {
+        Ok(r) => {
+            let s = &r.stats;
+            // `rollbacks` is deliberately excluded: it counts how the
+            // *implementation* explores (clone-based mappers never roll
+            // back), not what the search decides. Every other counter is
+            // search semantics and must match the golden mapper exactly.
+            format!(
+                "{kernel} {variant} {} ok {:016x} {} {} {} {} {} {} {} {}",
+                config.name(),
+                mapping_digest(&r.mapping),
+                s.candidates,
+                s.attempts,
+                s.acmap_pruned,
+                s.ecmap_pruned,
+                s.stochastic_pruned,
+                s.finalize_failures,
+                s.escalations,
+                s.peak_population,
+            )
+        }
+        Err(e) => format!(
+            "{kernel} {variant} {} err {}",
+            config.name(),
+            e.to_string().replace(' ', "_")
+        ),
+    }
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("mapper.golden")
+}
+
+fn run_suite() -> String {
+    let kernels: Vec<&'static str> = cmam_kernels::all().iter().map(|s| s.name).collect();
+    let mut out = String::new();
+    for kernel in &kernels {
+        for config in &configs() {
+            for variant in FlowVariant::ALL {
+                let _ = writeln!(out, "{}", observe(kernel, variant, config));
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn mapper_output_matches_golden() {
+    let path = golden_path();
+    let observed = run_suite();
+    if std::env::var_os("CMAM_REGEN_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir");
+        std::fs::write(&path, &observed).expect("write golden");
+        eprintln!("regenerated {}", path.display());
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); generate it with \
+             CMAM_REGEN_GOLDEN=1 cargo test -p cmam_core --test golden_equivalence",
+            path.display()
+        )
+    });
+    let golden_lines: Vec<&str> = golden.lines().collect();
+    let observed_lines: Vec<&str> = observed.lines().collect();
+    assert_eq!(
+        golden_lines.len(),
+        observed_lines.len(),
+        "suite shape changed: {} golden lines vs {} observed",
+        golden_lines.len(),
+        observed_lines.len()
+    );
+    let mut diffs = Vec::new();
+    for (g, o) in golden_lines.iter().zip(&observed_lines) {
+        if g != o {
+            diffs.push(format!("  golden:   {g}\n  observed: {o}"));
+        }
+    }
+    assert!(
+        diffs.is_empty(),
+        "{} of {} jobs diverged from the golden mapper:\n{}",
+        diffs.len(),
+        golden_lines.len(),
+        diffs.join("\n")
+    );
+}

@@ -234,7 +234,7 @@ pub fn serialize_result(result: &JobResult) -> String {
                 .join(" ");
             out.push_str(&format!("report {report}\n"));
             out.push_str(&format!(
-                "map {} {} {} {} {} {} {}\n",
+                "map {} {} {} {} {} {} {} {} {}\n",
                 o.map_stats.candidates,
                 o.map_stats.attempts,
                 o.map_stats.acmap_pruned,
@@ -242,6 +242,8 @@ pub fn serialize_result(result: &JobResult) -> String {
                 o.map_stats.stochastic_pruned,
                 o.map_stats.finalize_failures,
                 o.map_stats.escalations,
+                o.map_stats.peak_population,
+                o.map_stats.rollbacks,
             ));
             out.push_str(&format!("bin.name {}\n", escape(&o.binary.name)));
             out.push_str(&format!("bin.entry {}\n", o.binary.entry));
@@ -376,7 +378,7 @@ pub fn parse_result(text: &str) -> Option<JobResult> {
                 .map(str::parse)
                 .collect::<Result<_, _>>()
                 .ok()?;
-            if m.len() != 7 {
+            if m.len() != 9 {
                 return None;
             }
             let map_stats = cmam_core::MapStats {
@@ -387,6 +389,8 @@ pub fn parse_result(text: &str) -> Option<JobResult> {
                 stochastic_pruned: m[4],
                 finalize_failures: m[5],
                 escalations: m[6],
+                peak_population: m[7],
+                rollbacks: m[8],
             };
             let name = unescape(&field("bin.name")?);
             let entry: u32 = field("bin.entry")?.parse().ok()?;

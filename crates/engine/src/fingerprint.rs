@@ -14,7 +14,10 @@ use cmam_kernels::KernelSpec;
 
 /// Bumped whenever the fingerprint coverage or the on-disk artifact format
 /// changes, so stale cache entries are never misread.
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// v2: `MapStats` gained `peak_population` and `rollbacks` (the `map`
+/// artifact line carries 9 counters instead of 7).
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Build-time hash of every toolchain source file whose code influences a
 /// job outcome (mapper, assembler, simulator, kernels, arch, and the

@@ -76,6 +76,8 @@ impl RunOutcome {
             self.map_stats.stochastic_pruned,
             self.map_stats.finalize_failures,
             self.map_stats.escalations,
+            self.map_stats.peak_population,
+            self.map_stats.rollbacks,
         ] {
             h.feed_u64(s);
         }

@@ -244,12 +244,11 @@ pub fn assemble(
     let ntiles = geom.num_tiles();
 
     // --- Persistent registers: symbols grouped by home tile. ---
+    // `symbol_homes` is a BTreeMap, so iteration is already sorted by
+    // symbol id — register numbers are deterministic by construction.
     let mut persistent: HashMap<SymbolId, (TileId, u8)> = HashMap::new();
     let mut persistent_count = vec![0usize; ntiles];
-    let mut homed: Vec<(SymbolId, TileId)> =
-        mapping.symbol_homes.iter().map(|(&s, &t)| (s, t)).collect();
-    homed.sort();
-    for (s, home) in homed {
+    for (&s, &home) in &mapping.symbol_homes {
         let reg = persistent_count[home.0];
         persistent.insert(s, (home, reg as u8));
         persistent_count[home.0] += 1;
@@ -683,7 +682,7 @@ mod tests {
                 ],
                 moves: vec![],
             }],
-            symbol_homes: HashMap::new(),
+            symbol_homes: std::collections::BTreeMap::new(),
         }
     }
 
@@ -793,7 +792,7 @@ mod tests {
                     commit_symbol: None,
                 }],
             }],
-            symbol_homes: HashMap::new(),
+            symbol_homes: std::collections::BTreeMap::new(),
         };
         let (bin, report) = assemble(&cdfg, &mapping, &cfg).unwrap();
         assert_eq!(report.total_moves(), 1);

@@ -8,7 +8,7 @@
 
 use cmam_arch::TileId;
 use cmam_cdfg::{BlockId, OpId, SymbolId, ValueId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Where a placed operation reads one operand.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -135,7 +135,11 @@ pub struct KernelMapping {
     /// Per-block mappings, indexed by `BlockId`.
     pub blocks: Vec<BlockMapping>,
     /// Home tile of every symbol variable (its persistent RF slot).
-    pub symbol_homes: HashMap<SymbolId, TileId>,
+    /// A `BTreeMap` so iteration order is sorted by symbol id *by
+    /// construction* — everything downstream of the mapper (assembler
+    /// register assignment, listings, CSV reports) observes a
+    /// deterministic order without having to re-sort.
+    pub symbol_homes: BTreeMap<SymbolId, TileId>,
 }
 
 impl KernelMapping {
@@ -240,7 +244,7 @@ mod tests {
         };
         let km = KernelMapping {
             blocks: vec![b0, b1],
-            symbol_homes: HashMap::new(),
+            symbol_homes: BTreeMap::new(),
         };
         assert_eq!(km.total_moves(), 1);
         assert_eq!(km.total_length(), 3);
