@@ -16,8 +16,8 @@
 //! homes before moving to the next block.
 
 use crate::options::{MapperOptions, Traversal};
-use crate::partial::{FlowState, MapCtx, Partial};
-use crate::prune::{acmap_filter, ecmap_filter, stochastic_prune};
+use crate::partial::{FlowState, MapCtx, MapPre, Partial};
+use crate::prune::stochastic_prune_by;
 use crate::schedule::priority_order;
 use cmam_arch::CgraConfig;
 use cmam_cdfg::analysis::{forward_order, weighted_order, DepGraph};
@@ -105,9 +105,12 @@ pub struct MapStats {
     /// before the memory filters) — the search's peak memory pressure,
     /// a timing-noise-free effort measure for Fig 9 and the DSE sweep.
     pub peak_population: u64,
-    /// Trial bindings undone on shared partial state during candidate
-    /// expansion. Always zero in this mapper: candidates are evaluated
-    /// on clones, never rolled back.
+    /// Trial bindings undone on the shared partial state during candidate
+    /// expansion — every try that left a delta (surviving candidates and
+    /// failed attempts alike) is rolled back rather than cloned away.
+    /// Zero for mapper implementations that evaluate candidates on
+    /// clones; together with `attempts` this measures how much work the
+    /// try/undo scheme saves over clone-per-candidate.
     pub rollbacks: u64,
 }
 
@@ -154,10 +157,15 @@ impl Mapper {
             Traversal::Weighted => weighted_order(cdfg),
         };
         let ntiles = config.geometry().num_tiles();
+        let pre = MapPre::new(config);
         let mut state = FlowState::new(ntiles);
         let mut rng = StdRng::seed_from_u64(self.options.seed);
         let mut stats = MapStats::default();
         let mut blocks: Vec<Option<cmam_isa::BlockMapping>> = vec![None; cdfg.num_blocks()];
+        // Retired partials whose allocations the survivor materialisation
+        // reuses (see `map_block`); shared across blocks because every
+        // partial of one run has identically sized tables.
+        let mut pool_mem: Vec<Partial> = Vec::new();
 
         for (pos, &block) in order.iter().enumerate() {
             // Reserve one context word per tile for every block still to
@@ -167,8 +175,10 @@ impl Mapper {
                 config,
                 options: &self.options,
                 reserve: order.len() - 1 - pos,
+                pre: &pre,
             };
-            let bm = self.map_block(&ctx, block, &mut state, &mut rng, &mut stats)?;
+            let bm =
+                self.map_block(&ctx, block, &mut state, &mut rng, &mut stats, &mut pool_mem)?;
             blocks[block.0 as usize] = Some(bm);
         }
 
@@ -182,6 +192,7 @@ impl Mapper {
         Ok(MapResult { mapping, stats })
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn map_block(
         &self,
         ctx: &MapCtx<'_>,
@@ -189,32 +200,73 @@ impl Mapper {
         state: &mut FlowState,
         rng: &mut StdRng,
         stats: &mut MapStats,
+        pool_mem: &mut Vec<Partial>,
     ) -> Result<cmam_isa::BlockMapping, MapError> {
         let dfg = ctx.cdfg.dfg(block);
         let deps = DepGraph::build(&dfg);
         let order = priority_order(&dfg, &deps);
         let tiles: Vec<_> = ctx.config.geometry().tiles().collect();
+        let geom = ctx.config.geometry();
 
-        let mut population = vec![Partial::new(state)];
+        /// One successful trial binding: which parent it extends and
+        /// where the op goes, plus everything the downstream pipeline
+        /// steps need (cost for ranking, the memory-filter verdicts) —
+        /// recorded while the delta was applied, before it was rolled
+        /// back. Only the candidates that survive pruning are ever
+        /// materialised into real [`Partial`]s.
+        struct Candidate {
+            parent: u32,
+            tile: cmam_arch::TileId,
+            cycle: u32,
+            cost: (usize, usize),
+            acmap_ok: bool,
+            ecmap_ok: bool,
+        }
+
+        let mut population = vec![Partial::new(state, ctx)];
 
         for &op in &order {
-            // Candidate generation with slack escalation.
-            let mut pool: Vec<Partial> = Vec::new();
+            // Candidate generation with slack escalation. Every trial is
+            // applied to the shared parent state and rolled back; cloning
+            // happens only for pruning survivors below.
+            let mut pool: Vec<Candidate> = Vec::new();
             for escalation in 0..3 {
                 let slack = self.options.slack << (2 * escalation);
                 if escalation > 0 {
                     stats.escalations += 1;
                 }
-                for partial in &population {
+                for (pi, partial) in population.iter_mut().enumerate() {
                     let earliest = partial.earliest_cycle(&deps, op);
-                    let mut local: Vec<Partial> = Vec::new();
+                    let cp = partial.checkpoint();
+                    let mut local: Vec<Candidate> = Vec::new();
                     for &tile in &tiles {
                         for cycle in earliest..=earliest + slack {
                             stats.attempts += 1;
-                            let mut cand = partial.clone();
-                            if cand.try_place_op(ctx, op, tile, cycle) {
+                            if partial.try_place_op(ctx, op, tile, cycle) {
                                 stats.candidates += 1;
-                                local.push(cand);
+                                // Evaluate the memory filters while the
+                                // delta is applied — O(1) per tile from
+                                // the incremental counters.
+                                let acmap_ok = !self.options.acmap
+                                    || geom
+                                        .tiles()
+                                        .all(|t| partial.acmap_words(t) <= ctx.capacity(t));
+                                let ecmap_ok = !self.options.ecmap
+                                    || geom
+                                        .tiles()
+                                        .all(|t| partial.ecmap_words(t) <= ctx.capacity(t));
+                                local.push(Candidate {
+                                    parent: pi as u32,
+                                    tile,
+                                    cycle: cycle as u32,
+                                    cost: partial.cost(),
+                                    acmap_ok,
+                                    ecmap_ok,
+                                });
+                            }
+                            if partial.dirty_since(cp) {
+                                stats.rollbacks += 1;
+                                partial.rollback(cp);
                             }
                         }
                     }
@@ -225,8 +277,10 @@ impl Mapper {
                     // they do not re-rank the binder's candidates. This is
                     // what makes over-constrained targets fail (the zero
                     // bars of Figs 6-8) instead of being rescued by
-                    // exhaustive candidate filtering.
-                    local.sort_by_key(Partial::cost);
+                    // exhaustive candidate filtering. (Stable sort: ties
+                    // keep generation order, as when partials themselves
+                    // were sorted.)
+                    local.sort_by_key(|c| c.cost);
                     local.truncate(self.options.expansion);
                     pool.extend(local);
                 }
@@ -249,8 +303,14 @@ impl Mapper {
 
             stats.peak_population = stats.peak_population.max(pool.len() as u64);
 
+            // ACMAP / ECMAP filters: the verdicts were computed per
+            // candidate at trial time; the filters reduce to retains.
+            // ECMAP counts only candidates that survived ACMAP, like the
+            // sequential filter pipeline did.
             if self.options.acmap {
-                stats.acmap_pruned += acmap_filter(&mut pool, ctx) as u64;
+                let before = pool.len();
+                pool.retain(|c| c.acmap_ok);
+                stats.acmap_pruned += (before - pool.len()) as u64;
                 if pool.is_empty() {
                     return Err(MapError::MemoryConstraint {
                         block,
@@ -259,7 +319,9 @@ impl Mapper {
                 }
             }
             if self.options.ecmap {
-                stats.ecmap_pruned += ecmap_filter(&mut pool, ctx) as u64;
+                let before = pool.len();
+                pool.retain(|c| c.ecmap_ok);
+                stats.ecmap_pruned += (before - pool.len()) as u64;
                 if pool.is_empty() {
                     return Err(MapError::MemoryConstraint {
                         block,
@@ -268,8 +330,48 @@ impl Mapper {
                 }
             }
             let before = pool.len();
-            population = stochastic_prune(pool, self.options.population, rng);
-            stats.stochastic_pruned += (before - population.len()) as u64;
+            let chosen = stochastic_prune_by(pool, self.options.population, rng, |c| c.cost);
+            stats.stochastic_pruned += (before - chosen.len()) as u64;
+
+            // Materialise the survivors: re-apply each chosen delta onto
+            // (a clone of) its parent. The last reference to a parent
+            // takes it by move; buffers of never-chosen parents are
+            // recycled through `pool_mem` instead of reallocated.
+            let mut refs = vec![0u32; population.len()];
+            for c in &chosen {
+                refs[c.parent as usize] += 1;
+            }
+            let mut parents: Vec<Option<Partial>> = population.into_iter().map(Some).collect();
+            let mut next: Vec<Partial> = Vec::with_capacity(chosen.len());
+            for c in &chosen {
+                let pi = c.parent as usize;
+                refs[pi] -= 1;
+                let mut p = if refs[pi] == 0 {
+                    parents[pi].take().expect("last reference")
+                } else {
+                    let parent = parents[pi].as_ref().expect("parent still live");
+                    match pool_mem.pop() {
+                        Some(mut buf) => {
+                            buf.clone_from(parent);
+                            buf
+                        }
+                        None => parent.clone(),
+                    }
+                };
+                let ok = p.try_place_op(ctx, op, c.tile, c.cycle as usize);
+                debug_assert!(ok, "re-applying a proven-feasible binding");
+                if !ok {
+                    // A rolled-back trial failing on re-application would
+                    // mean the journal is broken; never ship a corrupt
+                    // mapping in release builds either.
+                    return Err(MapError::Unroutable { block });
+                }
+                p.clear_journal();
+                next.push(p);
+            }
+            // Recycle the allocations of parents nothing descended from.
+            pool_mem.extend(parents.into_iter().flatten());
+            population = next;
         }
 
         // Finalisation: symbol commits + exact feasibility.

@@ -62,6 +62,6 @@ pub mod schedule;
 
 pub use flow::{MapError, MapResult, MapStats, Mapper};
 pub use options::{FlowVariant, MapperOptions, Traversal};
-pub use partial::Partial;
-pub use prune::{acmap_filter, ecmap_filter, stochastic_prune};
+pub use partial::{MapPre, Partial};
+pub use prune::{acmap_filter, ecmap_filter, stochastic_prune, stochastic_prune_by};
 pub use schedule::priority_order;

@@ -34,13 +34,72 @@
 //! never decrease `instructions + runs`, the ECMAP metric is a true lower
 //! bound on the final context words of the tile — pruning on it never
 //! discards a partial mapping that could still fit.
+//!
+//! # Data layout (hot-loop representation)
+//!
+//! All per-candidate state is **flat and index-keyed** so feasibility
+//! checks are O(1) loads, never hashes:
+//!
+//! * slot occupancy is a per-tile bitset (`occ_bits`, row-major `u64`
+//!   words) with **incrementally maintained** per-tile instruction
+//!   counts, interior-idle-run counts and first/last occupied cycles, so
+//!   `acmap_words`/`ecmap_words`/`exact_words` are table lookups;
+//! * value copies live in a dense `ValueId`-indexed table (`avail`);
+//! * RF pressure is a row-major per-`(tile, cycle)` live-copy count
+//!   (`rf_count`) plus a per-tile running peak, updated on every interval
+//!   insertion/extension;
+//! * symbol homes and last-home-read cycles are dense
+//!   `SymbolId`-indexed tables; the first placed cycle of every op is a
+//!   dense `OpId`-indexed table (for O(preds) dependency slack).
+//!
+//! Candidate evaluation is **clone-free**: every mutation appends an
+//! inverse record to an undo journal, so the search tries a binding on
+//! the shared parent state ([`Partial::try_place_op`]), records its cost
+//! and metrics, and [rolls back](Partial::rollback) to the
+//! [checkpoint](Partial::checkpoint) — cloning only the few survivors
+//! that enter the next population (see `flow.rs`).
 
 use crate::options::MapperOptions;
 use cmam_arch::{CgraConfig, TileId};
 use cmam_cdfg::analysis::DepGraph;
 use cmam_cdfg::{BlockId, Cdfg, OpId, SymbolId, ValueId, ValueKind};
 use cmam_isa::{BlockMapping, OperandSource, PlacedMove, PlacedOp};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+/// Immutable per-`map()` precomputation: the torus neighbourhoods in the
+/// two orders the binder consumes, so the hot loop never re-derives (or
+/// re-allocates) them per call.
+#[derive(Debug, Clone)]
+pub struct MapPre {
+    /// Per tile: neighbours in `Direction::ALL` (N,E,S,W) order,
+    /// deduplicated — the order home pinning and re-computation probe
+    /// sites.
+    nbr_dir: Vec<Vec<TileId>>,
+    /// Per tile: the same neighbours sorted by ascending tile id — the
+    /// order the routing BFS expands.
+    nbr_sorted: Vec<Vec<TileId>>,
+}
+
+impl MapPre {
+    /// Precomputes the neighbourhood tables of `config`'s geometry.
+    pub fn new(config: &CgraConfig) -> Self {
+        let geom = config.geometry();
+        let mut nbr_dir = Vec::with_capacity(geom.num_tiles());
+        let mut nbr_sorted = Vec::with_capacity(geom.num_tiles());
+        for t in geom.tiles() {
+            let dir: Vec<TileId> = geom.neighbors(t).into_iter().map(|(_, n)| n).collect();
+            let mut sorted = dir.clone();
+            sorted.sort_unstable();
+            nbr_dir.push(dir);
+            nbr_sorted.push(sorted);
+        }
+        MapPre {
+            nbr_dir,
+            nbr_sorted,
+        }
+    }
+}
 
 /// Shared, immutable context for one mapping run.
 #[derive(Debug, Clone, Copy)]
@@ -56,6 +115,8 @@ pub struct MapCtx<'a> {
     /// one pnop — so the flow must not let earlier blocks spend the whole
     /// budget).
     pub reserve: usize,
+    /// Precomputed neighbourhood tables (see [`MapPre`]).
+    pub pre: &'a MapPre,
 }
 
 impl<'a> MapCtx<'a> {
@@ -104,56 +165,439 @@ struct CopyInterval {
     end: usize,
 }
 
-/// One partial mapping of the current block. Cheap to clone; the search
-/// clones a partial per candidate placement and discards failures.
-#[derive(Debug, Clone)]
+/// One inverse record of the try/undo journal. Every mutation of a
+/// [`Partial`]'s semantic state appends exactly the data needed to undo
+/// it; [`Partial::rollback`] pops and applies them in reverse.
+#[derive(Debug, Clone, Copy)]
+enum UndoOp {
+    /// Pop the last placed op.
+    PopOp,
+    /// Pop the last placed move.
+    PopMove,
+    /// Restore `first_cycle[op]`.
+    FirstCycle {
+        /// The op.
+        op: u32,
+        /// Previous first-instance cycle.
+        old: u32,
+    },
+    /// Clear the occupancy bit of `(tile, cycle)` and restore the tile's
+    /// incremental counters and the global frontier.
+    Occupy {
+        /// The tile.
+        tile: u32,
+        /// The occupied cycle.
+        cycle: u32,
+        /// Previous interior-run count.
+        interior: u32,
+        /// Previous first occupied cycle.
+        occ_min: u32,
+        /// Previous last occupied cycle.
+        occ_max: u32,
+        /// Previous global frontier.
+        frontier: u32,
+    },
+    /// Pop the last CRF word of `tile`.
+    PopCrf {
+        /// The tile.
+        tile: u32,
+    },
+    /// Pop the last copy of `value` from the avail table.
+    PopAvail {
+        /// The value.
+        value: u32,
+    },
+    /// Restore the ready cycle of copy `idx` of `value`.
+    AvailReady {
+        /// The value.
+        value: u32,
+        /// Copy index in the value's avail list.
+        idx: u32,
+        /// Previous ready cycle.
+        old: u32,
+    },
+    /// Pop the last live interval of `tile`.
+    PopInterval {
+        /// The tile.
+        tile: u32,
+    },
+    /// Restore the start of interval `idx` of `tile`.
+    IntervalStart {
+        /// The tile.
+        tile: u32,
+        /// Interval index.
+        idx: u32,
+        /// Previous start cycle.
+        old: u32,
+    },
+    /// Restore the end of interval `idx` of `tile`.
+    IntervalEnd {
+        /// The tile.
+        tile: u32,
+        /// Interval index.
+        idx: u32,
+        /// Previous end cycle.
+        old: u32,
+    },
+    /// Decrement the RF live-copy counts of `tile` over `[from, to]` and
+    /// restore the tile's running peak.
+    RfDec {
+        /// The tile.
+        tile: u32,
+        /// First incremented cycle.
+        from: u32,
+        /// Last incremented cycle.
+        to: u32,
+        /// Previous running peak.
+        peak: u16,
+    },
+    /// Unpin the home of `symbol` and restore the commit debt.
+    UnpinHome {
+        /// The symbol.
+        symbol: u32,
+        /// The home tile that was pinned.
+        home: u32,
+        /// Previous commit debt.
+        debt: usize,
+    },
+    /// Restore the last-home-read cycle of `symbol`.
+    LastHomeRead {
+        /// The symbol.
+        symbol: u32,
+        /// Previous last-home-read cycle.
+        old: u32,
+    },
+    /// Restore the commit debt.
+    CommitDebt {
+        /// Previous commit debt.
+        old: usize,
+    },
+    /// Clear the direct-symbol-write flag of op instance `idx`.
+    ClearDirectWrite {
+        /// Index into the placed-ops list.
+        idx: u32,
+    },
+}
+
+/// Per-tile scratch entry of the routing BFS (stamped, so clearing it
+/// between calls is O(1)).
+#[derive(Debug, Clone, Copy, Default)]
+struct RouteVisit {
+    stamp: u32,
+    ready: u32,
+    /// Previous hop tile; `u32::MAX` marks a start copy.
+    prev_tile: u32,
+    /// Cycle of the move from the previous hop.
+    prev_cycle: u32,
+}
+
+/// One partial mapping of the current block.
+///
+/// Candidate bindings are evaluated **in place**: take a
+/// [`checkpoint`](Partial::checkpoint), call
+/// [`try_place_op`](Partial::try_place_op) (which mutates on both success
+/// and failure), read off cost and metrics, then
+/// [`rollback`](Partial::rollback). Cloning is reserved for the pruned
+/// survivors that seed the next binding round.
+#[derive(Debug)]
 pub struct Partial {
     ops: Vec<PlacedOp>,
     moves: Vec<PlacedMove>,
-    /// Sorted occupied cycles per tile (this block only).
-    occ: Vec<Vec<usize>>,
-    /// Copies of each value: `(tile, ready_cycle)`, insertion-ordered.
-    avail: HashMap<ValueId, Vec<(TileId, usize)>>,
+
+    // --- flat slot occupancy + incremental context-word counters ---
+    /// Row-major per-tile occupancy bitset (`words_per_tile` words each).
+    occ_bits: Vec<u64>,
+    /// Instructions (ops + moves) of this block per tile.
+    instr: Vec<u32>,
+    /// Interior idle runs per tile (gaps between consecutive occupied
+    /// cycles), maintained on every insertion.
+    interior: Vec<u32>,
+    /// First occupied cycle per tile (valid when `instr > 0`).
+    occ_min: Vec<u32>,
+    /// Last occupied cycle per tile (valid when `instr > 0`).
+    occ_max: Vec<u32>,
+    frontier: usize,
+
+    // --- dense value-copy table ---
+    /// Copies of each value: `(tile, ready_cycle)`, insertion-ordered,
+    /// indexed by `ValueId`.
+    avail: Vec<Vec<(TileId, u32)>>,
+
+    // --- register-file live intervals ---
     /// Live intervals of block-local copies per tile.
     intervals: Vec<Vec<CopyInterval>>,
+    /// Row-major live-copy count per `(tile, cycle)`
+    /// (`max_schedule + 1` entries per tile).
+    rf_count: Vec<u16>,
+    /// Running peak of `rf_count` per tile — equals the old
+    /// `max_overlap` interval scan because counts only grow (rollback
+    /// restores the recorded previous peak).
+    rf_peak: Vec<u16>,
+
     crf: Vec<Vec<i32>>,
-    homes: BTreeMap<SymbolId, TileId>,
+    /// Home tile per symbol, indexed by `SymbolId`.
+    homes: Vec<Option<TileId>>,
     persistent_count: Vec<usize>,
     /// Peak committed RF pressure per tile (from previous blocks).
     rf_pressure: Vec<usize>,
     /// Latest cycle at which the *old* value of a symbol was read from its
-    /// home register in this block.
-    last_home_read: HashMap<SymbolId, usize>,
+    /// home register in this block, indexed by `SymbolId`.
+    last_home_read: Vec<u32>,
     /// Accumulated distance from placed symbol-writing ops to their
     /// symbols' home tiles — the expected commit-routing cost (the
     /// paper's location constraints influencing the binding).
     commit_debt: usize,
     base_words: Vec<usize>,
-    frontier: usize,
+    /// Earliest placed cycle per `OpId` (`u32::MAX` when unplaced), for
+    /// O(preds) dependency-slack queries.
+    first_cycle: Vec<u32>,
     length: usize,
+
+    /// Bitset stride (`ceil(max_schedule / 64)`).
+    words_per_tile: usize,
+    /// RF-count stride minus one (`rf_count` has `max_schedule + 1`
+    /// entries per tile: a result written at the last legal cycle is
+    /// ready *at* `max_schedule`).
+    max_schedule: usize,
+
+    // --- non-semantic state (never cloned, excluded from comparisons) ---
+    journal: Vec<UndoOp>,
+    route_visited: Vec<RouteVisit>,
+    route_stamp: u32,
+    route_queue: VecDeque<TileId>,
+    read_cands: Vec<(usize, TileId)>,
+}
+
+impl Clone for Partial {
+    fn clone(&self) -> Self {
+        Partial {
+            ops: self.ops.clone(),
+            moves: self.moves.clone(),
+            occ_bits: self.occ_bits.clone(),
+            instr: self.instr.clone(),
+            interior: self.interior.clone(),
+            occ_min: self.occ_min.clone(),
+            occ_max: self.occ_max.clone(),
+            frontier: self.frontier,
+            avail: self.avail.clone(),
+            intervals: self.intervals.clone(),
+            rf_count: self.rf_count.clone(),
+            rf_peak: self.rf_peak.clone(),
+            crf: self.crf.clone(),
+            homes: self.homes.clone(),
+            persistent_count: self.persistent_count.clone(),
+            rf_pressure: self.rf_pressure.clone(),
+            last_home_read: self.last_home_read.clone(),
+            commit_debt: self.commit_debt,
+            base_words: self.base_words.clone(),
+            first_cycle: self.first_cycle.clone(),
+            length: self.length,
+            words_per_tile: self.words_per_tile,
+            max_schedule: self.max_schedule,
+            // Scratch and journal start fresh: a clone is taken only at a
+            // consistent point (no trial in flight).
+            journal: Vec::new(),
+            route_visited: vec![RouteVisit::default(); self.route_visited.len()],
+            route_stamp: 0,
+            route_queue: VecDeque::new(),
+            read_cands: Vec::new(),
+        }
+    }
+
+    /// Clone into an existing allocation, reusing every buffer the
+    /// destination already owns — the survivor-materialisation path pulls
+    /// retired partials from a pool and overwrites them with this.
+    fn clone_from(&mut self, src: &Self) {
+        self.ops.clone_from(&src.ops);
+        self.moves.clone_from(&src.moves);
+        self.occ_bits.clone_from(&src.occ_bits);
+        self.instr.clone_from(&src.instr);
+        self.interior.clone_from(&src.interior);
+        self.occ_min.clone_from(&src.occ_min);
+        self.occ_max.clone_from(&src.occ_max);
+        self.frontier = src.frontier;
+        clone_nested(&mut self.avail, &src.avail);
+        clone_nested(&mut self.intervals, &src.intervals);
+        self.rf_count.clone_from(&src.rf_count);
+        self.rf_peak.clone_from(&src.rf_peak);
+        clone_nested(&mut self.crf, &src.crf);
+        self.homes.clone_from(&src.homes);
+        self.persistent_count.clone_from(&src.persistent_count);
+        self.rf_pressure.clone_from(&src.rf_pressure);
+        self.last_home_read.clone_from(&src.last_home_read);
+        self.commit_debt = src.commit_debt;
+        self.base_words.clone_from(&src.base_words);
+        self.first_cycle.clone_from(&src.first_cycle);
+        self.length = src.length;
+        self.words_per_tile = src.words_per_tile;
+        self.max_schedule = src.max_schedule;
+        self.journal.clear();
+        self.route_visited
+            .resize(src.route_visited.len(), RouteVisit::default());
+        self.read_cands.clear();
+    }
+}
+
+/// Clones a `Vec<Vec<T>>` reusing every inner buffer of the destination
+/// (plain `Vec::clone_from` would drop and reallocate the inner vectors).
+fn clone_nested<T: Clone>(dst: &mut Vec<Vec<T>>, src: &[Vec<T>]) {
+    dst.truncate(src.len());
+    for (d, s) in dst.iter_mut().zip(src) {
+        d.clone_from(s);
+    }
+    let have = dst.len();
+    dst.extend(src[have..].iter().cloned());
 }
 
 impl Partial {
     /// Starts an empty partial mapping of a new block on top of `state`.
-    pub fn new(state: &FlowState) -> Self {
+    pub fn new(state: &FlowState, ctx: &MapCtx<'_>) -> Self {
         let n = state.base_words.len();
+        let max_schedule = ctx.options.max_schedule;
+        let words_per_tile = max_schedule.div_ceil(64);
+        let num_values = ctx.cdfg.num_values();
+        let num_symbols = ctx.cdfg.num_symbols();
+        let mut homes = vec![None; num_symbols];
+        for (&s, &t) in &state.homes {
+            homes[s.0 as usize] = Some(t);
+        }
         Partial {
             ops: Vec::new(),
             moves: Vec::new(),
-            occ: vec![Vec::new(); n],
-            avail: HashMap::new(),
+            occ_bits: vec![0; n * words_per_tile],
+            instr: vec![0; n],
+            interior: vec![0; n],
+            occ_min: vec![0; n],
+            occ_max: vec![0; n],
+            frontier: 0,
+            avail: vec![Vec::new(); num_values],
             intervals: vec![Vec::new(); n],
+            rf_count: vec![0; n * (max_schedule + 1)],
+            rf_peak: vec![0; n],
             crf: state.crf.clone(),
-            homes: state.homes.clone(),
+            homes,
             persistent_count: state.persistent_count.clone(),
             rf_pressure: state.rf_pressure.clone(),
-            last_home_read: HashMap::new(),
+            last_home_read: vec![0; num_symbols],
             commit_debt: 0,
             base_words: state.base_words.clone(),
-            frontier: 0,
+            first_cycle: vec![u32::MAX; ctx.cdfg.total_ops()],
             length: 0,
+            words_per_tile,
+            max_schedule,
+            journal: Vec::new(),
+            route_visited: vec![RouteVisit::default(); n],
+            route_stamp: 0,
+            route_queue: VecDeque::new(),
+            read_cands: Vec::new(),
         }
     }
+
+    // ------------------------------------------------------------------
+    // Try/undo journal
+    // ------------------------------------------------------------------
+
+    /// A point of the undo journal to [`rollback`](Partial::rollback) to.
+    pub fn checkpoint(&self) -> usize {
+        self.journal.len()
+    }
+
+    /// Whether any mutation happened since `cp` (a rollback would do
+    /// work).
+    pub fn dirty_since(&self, cp: usize) -> bool {
+        self.journal.len() > cp
+    }
+
+    /// Undoes every mutation since `cp`, restoring the exact state the
+    /// checkpoint observed.
+    pub fn rollback(&mut self, cp: usize) {
+        while self.journal.len() > cp {
+            let e = self.journal.pop().expect("len > cp");
+            match e {
+                UndoOp::PopOp => {
+                    self.ops.pop();
+                }
+                UndoOp::PopMove => {
+                    self.moves.pop();
+                }
+                UndoOp::FirstCycle { op, old } => {
+                    self.first_cycle[op as usize] = old;
+                }
+                UndoOp::Occupy {
+                    tile,
+                    cycle,
+                    interior,
+                    occ_min,
+                    occ_max,
+                    frontier,
+                } => {
+                    let t = tile as usize;
+                    self.occ_bits[t * self.words_per_tile + cycle as usize / 64] &=
+                        !(1u64 << (cycle % 64));
+                    self.instr[t] -= 1;
+                    self.interior[t] = interior;
+                    self.occ_min[t] = occ_min;
+                    self.occ_max[t] = occ_max;
+                    self.frontier = frontier as usize;
+                }
+                UndoOp::PopCrf { tile } => {
+                    self.crf[tile as usize].pop();
+                }
+                UndoOp::PopAvail { value } => {
+                    self.avail[value as usize].pop();
+                }
+                UndoOp::AvailReady { value, idx, old } => {
+                    self.avail[value as usize][idx as usize].1 = old;
+                }
+                UndoOp::PopInterval { tile } => {
+                    self.intervals[tile as usize].pop();
+                }
+                UndoOp::IntervalStart { tile, idx, old } => {
+                    self.intervals[tile as usize][idx as usize].start = old as usize;
+                }
+                UndoOp::IntervalEnd { tile, idx, old } => {
+                    self.intervals[tile as usize][idx as usize].end = old as usize;
+                }
+                UndoOp::RfDec {
+                    tile,
+                    from,
+                    to,
+                    peak,
+                } => {
+                    let base = tile as usize * (self.max_schedule + 1);
+                    for c in from..=to {
+                        self.rf_count[base + c as usize] -= 1;
+                    }
+                    self.rf_peak[tile as usize] = peak;
+                }
+                UndoOp::UnpinHome { symbol, home, debt } => {
+                    self.homes[symbol as usize] = None;
+                    self.persistent_count[home as usize] -= 1;
+                    self.commit_debt = debt;
+                }
+                UndoOp::LastHomeRead { symbol, old } => {
+                    self.last_home_read[symbol as usize] = old;
+                }
+                UndoOp::CommitDebt { old } => {
+                    self.commit_debt = old;
+                }
+                UndoOp::ClearDirectWrite { idx } => {
+                    self.ops[idx as usize].direct_symbol_write = false;
+                }
+            }
+        }
+    }
+
+    /// Drops the journal (all mutations become permanent). Called once a
+    /// partial is promoted into the next population — nothing ever rolls
+    /// back past a promotion.
+    pub fn clear_journal(&mut self) {
+        self.journal.clear();
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
 
     /// Placed operation instances so far.
     pub fn placed_ops(&self) -> &[PlacedOp] {
@@ -165,10 +609,10 @@ impl Partial {
         &self.moves
     }
 
-    /// Current symbol home assignment (including homes pinned by this
+    /// Current home of symbol `s` (including homes pinned by this
     /// partial).
-    pub fn homes(&self) -> &BTreeMap<SymbolId, TileId> {
-        &self.homes
+    pub fn home_of(&self, s: SymbolId) -> Option<TileId> {
+        self.homes[s.0 as usize]
     }
 
     /// Persistent register counts per tile.
@@ -191,44 +635,116 @@ impl Partial {
         self.length
     }
 
+    // ------------------------------------------------------------------
+    // Slot occupancy (bitset + incremental run counters)
+    // ------------------------------------------------------------------
+
     fn slot_free(&self, t: TileId, c: usize) -> bool {
-        self.occ[t.0].binary_search(&c).is_err()
+        self.occ_bits[t.0 * self.words_per_tile + c / 64] & (1u64 << (c % 64)) == 0
     }
 
+    /// Last occupied cycle of `t` strictly below `c`, if any.
+    fn prev_occupied(&self, t: TileId, c: usize) -> Option<usize> {
+        if self.instr[t.0] == 0 || c <= self.occ_min[t.0] as usize {
+            return None;
+        }
+        let base = t.0 * self.words_per_tile;
+        let mut w = (c - 1) / 64;
+        let mut bits = self.occ_bits[base + w] & (!0u64 >> (63 - (c - 1) % 64));
+        loop {
+            if bits != 0 {
+                return Some(w * 64 + 63 - bits.leading_zeros() as usize);
+            }
+            if w == 0 {
+                return None;
+            }
+            w -= 1;
+            bits = self.occ_bits[base + w];
+        }
+    }
+
+    /// First occupied cycle of `t` strictly above `c`, if any.
+    fn next_occupied(&self, t: TileId, c: usize) -> Option<usize> {
+        if self.instr[t.0] == 0 || c >= self.occ_max[t.0] as usize {
+            return None;
+        }
+        let base = t.0 * self.words_per_tile;
+        let mut w = (c + 1) / 64;
+        let mut bits = self.occ_bits[base + w] & (!0u64 << ((c + 1) % 64));
+        loop {
+            if bits != 0 {
+                return Some(w * 64 + bits.trailing_zeros() as usize);
+            }
+            w += 1;
+            if w >= self.words_per_tile {
+                return None;
+            }
+            bits = self.occ_bits[base + w];
+        }
+    }
+
+    /// Marks `(t, c)` occupied, maintaining the per-tile instruction
+    /// count, interior-run count, occupied range and the global frontier
+    /// incrementally (journaled).
     fn occupy(&mut self, t: TileId, c: usize) {
-        let v = &mut self.occ[t.0];
-        let pos = v.binary_search(&c).unwrap_err();
-        v.insert(pos, c);
+        debug_assert!(self.slot_free(t, c), "occupying a taken slot");
+        self.journal.push(UndoOp::Occupy {
+            tile: t.0 as u32,
+            cycle: c as u32,
+            interior: self.interior[t.0],
+            occ_min: self.occ_min[t.0],
+            occ_max: self.occ_max[t.0],
+            frontier: self.frontier as u32,
+        });
+        let prev = self.prev_occupied(t, c);
+        let next = self.next_occupied(t, c);
+        self.occ_bits[t.0 * self.words_per_tile + c / 64] |= 1u64 << (c % 64);
+        // Interior runs change only around the inserted cycle: the old
+        // (prev, next) gap is split into (prev, c) and (c, next).
+        let gap = |a: usize, b: usize| u32::from(b - a > 1);
+        match (prev, next) {
+            (Some(p), Some(n)) => {
+                self.interior[t.0] = self.interior[t.0] - gap(p, n) + gap(p, c) + gap(c, n);
+            }
+            (Some(p), None) => self.interior[t.0] += gap(p, c),
+            (None, Some(n)) => self.interior[t.0] += gap(c, n),
+            (None, None) => {}
+        }
+        if self.instr[t.0] == 0 {
+            self.occ_min[t.0] = c as u32;
+            self.occ_max[t.0] = c as u32;
+        } else {
+            self.occ_min[t.0] = self.occ_min[t.0].min(c as u32);
+            self.occ_max[t.0] = self.occ_max[t.0].max(c as u32);
+        }
+        self.instr[t.0] += 1;
         self.frontier = self.frontier.max(c + 1);
-    }
-
-    /// Idle runs of `tile` within `[0, extent)`: `(interior, leading,
-    /// trailing)` run counts.
-    fn runs(&self, tile: TileId, extent: usize) -> (usize, usize, usize) {
-        let occ = &self.occ[tile.0];
-        if extent == 0 {
-            return (0, 0, 0);
-        }
-        if occ.is_empty() {
-            return (0, 1, 0); // one big leading run
-        }
-        let leading = usize::from(occ[0] > 0);
-        let trailing = usize::from(*occ.last().unwrap() + 1 < extent);
-        let interior = occ.windows(2).filter(|w| w[1] - w[0] > 1).count();
-        (interior, leading, trailing)
     }
 
     /// Mapped instructions (ops + moves) of this block on `tile`.
     pub fn instr_count(&self, tile: TileId) -> usize {
-        self.occ[tile.0].len()
+        self.instr[tile.0] as usize
+    }
+
+    /// Idle runs of `tile` within `[0, extent)`: `(interior, leading,
+    /// trailing)` run counts — O(1) from the incremental counters.
+    fn runs(&self, tile: TileId, extent: usize) -> (usize, usize, usize) {
+        if extent == 0 {
+            return (0, 0, 0);
+        }
+        if self.instr[tile.0] == 0 {
+            return (0, 1, 0); // one big leading run
+        }
+        let leading = usize::from(self.occ_min[tile.0] > 0);
+        let trailing = usize::from(self.occ_max[tile.0] as usize + 1 < extent);
+        (self.interior[tile.0] as usize, leading, trailing)
     }
 
     /// ACMAP metric (Section III-D.2): committed words + instructions +
     /// *interior* idle runs only. An approximation — leading/trailing runs
     /// are ignored, so infeasible partials can survive this filter.
     pub fn acmap_words(&self, tile: TileId) -> usize {
-        let (interior, _, _) = self.runs(tile, self.frontier);
-        self.base_words[tile.0] + self.instr_count(tile) + interior
+        self.base_words[tile.0] + (self.instr[tile.0] + self.interior[tile.0]) as usize
     }
 
     /// ECMAP metric (Section III-D.3): committed words + instructions +
@@ -253,6 +769,10 @@ impl Partial {
         self.ecmap_words(tile) >= ctx.capacity(tile)
     }
 
+    // ------------------------------------------------------------------
+    // Register-file intervals (flat per-cycle live-copy counts)
+    // ------------------------------------------------------------------
+
     /// Block-local registers available on `tile` (RF minus persistent
     /// symbol registers).
     fn local_cap(&self, ctx: &MapCtx<'_>, tile: TileId) -> usize {
@@ -262,27 +782,36 @@ impl Partial {
             .saturating_sub(self.persistent_count[tile.0])
     }
 
-    /// Number of live block-local copies on `tile` at `cycle`.
-    fn occupancy(&self, tile: TileId, cycle: usize) -> usize {
-        self.intervals[tile.0]
-            .iter()
-            .filter(|iv| iv.start <= cycle && cycle <= iv.end)
-            .count()
-    }
-
     /// Peak occupancy of `tile` over the whole block so far.
     fn max_overlap(&self, tile: TileId) -> usize {
-        self.intervals[tile.0]
-            .iter()
-            .map(|iv| self.occupancy(tile, iv.start))
-            .max()
-            .unwrap_or(0)
+        self.rf_peak[tile.0] as usize
     }
 
     /// Whether one more copy can be live on `tile` across `[from, to]`.
     fn range_has_room(&self, ctx: &MapCtx<'_>, tile: TileId, from: usize, to: usize) -> bool {
         let cap = self.local_cap(ctx, tile);
-        (from..=to).all(|c| self.occupancy(tile, c) < cap)
+        let base = tile.0 * (self.max_schedule + 1);
+        self.rf_count[base + from..=base + to]
+            .iter()
+            .all(|&c| (c as usize) < cap)
+    }
+
+    /// Increments the live-copy counts of `tile` over `[from, to]`,
+    /// maintaining the running peak (journaled).
+    fn rf_inc(&mut self, tile: TileId, from: usize, to: usize) {
+        self.journal.push(UndoOp::RfDec {
+            tile: tile.0 as u32,
+            from: from as u32,
+            to: to as u32,
+            peak: self.rf_peak[tile.0],
+        });
+        let base = tile.0 * (self.max_schedule + 1);
+        let mut peak = self.rf_peak[tile.0];
+        for c in &mut self.rf_count[base + from..=base + to] {
+            *c += 1;
+            peak = peak.max(*c);
+        }
+        self.rf_peak[tile.0] = peak;
     }
 
     /// Registers a copy of `v` on `tile` written at the end of cycle
@@ -293,16 +822,26 @@ impl Partial {
             // Re-computed duplicate: widen the interval start if needed.
             let old_start = self.intervals[tile.0][pos].start;
             if ready < old_start {
-                if !self.range_has_room(ctx, tile, ready, old_start.saturating_sub(1)) {
+                if !self.range_has_room(ctx, tile, ready, old_start - 1) {
                     return false;
                 }
+                self.journal.push(UndoOp::IntervalStart {
+                    tile: tile.0 as u32,
+                    idx: pos as u32,
+                    old: old_start as u32,
+                });
                 self.intervals[tile.0][pos].start = ready;
-                if let Some(c) = self
-                    .avail
-                    .get_mut(&v)
-                    .and_then(|c| c.iter_mut().find(|(t, _)| *t == tile))
+                self.rf_inc(tile, ready, old_start - 1);
+                if let Some(idx) = self.avail[v.0 as usize]
+                    .iter()
+                    .position(|&(t, _)| t == tile)
                 {
-                    c.1 = ready;
+                    self.journal.push(UndoOp::AvailReady {
+                        value: v.0,
+                        idx: idx as u32,
+                        old: self.avail[v.0 as usize][idx].1,
+                    });
+                    self.avail[v.0 as usize][idx].1 = ready as u32;
                 }
             }
             return true;
@@ -310,12 +849,17 @@ impl Partial {
         if !self.range_has_room(ctx, tile, ready, ready) {
             return false;
         }
+        self.journal.push(UndoOp::PopInterval {
+            tile: tile.0 as u32,
+        });
         self.intervals[tile.0].push(CopyInterval {
             value: v,
             start: ready,
             end: ready,
         });
-        self.avail.entry(v).or_default().push((tile, ready));
+        self.rf_inc(tile, ready, ready);
+        self.journal.push(UndoOp::PopAvail { value: v.0 });
+        self.avail[v.0 as usize].push((tile, ready as u32));
         true
     }
 
@@ -324,7 +868,7 @@ impl Partial {
     fn is_home_copy(&self, ctx: &MapCtx<'_>, v: ValueId, tile: TileId) -> bool {
         matches!(
             ctx.cdfg.value(v).kind,
-            ValueKind::SymbolUse(s) if self.homes.get(&s) == Some(&tile)
+            ValueKind::SymbolUse(s) if self.homes[s.0 as usize] == Some(tile)
         )
     }
 
@@ -344,7 +888,13 @@ impl Partial {
         if !self.range_has_room(ctx, tile, end + 1, cycle) {
             return false;
         }
+        self.journal.push(UndoOp::IntervalEnd {
+            tile: tile.0 as u32,
+            idx: pos as u32,
+            old: end as u32,
+        });
         self.intervals[tile.0][pos].end = cycle;
+        self.rf_inc(tile, end + 1, cycle);
         true
     }
 
@@ -359,28 +909,40 @@ impl Partial {
         cycle: usize,
     ) -> Option<TileId> {
         let geom = ctx.config.geometry();
-        let mut candidates: Vec<(usize, TileId)> = self
-            .avail
-            .get(&v)?
-            .iter()
-            .filter(|&&(t, ready)| ready <= cycle && geom.distance(t, tile) <= 1)
-            .map(|&(t, _)| (geom.distance(t, tile), t))
-            .collect();
-        candidates.sort();
-        for (_, src) in candidates {
-            if self.try_extend_use(ctx, src, v, cycle) {
-                self.note_home_read(ctx, v, src, cycle);
-                return Some(src);
+        let mut cands = std::mem::take(&mut self.read_cands);
+        cands.clear();
+        for &(t, ready) in &self.avail[v.0 as usize] {
+            if ready as usize <= cycle {
+                let d = geom.distance(t, tile);
+                if d <= 1 {
+                    cands.push((d, t));
+                }
             }
         }
-        None
+        // At most 5 entries (the tile + its torus neighbours); total
+        // order, so the sort is deterministic.
+        cands.sort_unstable();
+        let mut found = None;
+        for &(_, src) in &cands {
+            if self.try_extend_use(ctx, src, v, cycle) {
+                found = Some(src);
+                break;
+            }
+        }
+        self.read_cands = cands;
+        let src = found?;
+        self.note_home_read(ctx, v, src, cycle);
+        Some(src)
     }
 
     fn note_home_read(&mut self, ctx: &MapCtx<'_>, v: ValueId, src: TileId, cycle: usize) {
         if let ValueKind::SymbolUse(s) = ctx.cdfg.value(v).kind {
-            if self.homes.get(&s) == Some(&src) {
-                let e = self.last_home_read.entry(s).or_insert(0);
-                *e = (*e).max(cycle);
+            if self.homes[s.0 as usize] == Some(src) {
+                let old = self.last_home_read[s.0 as usize];
+                if cycle as u32 > old {
+                    self.journal.push(UndoOp::LastHomeRead { symbol: s.0, old });
+                    self.last_home_read[s.0 as usize] = cycle as u32;
+                }
             }
         }
     }
@@ -392,18 +954,30 @@ impl Partial {
     /// every previously committed block.
     fn pin_home(&mut self, ctx: &MapCtx<'_>, s: SymbolId, preferred: TileId) -> Option<TileId> {
         let geom = ctx.config.geometry();
-        let mut candidates: Vec<TileId> = vec![preferred];
-        candidates.extend(geom.neighbors(preferred).into_iter().map(|(_, t)| t));
-        // Fall back to every tile by distance, then id.
-        let mut rest: Vec<TileId> = geom.tiles().filter(|t| !candidates.contains(t)).collect();
+        let ntiles = geom.num_tiles();
+        let mut candidates: Vec<TileId> = Vec::with_capacity(ntiles);
+        candidates.push(preferred);
+        candidates.extend_from_slice(&ctx.pre.nbr_dir[preferred.0]);
+        // Fall back to every tile by distance, then id — membership via a
+        // tile mask instead of a linear `contains` scan per tile.
+        let mut in_cand = vec![false; ntiles];
+        for &t in &candidates {
+            in_cand[t.0] = true;
+        }
+        let mut rest: Vec<TileId> = geom.tiles().filter(|t| !in_cand[t.0]).collect();
         rest.sort_by_key(|&t| (geom.distance(t, preferred), t));
         candidates.extend(rest);
         for home in candidates {
             let cap = ctx.config.tile(home).rf_words;
             let pressure = self.rf_pressure[home.0].max(self.max_overlap(home));
             if self.persistent_count[home.0] + pressure + 1 <= cap {
+                self.journal.push(UndoOp::UnpinHome {
+                    symbol: s.0,
+                    home: home.0 as u32,
+                    debt: self.commit_debt,
+                });
                 self.persistent_count[home.0] += 1;
-                self.homes.insert(s, home);
+                self.homes[s.0 as usize] = Some(home);
                 // Writers of `s` placed before the home was known now have
                 // a definite commit distance.
                 let writer_debt: usize = self
@@ -423,8 +997,9 @@ impl Partial {
     /// on `tile` or one of its neighbours, ready by `cycle`, inserting
     /// `move` instructions if needed. Returns the source tile.
     ///
-    /// Mutates `self` on both success and failure: callers must work on a
-    /// clone and discard it when this returns `None`.
+    /// Mutates `self` on both success and failure: callers must take a
+    /// [`checkpoint`](Partial::checkpoint) and
+    /// [`rollback`](Partial::rollback) when this returns `None`.
     fn ensure_readable(
         &mut self,
         ctx: &MapCtx<'_>,
@@ -436,18 +1011,16 @@ impl Partial {
         // first encounter in this block, pinning an unpinned home at the
         // consumer.
         if let ValueKind::SymbolUse(s) = ctx.cdfg.value(v).kind {
-            let home = match self.homes.get(&s) {
-                Some(&h) => h,
+            let home = match self.homes[s.0 as usize] {
+                Some(h) => h,
                 None => self.pin_home(ctx, s, tile)?,
             };
-            let seeded = self
-                .avail
-                .get(&v)
-                .is_some_and(|c| c.iter().any(|&(t, _)| t == home));
+            let seeded = self.avail[v.0 as usize].iter().any(|&(t, _)| t == home);
             if !seeded {
                 // The home copy lives in a persistent register, not a
                 // block-local one, so it carries no live interval.
-                self.avail.entry(v).or_default().push((home, 0));
+                self.journal.push(UndoOp::PopAvail { value: v.0 });
+                self.avail[v.0 as usize].push((home, 0));
             }
         }
         if let Some(src) = self.acquire_read(ctx, v, tile, cycle) {
@@ -473,41 +1046,40 @@ impl Partial {
         need: usize,
     ) -> Option<TileId> {
         let geom = ctx.config.geometry();
-        let starts: Vec<(TileId, usize)> = self
-            .avail
-            .get(&v)
-            .map(|c| {
-                c.iter()
-                    .filter(|&&(_, ready)| ready < need)
-                    .copied()
-                    .collect()
-            })
-            .unwrap_or_default();
-        if starts.is_empty() {
-            return None;
-        }
         // BFS by move count over tiles; per tile keep the earliest ready.
-        #[derive(Clone, Copy)]
-        struct Visit {
-            ready: usize,
-            prev: Option<(TileId, usize)>, // (prev tile, move cycle)
-        }
-        let mut visited: HashMap<TileId, Visit> = HashMap::new();
-        let mut queue: std::collections::VecDeque<TileId> = Default::default();
-        for &(t, ready) in &starts {
-            let better = visited.get(&t).is_none_or(|x| ready < x.ready);
-            if better {
-                visited.insert(t, Visit { ready, prev: None });
-                queue.push_back(t);
+        // The visited table is a stamped per-tile scratch array — no
+        // hashing, no per-call allocation.
+        self.route_stamp += 1;
+        let stamp = self.route_stamp;
+        let mut queue = std::mem::take(&mut self.route_queue);
+        queue.clear();
+        let mut any_start = false;
+        for i in 0..self.avail[v.0 as usize].len() {
+            let (t, ready) = self.avail[v.0 as usize][i];
+            if (ready as usize) < need {
+                any_start = true;
+                let vis = &mut self.route_visited[t.0];
+                if vis.stamp != stamp || ready < vis.ready {
+                    *vis = RouteVisit {
+                        stamp,
+                        ready,
+                        prev_tile: u32::MAX,
+                        prev_cycle: 0,
+                    };
+                    queue.push_back(t);
+                }
             }
+        }
+        if !any_start {
+            self.route_queue = queue;
+            return None;
         }
         let mut goal: Option<TileId> = None;
         'bfs: while let Some(x) = queue.pop_front() {
-            let vx = visited[&x];
-            let mut neighbors = geom.neighbors(x);
-            neighbors.sort_by_key(|&(_, t)| t);
-            for (_, y) in neighbors {
-                if visited.contains_key(&y) {
+            let ready = self.route_visited[x.0].ready as usize;
+            for i in 0..ctx.pre.nbr_sorted[x.0].len() {
+                let y = ctx.pre.nbr_sorted[x.0][i];
+                if self.route_visited[y.0].stamp == stamp {
                     continue;
                 }
                 if ctx.options.cab && self.blacklisted(ctx, y) {
@@ -515,7 +1087,7 @@ impl Partial {
                 }
                 // Earliest free slot m on y with ready <= m < need whose
                 // destination RF has room for the new copy.
-                let mut m = vx.ready;
+                let mut m = ready;
                 let slot = loop {
                     if m >= need {
                         break None;
@@ -529,13 +1101,12 @@ impl Partial {
                     m += 1;
                 };
                 let Some(m) = slot else { continue };
-                visited.insert(
-                    y,
-                    Visit {
-                        ready: m + 1,
-                        prev: Some((x, m)),
-                    },
-                );
+                self.route_visited[y.0] = RouteVisit {
+                    stamp,
+                    ready: (m + 1) as u32,
+                    prev_tile: x.0 as u32,
+                    prev_cycle: m as u32,
+                };
                 if geom.distance(y, dest) <= 1 {
                     goal = Some(y);
                     break 'bfs;
@@ -543,12 +1114,15 @@ impl Partial {
                 queue.push_back(y);
             }
         }
+        self.route_queue = queue;
         let goal = goal?;
         // Reconstruct and apply the move chain from the start copy.
         let mut chain: Vec<(TileId, TileId, usize)> = Vec::new(); // (src, dst, cycle)
         let mut cur = goal;
-        while let Some((prev, m)) = visited[&cur].prev {
-            chain.push((prev, cur, m));
+        while self.route_visited[cur.0].prev_tile != u32::MAX {
+            let vis = self.route_visited[cur.0];
+            let prev = TileId(vis.prev_tile as usize);
+            chain.push((prev, cur, vis.prev_cycle as usize));
             cur = prev;
         }
         chain.reverse();
@@ -563,6 +1137,7 @@ impl Partial {
                 return None;
             }
             self.occupy(dst, m);
+            self.journal.push(UndoOp::PopMove);
             self.moves.push(PlacedMove {
                 value: v,
                 src_tile: src,
@@ -597,8 +1172,9 @@ impl Partial {
         // Depth-1 only: every operand must be a constant or a pinned
         // symbol whose home is adjacent to the duplicate's tile.
         let geom = ctx.config.geometry();
-        let mut sites: Vec<TileId> = vec![tile];
-        sites.extend(geom.neighbors(tile).into_iter().map(|(_, t)| t));
+        let mut sites: Vec<TileId> = Vec::with_capacity(5);
+        sites.push(tile);
+        sites.extend_from_slice(&ctx.pre.nbr_dir[tile.0]);
         'site: for t2 in sites {
             if ctx.options.cab && self.blacklisted(ctx, t2) {
                 continue;
@@ -615,7 +1191,7 @@ impl Partial {
                         sources.push(OperandSource::Const(c));
                     }
                     ValueKind::SymbolUse(s) => {
-                        let Some(&home) = self.homes.get(&s) else {
+                        let Some(home) = self.homes[s.0 as usize] else {
                             continue 'site;
                         };
                         if geom.distance(home, t2) > 1 {
@@ -643,15 +1219,15 @@ impl Partial {
             };
             let Some(c2) = slot else { continue };
             // Apply.
-            for (i, src) in sources.iter().enumerate() {
+            for src in &sources {
                 match *src {
                     OperandSource::Const(c) => {
                         if !self.crf[t2.0].contains(&c) {
+                            self.journal.push(UndoOp::PopCrf { tile: t2.0 as u32 });
                             self.crf[t2.0].push(c);
                         }
                     }
                     OperandSource::Rf { tile: home, value } => {
-                        let _ = i;
                         self.note_home_read(ctx, value, home, c2);
                     }
                 }
@@ -661,7 +1237,7 @@ impl Partial {
                 continue;
             }
             self.occupy(t2, c2);
-            self.ops.push(PlacedOp {
+            self.push_op(PlacedOp {
                 op: producer,
                 tile: t2,
                 cycle: c2,
@@ -673,10 +1249,24 @@ impl Partial {
         false
     }
 
+    /// Appends a placed op, maintaining the dense first-instance-cycle
+    /// table (journaled).
+    fn push_op(&mut self, po: PlacedOp) {
+        let op = po.op.0;
+        let old = self.first_cycle[op as usize];
+        if (po.cycle as u32) < old {
+            self.journal.push(UndoOp::FirstCycle { op, old });
+            self.first_cycle[op as usize] = po.cycle as u32;
+        }
+        self.journal.push(UndoOp::PopOp);
+        self.ops.push(po);
+    }
+
     /// Attempts to bind `op` on `(tile, cycle)`, resolving all operands
     /// (inserting moves / re-computations as needed). Returns `false` on
-    /// infeasibility; the state is then dirty, so callers must work on a
-    /// clone.
+    /// infeasibility; the state is then dirty, so callers must
+    /// [`rollback`](Partial::rollback) to their
+    /// [`checkpoint`](Partial::checkpoint).
     pub fn try_place_op(
         &mut self,
         ctx: &MapCtx<'_>,
@@ -706,6 +1296,9 @@ impl Partial {
                         if self.crf[tile.0].len() >= ctx.config.tile(tile).crf_words {
                             return false;
                         }
+                        self.journal.push(UndoOp::PopCrf {
+                            tile: tile.0 as u32,
+                        });
                         self.crf[tile.0].push(c);
                     }
                     sources.push(OperandSource::Const(c));
@@ -742,11 +1335,14 @@ impl Partial {
         }
         self.occupy(tile, cycle);
         if let Some(s) = op.writes_symbol {
-            if let Some(&home) = self.homes.get(&s) {
+            if let Some(home) = self.homes[s.0 as usize] {
+                self.journal.push(UndoOp::CommitDebt {
+                    old: self.commit_debt,
+                });
                 self.commit_debt += ctx.config.geometry().distance(tile, home);
             }
         }
-        self.ops.push(PlacedOp {
+        self.push_op(PlacedOp {
             op: op_id,
             tile,
             cycle,
@@ -757,17 +1353,14 @@ impl Partial {
     }
 
     /// Earliest feasible cycle for `op` given its placed dependency
-    /// predecessors (their first-instance cycles + 1).
+    /// predecessors (their first-instance cycles + 1) — O(preds) via the
+    /// dense first-cycle table.
     pub fn earliest_cycle(&self, deps: &DepGraph, op: OpId) -> usize {
         deps.preds_of(op)
             .iter()
-            .map(|p| {
-                self.ops
-                    .iter()
-                    .filter(|po| po.op == *p)
-                    .map(|po| po.cycle + 1)
-                    .min()
-                    .unwrap_or(0)
+            .map(|p| match self.first_cycle[p.0 as usize] {
+                u32::MAX => 0,
+                c => c as usize + 1,
             })
             .max()
             .unwrap_or(0)
@@ -788,8 +1381,8 @@ impl Partial {
             })
             .collect();
         for (op_id, s, v) in writes {
-            let home = match self.homes.get(&s) {
-                Some(&h) => h,
+            let home = match self.homes[s.0 as usize] {
+                Some(h) => h,
                 None => {
                     // First touch is a write: pin at the producer's tile.
                     let site = self
@@ -804,7 +1397,7 @@ impl Partial {
                     }
                 }
             };
-            let lhr = self.last_home_read.get(&s).copied().unwrap_or(0);
+            let lhr = self.last_home_read[s.0 as usize] as usize;
             // Commit-move elision: a producer instance on the home tile
             // whose write happens no earlier than the last old-value read.
             if let Some(idx) = self
@@ -812,48 +1405,52 @@ impl Partial {
                 .iter()
                 .position(|po| po.op == op_id && po.tile == home && po.cycle >= lhr)
             {
+                self.journal
+                    .push(UndoOp::ClearDirectWrite { idx: idx as u32 });
                 self.ops[idx].direct_symbol_write = true;
                 continue;
             }
-            // Commit move on the home tile.
+            // Commit move on the home tile. Each trial mutates in place
+            // and rolls back on failure (the pre-optimization mapper
+            // cloned the whole partial per trial cycle).
             let mut committed = false;
             for c in lhr..ctx.options.max_schedule {
                 if !self.slot_free(home, c) {
                     continue;
                 }
-                {
-                    let mut trial = self.clone();
-                    if let Some(src) = trial.acquire_read(ctx, v, home, c) {
-                        trial.occupy(home, c);
-                        trial.moves.push(PlacedMove {
-                            value: v,
-                            src_tile: src,
-                            tile: home,
-                            cycle: c,
-                            commit_symbol: Some(s),
-                        });
-                        *self = trial;
-                        committed = true;
-                        break;
-                    }
+                let cp = self.checkpoint();
+                if let Some(src) = self.acquire_read(ctx, v, home, c) {
+                    self.occupy(home, c);
+                    self.journal.push(UndoOp::PopMove);
+                    self.moves.push(PlacedMove {
+                        value: v,
+                        src_tile: src,
+                        tile: home,
+                        cycle: c,
+                        commit_symbol: Some(s),
+                    });
+                    committed = true;
+                    break;
                 }
+                self.rollback(cp);
                 // Try routing the value into the home neighbourhood first.
-                let mut trial = self.clone();
-                if let Some(src) = trial.route_value(ctx, v, home, c) {
-                    if trial.slot_free(home, c) && trial.try_extend_use(ctx, src, v, c) {
-                        trial.occupy(home, c);
-                        trial.moves.push(PlacedMove {
+                let cp = self.checkpoint();
+                if let Some(src) = self.route_value(ctx, v, home, c) {
+                    if self.slot_free(home, c) && self.try_extend_use(ctx, src, v, c) {
+                        self.occupy(home, c);
+                        self.journal.push(UndoOp::PopMove);
+                        self.moves.push(PlacedMove {
                             value: v,
                             src_tile: src,
                             tile: home,
                             cycle: c,
                             commit_symbol: Some(s),
                         });
-                        *self = trial;
                         committed = true;
                         break;
                     }
                 }
+                self.rollback(cp);
             }
             if !committed {
                 return false;
@@ -905,7 +1502,12 @@ impl Partial {
             state.rf_pressure[i] = state.rf_pressure[i].max(self.max_overlap(t));
         }
         state.crf = self.crf.clone();
-        state.homes = self.homes.clone();
+        state.homes = self
+            .homes
+            .iter()
+            .enumerate()
+            .filter_map(|(s, h)| h.map(|t| (SymbolId(s as u32), t)))
+            .collect();
         state.persistent_count = self.persistent_count.clone();
     }
 }
@@ -936,14 +1538,16 @@ mod tests {
     #[test]
     fn place_and_read_same_tile() {
         let (cdfg, config, options) = ctx_objects();
+        let pre = MapPre::new(&config);
         let ctx = MapCtx {
             cdfg: &cdfg,
             config: &config,
             options: &options,
             reserve: 0,
+            pre: &pre,
         };
         let state = FlowState::new(16);
-        let mut p = Partial::new(&state);
+        let mut p = Partial::new(&state, &ctx);
         let ops: Vec<OpId> = cdfg.dfg(cmam_cdfg::BlockId(0)).op_ids().to_vec();
         assert!(p.try_place_op(&ctx, ops[0], TileId(0), 0)); // load
         assert!(p.try_place_op(&ctx, ops[1], TileId(0), 1)); // add reads r
@@ -957,14 +1561,16 @@ mod tests {
     #[test]
     fn distant_read_inserts_moves() {
         let (cdfg, config, options) = ctx_objects();
+        let pre = MapPre::new(&config);
         let ctx = MapCtx {
             cdfg: &cdfg,
             config: &config,
             options: &options,
             reserve: 0,
+            pre: &pre,
         };
         let state = FlowState::new(16);
-        let mut p = Partial::new(&state);
+        let mut p = Partial::new(&state, &ctx);
         let ops: Vec<OpId> = cdfg.dfg(cmam_cdfg::BlockId(0)).op_ids().to_vec();
         // Load at T1.
         assert!(p.try_place_op(&ctx, ops[0], TileId(0), 0));
@@ -979,14 +1585,16 @@ mod tests {
     #[test]
     fn memory_ops_rejected_on_compute_tiles() {
         let (cdfg, config, options) = ctx_objects();
+        let pre = MapPre::new(&config);
         let ctx = MapCtx {
             cdfg: &cdfg,
             config: &config,
             options: &options,
             reserve: 0,
+            pre: &pre,
         };
         let state = FlowState::new(16);
-        let mut p = Partial::new(&state);
+        let mut p = Partial::new(&state, &ctx);
         let ops: Vec<OpId> = cdfg.dfg(cmam_cdfg::BlockId(0)).op_ids().to_vec();
         assert!(!p.try_place_op(&ctx, ops[0], TileId(12), 0));
     }
@@ -994,14 +1602,16 @@ mod tests {
     #[test]
     fn too_early_read_fails_even_with_routing() {
         let (cdfg, config, options) = ctx_objects();
+        let pre = MapPre::new(&config);
         let ctx = MapCtx {
             cdfg: &cdfg,
             config: &config,
             options: &options,
             reserve: 0,
+            pre: &pre,
         };
         let state = FlowState::new(16);
-        let mut p = Partial::new(&state);
+        let mut p = Partial::new(&state, &ctx);
         let ops: Vec<OpId> = cdfg.dfg(cmam_cdfg::BlockId(0)).op_ids().to_vec();
         assert!(p.try_place_op(&ctx, ops[0], TileId(0), 0));
         // Result ready at cycle 1; reading it at distance 4 at cycle 1 is
@@ -1013,14 +1623,16 @@ mod tests {
     #[test]
     fn words_metrics_track_runs() {
         let (cdfg, config, options) = ctx_objects();
+        let pre = MapPre::new(&config);
         let ctx = MapCtx {
             cdfg: &cdfg,
             config: &config,
             options: &options,
             reserve: 0,
+            pre: &pre,
         };
         let state = FlowState::new(16);
-        let mut p = Partial::new(&state);
+        let mut p = Partial::new(&state, &ctx);
         let ops: Vec<OpId> = cdfg.dfg(cmam_cdfg::BlockId(0)).op_ids().to_vec();
         assert!(p.try_place_op(&ctx, ops[0], TileId(0), 0));
         assert!(p.try_place_op(&ctx, ops[1], TileId(0), 3)); // gap 1-2
@@ -1052,18 +1664,20 @@ mod tests {
         let cdfg = b.finish().unwrap();
         let config = CgraConfig::hom64();
         let options = MapperOptions::basic();
+        let pre = MapPre::new(&config);
         let ctx = MapCtx {
             cdfg: &cdfg,
             config: &config,
             options: &options,
             reserve: 0,
+            pre: &pre,
         };
         let state = FlowState::new(16);
-        let mut p = Partial::new(&state);
+        let mut p = Partial::new(&state, &ctx);
         let ops: Vec<OpId> = cdfg.dfg(bb).op_ids().to_vec();
         // Place the add on tile 3: the unpinned symbol gets pinned there.
         assert!(p.try_place_op(&ctx, ops[0], TileId(3), 0));
-        assert_eq!(p.homes()[&s], TileId(3));
+        assert_eq!(p.home_of(s), Some(TileId(3)));
         assert!(p.finalize(&ctx, bb));
         // Producer sits on the home tile: the write is elided into a
         // direct write, no commit move.
@@ -1086,17 +1700,19 @@ mod tests {
         let cdfg = b.finish().unwrap();
         let config = CgraConfig::hom64();
         let options = MapperOptions::basic();
+        let pre = MapPre::new(&config);
         let ctx = MapCtx {
             cdfg: &cdfg,
             config: &config,
             options: &options,
             reserve: 0,
+            pre: &pre,
         };
         let mut state = FlowState::new(16);
         // Pre-pin the home far from where we will place the producer.
         state.homes.insert(s, TileId(0));
         state.persistent_count[0] = 1;
-        let mut p = Partial::new(&state);
+        let mut p = Partial::new(&state, &ctx);
         let ops: Vec<OpId> = cdfg.dfg(bb).op_ids().to_vec();
         // Producer on tile 10 (distance 4 from home 0); reading the symbol
         // from home needs moves, and committing back needs more.
@@ -1116,14 +1732,16 @@ mod tests {
     #[test]
     fn ecmap_is_lower_bound_of_final_words() {
         let (cdfg, config, options) = ctx_objects();
+        let pre = MapPre::new(&config);
         let ctx = MapCtx {
             cdfg: &cdfg,
             config: &config,
             options: &options,
             reserve: 0,
+            pre: &pre,
         };
         let state = FlowState::new(16);
-        let mut p = Partial::new(&state);
+        let mut p = Partial::new(&state, &ctx);
         let ops: Vec<OpId> = cdfg.dfg(cmam_cdfg::BlockId(0)).op_ids().to_vec();
         assert!(p.try_place_op(&ctx, ops[0], TileId(0), 0));
         let before: Vec<usize> = (0..16).map(|i| p.ecmap_words(TileId(i))).collect();
@@ -1139,5 +1757,100 @@ mod tests {
                 p.exact_words(t, p.length())
             );
         }
+    }
+
+    /// Compares every semantic field (everything but journal/scratch).
+    fn assert_semantically_equal(a: &Partial, b: &Partial) {
+        assert_eq!(a.ops, b.ops);
+        assert_eq!(a.moves, b.moves);
+        assert_eq!(a.occ_bits, b.occ_bits);
+        assert_eq!(a.instr, b.instr);
+        assert_eq!(a.interior, b.interior);
+        assert_eq!(a.occ_min, b.occ_min);
+        assert_eq!(a.occ_max, b.occ_max);
+        assert_eq!(a.frontier, b.frontier);
+        assert_eq!(a.avail, b.avail);
+        assert_eq!(a.intervals, b.intervals);
+        assert_eq!(a.rf_count, b.rf_count);
+        assert_eq!(a.rf_peak, b.rf_peak);
+        assert_eq!(a.crf, b.crf);
+        assert_eq!(a.homes, b.homes);
+        assert_eq!(a.persistent_count, b.persistent_count);
+        assert_eq!(a.last_home_read, b.last_home_read);
+        assert_eq!(a.commit_debt, b.commit_debt);
+        assert_eq!(a.first_cycle, b.first_cycle);
+    }
+
+    #[test]
+    fn rollback_restores_the_exact_pre_trial_state() {
+        let (cdfg, config, options) = ctx_objects();
+        let pre = MapPre::new(&config);
+        let ctx = MapCtx {
+            cdfg: &cdfg,
+            config: &config,
+            options: &options,
+            reserve: 0,
+            pre: &pre,
+        };
+        let state = FlowState::new(16);
+        let mut p = Partial::new(&state, &ctx);
+        let ops: Vec<OpId> = cdfg.dfg(cmam_cdfg::BlockId(0)).op_ids().to_vec();
+        assert!(p.try_place_op(&ctx, ops[0], TileId(0), 0));
+        p.clear_journal();
+
+        let snapshot = p.clone();
+        // A successful trial with routing (mutates heavily), rolled back.
+        let cp = p.checkpoint();
+        assert!(p.try_place_op(&ctx, ops[1], TileId(10), 4));
+        assert!(p.dirty_since(cp));
+        p.rollback(cp);
+        assert_semantically_equal(&p, &snapshot);
+
+        // A failing trial (leaves residue), rolled back.
+        let cp = p.checkpoint();
+        assert!(!p.try_place_op(&ctx, ops[1], TileId(10), 1));
+        p.rollback(cp);
+        assert_semantically_equal(&p, &snapshot);
+
+        // After rollback the original bindings must still work, and the
+        // partial must finish exactly as an untouched one would.
+        assert!(p.try_place_op(&ctx, ops[1], TileId(0), 1));
+        assert!(p.try_place_op(&ctx, ops[2], TileId(0), 2));
+        assert!(p.finalize(&ctx, cmam_cdfg::BlockId(0)));
+    }
+
+    #[test]
+    fn incremental_run_counters_match_a_rescan() {
+        let (cdfg, config, options) = ctx_objects();
+        let pre = MapPre::new(&config);
+        let ctx = MapCtx {
+            cdfg: &cdfg,
+            config: &config,
+            options: &options,
+            reserve: 0,
+            pre: &pre,
+        };
+        let state = FlowState::new(16);
+        let mut p = Partial::new(&state, &ctx);
+        // Occupy a scattered pattern on one tile and check the counters
+        // against a from-scratch recount at every step.
+        let t = TileId(2);
+        for &c in &[7usize, 2, 9, 3, 15, 0, 8] {
+            p.occupy(t, c);
+            let occ: Vec<usize> = (0..p.max_schedule)
+                .filter(|&c| !p.slot_free(t, c))
+                .collect();
+            let interior = occ.windows(2).filter(|w| w[1] - w[0] > 1).count();
+            assert_eq!(p.interior[t.0] as usize, interior, "after cycle {c}");
+            assert_eq!(p.occ_min[t.0] as usize, *occ.first().unwrap());
+            assert_eq!(p.occ_max[t.0] as usize, *occ.last().unwrap());
+            assert_eq!(p.instr_count(t), occ.len());
+        }
+        // exact_words against the definition: instr + idle runs.
+        // occ = {0,2,3,7,8,9,15}: gaps 3->7 and 9->15 are interior runs,
+        // plus the single-cycle gap at 1.
+        assert_eq!(p.interior[t.0], 3);
+        assert_eq!(p.exact_words(t, 16), 7 + 3);
+        assert_eq!(p.exact_words(t, 20), 7 + 3 + 1); // trailing run
     }
 }

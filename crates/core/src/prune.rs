@@ -15,6 +15,11 @@ use crate::partial::{MapCtx, Partial};
 use rand::rngs::StdRng;
 use rand::RngExt;
 
+// The flow driver itself evaluates the ACMAP/ECMAP verdicts per
+// candidate while the trial delta is applied (see `flow.rs`); the filter
+// functions below remain the reference formulation over materialised
+// partials (and are what the filter unit tests exercise).
+
 /// Drops partials whose ACMAP word estimate exceeds any tile's context
 /// memory. Returns the number of dropped partials.
 pub fn acmap_filter(pool: &mut Vec<Partial>, ctx: &MapCtx<'_>) -> usize {
@@ -47,9 +52,29 @@ pub fn ecmap_filter(pool: &mut Vec<Partial>, ctx: &MapCtx<'_>) -> usize {
 /// partials below the cost threshold set by rank `4 * cap`.
 ///
 /// Returns the surviving population (at most `cap` partials).
-pub fn stochastic_prune(mut pool: Vec<Partial>, cap: usize, rng: &mut StdRng) -> Vec<Partial> {
+pub fn stochastic_prune(pool: Vec<Partial>, cap: usize, rng: &mut StdRng) -> Vec<Partial> {
+    stochastic_prune_by(pool, cap, rng, Partial::cost)
+}
+
+/// [`stochastic_prune`] generalised over the pruned element type.
+///
+/// The mapper's clone-free candidate expansion prunes lightweight
+/// *candidate descriptors* (parent index + placement + cached cost)
+/// instead of materialised [`Partial`]s; because the sort is stable and
+/// the RNG consumption depends only on pool length and order, pruning
+/// descriptors selects exactly the candidates pruning partials would.
+pub fn stochastic_prune_by<T, K, F>(
+    mut pool: Vec<T>,
+    cap: usize,
+    rng: &mut StdRng,
+    cost: F,
+) -> Vec<T>
+where
+    K: Ord,
+    F: Fn(&T) -> K,
+{
     assert!(cap > 0, "population cap must be positive");
-    pool.sort_by_key(Partial::cost);
+    pool.sort_by_key(&cost);
     if pool.len() <= cap {
         return pool;
     }
@@ -57,8 +82,8 @@ pub fn stochastic_prune(mut pool: Vec<Partial>, cap: usize, rng: &mut StdRng) ->
     // outright; the elite survives; the middle is sampled.
     pool.truncate(4 * cap);
     let elite = cap / 2;
-    let mut survivors: Vec<Partial> = Vec::with_capacity(cap);
-    let mut rest: Vec<Partial> = Vec::new();
+    let mut survivors: Vec<T> = Vec::with_capacity(cap);
+    let mut rest: Vec<T> = Vec::new();
     for (i, p) in pool.into_iter().enumerate() {
         if i < elite {
             survivors.push(p);
@@ -68,7 +93,7 @@ pub fn stochastic_prune(mut pool: Vec<Partial>, cap: usize, rng: &mut StdRng) ->
     }
     // Reservoir-style sampling of the remaining slots.
     let slots = cap - survivors.len();
-    let mut chosen: Vec<Partial> = Vec::with_capacity(slots);
+    let mut chosen: Vec<T> = Vec::with_capacity(slots);
     for (i, p) in rest.into_iter().enumerate() {
         if chosen.len() < slots {
             chosen.push(p);
@@ -108,15 +133,17 @@ mod tests {
         let state = FlowState::new(16);
         let mut pool = Vec::new();
         {
+            let pre = crate::partial::MapPre::new(&config);
             let ctx = MapCtx {
                 cdfg: &cdfg,
                 config: &config,
                 options: &options,
                 reserve: 0,
+                pre: &pre,
             };
             let ops: Vec<_> = cdfg.dfg(bb).op_ids().to_vec();
             for i in 0..n {
-                let mut p = Partial::new(&state);
+                let mut p = Partial::new(&state, &ctx);
                 // Spread over different cycles to vary cost.
                 assert!(p.try_place_op(&ctx, ops[0], TileId(8 + (i % 8)), i % 5));
                 pool.push(p);
@@ -165,11 +192,13 @@ mod tests {
         // A 1-word CM per tile makes everything infeasible under ECMAP
         // (every tile pays at least one word).
         let tiny = CgraConfig::builder(4, 4).uniform_cm(1).build().unwrap();
+        let pre = crate::partial::MapPre::new(&tiny);
         let ctx = MapCtx {
             cdfg: &cdfg,
             config: &tiny,
             options: &options,
             reserve: 0,
+            pre: &pre,
         };
         // Placements at cycle 0 fit (one instruction, no idle run); every
         // placement at a later cycle also needs a leading pnop -> 2 words.

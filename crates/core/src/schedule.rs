@@ -6,38 +6,52 @@
 //! are listed by priority order, which is defined by their mobility and
 //! number of fan-outs"). Readiness follows the dependency graph (data
 //! edges plus memory-order edges), so the produced order is topological.
+//!
+//! Selection runs on a binary min-heap over `(mobility, fan-out desc,
+//! id)` with dense op-indexed pending counts — O(n log n) instead of the
+//! former rebuild-the-ready-list-per-pick O(n²) with hashed lookups. The
+//! key is a total order (the id breaks every tie), so the produced
+//! sequence is identical to the old selection.
 
 use cmam_cdfg::analysis::{mobility, DepGraph};
 use cmam_cdfg::{Dfg, OpId};
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Computes the binding order of a block's operations: ready-driven
 /// selection by `(mobility asc, fan-out desc, id asc)`.
 pub fn priority_order(dfg: &Dfg<'_>, deps: &DepGraph) -> Vec<OpId> {
     let mob = mobility(dfg, deps);
-    let mut pending: HashMap<OpId, usize> = dfg
-        .op_ids()
-        .iter()
-        .map(|&id| (id, deps.preds_of(id).len()))
-        .collect();
+    // Dense tables over the global op-id space (op ids are arena indices
+    // of the whole CDFG; a block's ids are a subset).
+    let max_id = dfg.op_ids().iter().map(|o| o.0).max().map_or(0, |m| m + 1);
+    // Pending predecessor counts; `usize::MAX` marks "not in this block".
+    let mut pending = vec![usize::MAX; max_id as usize];
+    for &id in dfg.op_ids() {
+        pending[id.0 as usize] = deps.preds_of(id).len();
+    }
+    type Key = (usize, Reverse<usize>, OpId);
+    let mut heap: BinaryHeap<Reverse<Key>> = BinaryHeap::with_capacity(dfg.num_ops());
+    let key = |id: OpId| (mob[&id], Reverse(dfg.fanout(id)), id);
+    for &id in dfg.op_ids() {
+        if pending[id.0 as usize] == 0 {
+            heap.push(Reverse(key(id)));
+        }
+    }
     let mut order = Vec::with_capacity(dfg.num_ops());
-    while !pending.is_empty() {
-        let mut ready: Vec<OpId> = pending
-            .iter()
-            .filter(|&(_, &cnt)| cnt == 0)
-            .map(|(&id, _)| id)
-            .collect();
-        assert!(!ready.is_empty(), "dependency cycle in block DFG");
-        ready.sort_by_key(|&id| (mob[&id], std::cmp::Reverse(dfg.fanout(id)), id));
-        let chosen = ready[0];
-        pending.remove(&chosen);
+    while let Some(Reverse((_, _, chosen))) = heap.pop() {
+        order.push(chosen);
         for &s in deps.succs_of(chosen) {
-            if let Some(c) = pending.get_mut(&s) {
-                *c -= 1;
+            let cnt = &mut pending[s.0 as usize];
+            if *cnt != usize::MAX {
+                *cnt -= 1;
+                if *cnt == 0 {
+                    heap.push(Reverse(key(s)));
+                }
             }
         }
-        order.push(chosen);
     }
+    assert_eq!(order.len(), dfg.num_ops(), "dependency cycle in block DFG");
     order
 }
 
@@ -79,5 +93,58 @@ mod tests {
         let load = dfg.op_ids()[0];
         let xor = dfg.op_ids()[3];
         assert!(pos[&load] < pos[&xor]);
+    }
+
+    #[test]
+    fn heap_selection_matches_the_reference_rebuild() {
+        // A denser block with mixed mobilities and fan-outs: the heap
+        // selection must reproduce the former sort-the-ready-list pick
+        // exactly (same key, total order).
+        let mut b = CdfgBuilder::new("dense");
+        let bb = b.block("b");
+        b.select(bb);
+        let a0 = b.constant(0);
+        let x = b.load_name(a0, "m");
+        let y = b.op(Opcode::Add, &[x, x]);
+        let z = b.op(Opcode::Mul, &[y, x]);
+        let w = b.op(Opcode::Sub, &[z, y]);
+        let c1 = b.constant(5);
+        let s1 = b.op(Opcode::Xor, &[c1, c1]);
+        let s2 = b.op(Opcode::Or, &[s1, c1]);
+        let a1 = b.constant(1);
+        b.store(a1, w, "m");
+        let a2 = b.constant(2);
+        b.store(a2, s2, "m");
+        b.ret();
+        let cdfg = b.finish().unwrap();
+        let dfg = cdfg.dfg(bb);
+        let deps = DepGraph::build(&dfg);
+        let order = priority_order(&dfg, &deps);
+
+        // Reference implementation (the pre-optimization algorithm).
+        let mob = mobility(&dfg, &deps);
+        let mut pending: std::collections::HashMap<OpId, usize> = dfg
+            .op_ids()
+            .iter()
+            .map(|&id| (id, deps.preds_of(id).len()))
+            .collect();
+        let mut reference = Vec::new();
+        while !pending.is_empty() {
+            let mut ready: Vec<OpId> = pending
+                .iter()
+                .filter(|&(_, &cnt)| cnt == 0)
+                .map(|(&id, _)| id)
+                .collect();
+            ready.sort_by_key(|&id| (mob[&id], Reverse(dfg.fanout(id)), id));
+            let chosen = ready[0];
+            pending.remove(&chosen);
+            for &s in deps.succs_of(chosen) {
+                if let Some(c) = pending.get_mut(&s) {
+                    *c -= 1;
+                }
+            }
+            reference.push(chosen);
+        }
+        assert_eq!(order, reference);
     }
 }
