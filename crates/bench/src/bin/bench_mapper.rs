@@ -1,18 +1,34 @@
 //! The tracked mapper microbenchmark: times the raw `Mapper::map` hot
-//! loop — sequential, uncached, like `fig9_compile_time` — over every
-//! kernel and writes `BENCH_mapper.json` (see
+//! loop — uncached, one job at a time, like `fig9_compile_time` — over
+//! every kernel and writes `BENCH_mapper.json` (see
 //! [`cmam_bench::mapper_bench`] for the schema).
 //!
+//! By default the benchmark runs **twice**: once with `--threads 1` (the
+//! sequential hot loop every earlier baseline measured) and once with
+//! all hardware threads (the beam-parallel mapper), so the tracked JSON
+//! pins both raw speed and parallel scaling. On a single-core host the
+//! parallel row still runs with 2 threads — it then measures the
+//! parallelism overhead rather than a speedup, which is exactly what a
+//! tracked benchmark should expose.
+//!
 //! Flags: `--quick` (1 iteration instead of 5, the CI setting),
-//! `--iters N` (explicit iteration count), `--out PATH` (where to write
-//! the JSON; default `BENCH_mapper.json` in the current directory).
+//! `--iters N` (explicit iteration count), `--threads N` (measure only
+//! one run, at N mapper threads), `--out PATH` (where to write the JSON;
+//! default `BENCH_mapper.json` in the current directory).
 
 use cmam_bench::mapper_bench;
+
+/// The default parallel row: every hardware thread, but at least 2 so
+/// the beam-parallel code path is always exercised and tracked.
+fn parallel_threads() -> usize {
+    cmam_pool::ncpu().max(2)
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut iterations: u32 = 5;
     let mut out = "BENCH_mapper.json".to_owned();
+    let mut threads: Option<usize> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -24,12 +40,23 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .expect("--iters needs a positive integer");
             }
+            "--threads" => {
+                i += 1;
+                threads = Some(
+                    args.get(i)
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n: &usize| n > 0)
+                        .expect("--threads needs a positive integer"),
+                );
+            }
             "--out" => {
                 i += 1;
                 out = args.get(i).expect("--out needs a path").clone();
             }
             other => {
-                eprintln!("unknown flag {other} (known: --quick, --iters N, --out PATH)");
+                eprintln!(
+                    "unknown flag {other} (known: --quick, --iters N, --threads N, --out PATH)"
+                );
                 std::process::exit(2);
             }
         }
@@ -37,45 +64,58 @@ fn main() {
     }
     assert!(iterations > 0, "--iters must be positive");
 
-    eprintln!("bench_mapper: {iterations} iteration(s) per job, sequential, uncached");
-    let report = mapper_bench::run(iterations);
+    let thread_counts: Vec<usize> = match threads {
+        Some(n) => vec![n],
+        None => vec![1, parallel_threads()],
+    };
 
-    let mut rows = Vec::new();
-    for j in &report.jobs {
-        rows.push(vec![
-            j.kernel.clone(),
-            j.config.clone(),
-            j.variant.clone(),
-            if j.ok { "ok" } else { "FAIL" }.to_owned(),
-            format!("{:.2}", j.wall_ms),
-            format!("{:.0}", j.ops_per_sec),
-            format!("{:.0}", j.candidates_per_sec),
-            j.peak_population.to_string(),
-            j.rollbacks.to_string(),
-        ]);
+    let mut reports = Vec::new();
+    for &t in &thread_counts {
+        eprintln!(
+            "bench_mapper: {iterations} iteration(s) per job, {t} mapper thread(s), uncached"
+        );
+        let report = mapper_bench::run(iterations, t);
+
+        let mut rows = Vec::new();
+        for j in &report.jobs {
+            rows.push(vec![
+                j.kernel.clone(),
+                j.config.clone(),
+                j.variant.clone(),
+                if j.ok { "ok" } else { "FAIL" }.to_owned(),
+                format!("{:.2}", j.wall_ms),
+                format!("{:.0}", j.ops_per_sec),
+                format!("{:.0}", j.candidates_per_sec),
+                j.peak_population.to_string(),
+                j.rollbacks.to_string(),
+            ]);
+        }
+        println!("\n== threads = {t} ==");
+        cmam_bench::emit_table(
+            &[
+                "Kernel",
+                "Config",
+                "Flow",
+                "map",
+                "ms/map",
+                "ops/s",
+                "cand/s",
+                "peak pop",
+                "rollbacks",
+            ],
+            &rows,
+        );
+        println!(
+            "totals (threads={t}): {:.0} ops mapped/s, {:.0} candidates/s, {:.1} ms wall \
+             (1 iteration of all jobs)",
+            report.total_ops_per_sec(),
+            report.total_candidates_per_sec(),
+            report.total_wall_ms()
+        );
+        reports.push(report);
     }
-    cmam_bench::emit_table(
-        &[
-            "Kernel",
-            "Config",
-            "Flow",
-            "map",
-            "ms/map",
-            "ops/s",
-            "cand/s",
-            "peak pop",
-            "rollbacks",
-        ],
-        &rows,
-    );
-    println!(
-        "\ntotals: {:.0} ops mapped/s, {:.0} candidates/s, {:.1} ms wall (1 iteration of all jobs)",
-        report.total_ops_per_sec(),
-        report.total_candidates_per_sec(),
-        report.total_wall_ms()
-    );
 
-    let json = mapper_bench::render_json(&report);
+    let json = mapper_bench::render_json(&reports);
     std::fs::write(&out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
     eprintln!("wrote {out}");
 }

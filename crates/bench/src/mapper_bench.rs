@@ -1,11 +1,14 @@
 //! The tracked mapper microbenchmark behind the `bench_mapper` binary.
 //!
-//! Measures the raw `Mapper::map` hot loop — sequential, uncached, no
-//! assembly or simulation — over every kernel, and renders the result as
-//! `BENCH_mapper.json` so the repo carries a comparable performance
-//! trajectory across PRs. The JSON is written by hand (the workspace is
-//! offline, no serde); [`json`] provides the minimal parser the schema
-//! unit tests validate against.
+//! Measures the raw `Mapper::map` hot loop — uncached, no assembly or
+//! simulation — over every kernel, once per configured thread count
+//! (`--threads`), and renders the result as `BENCH_mapper.json` so the
+//! repo carries a comparable performance trajectory across PRs. The
+//! default records a sequential run (`threads = 1`) and a parallel run
+//! (all hardware threads) side by side, pinning both the hot loop's raw
+//! speed and the beam parallelism's scaling. The JSON is written by hand
+//! (the workspace is offline, no serde); [`json`] provides the minimal
+//! parser the schema unit tests validate against.
 
 use cmam_arch::CgraConfig;
 use cmam_core::{FlowVariant, Mapper};
@@ -13,7 +16,11 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 /// Schema tag of the emitted JSON; bump on any shape change.
-pub const SCHEMA: &str = "cmam-bench-mapper-v1";
+///
+/// v2: the document carries a `runs` array (one entry per measured
+/// mapper thread count, each with its own `threads`, `jobs` and
+/// `totals`) instead of a single flat job list.
+pub const SCHEMA: &str = "cmam-bench-mapper-v2";
 
 /// One measured (kernel, flow, config) combination.
 #[derive(Debug, Clone)]
@@ -41,11 +48,13 @@ pub struct MapperBenchJob {
     pub rollbacks: u64,
 }
 
-/// The whole benchmark run.
+/// One whole benchmark run at a fixed mapper thread count.
 #[derive(Debug, Clone)]
 pub struct MapperBenchReport {
     /// `Mapper::map` calls per combination.
     pub iterations: u32,
+    /// Mapper threads (`MapperOptions::threads`) every job ran with.
+    pub threads: usize,
     /// Per-combination measurements.
     pub jobs: Vec<MapperBenchJob>,
 }
@@ -97,15 +106,19 @@ pub fn bench_matrix() -> Vec<(FlowVariant, CgraConfig)> {
 }
 
 /// Runs the benchmark: maps every kernel × [`bench_matrix`] combination
-/// `iterations` times, sequentially, with no caching, timing only
+/// `iterations` times with `threads` mapper threads (1 = the sequential
+/// hot loop), one job at a time, with no caching, timing only
 /// `Mapper::map`.
-pub fn run(iterations: u32) -> MapperBenchReport {
+pub fn run(iterations: u32, threads: usize) -> MapperBenchReport {
     assert!(iterations > 0, "at least one iteration");
+    assert!(threads > 0, "at least one thread");
     let specs = cmam_kernels::all();
     let mut jobs = Vec::new();
     for spec in &specs {
         for (variant, config) in bench_matrix() {
-            let mapper = Mapper::new(variant.options());
+            let mut options = variant.options();
+            options.threads = threads;
+            let mapper = Mapper::new(options);
             let mut ok = true;
             let mut candidates = 0u64;
             let mut peak_population = 0u64;
@@ -145,7 +158,11 @@ pub fn run(iterations: u32) -> MapperBenchReport {
             });
         }
     }
-    MapperBenchReport { iterations, jobs }
+    MapperBenchReport {
+        iterations,
+        threads,
+        jobs,
+    }
 }
 
 fn json_f64(v: f64) -> String {
@@ -175,50 +192,66 @@ fn json_str(s: &str) -> String {
     out
 }
 
-/// Renders the report as the `BENCH_mapper.json` document.
-pub fn render_json(report: &MapperBenchReport) -> String {
+/// Renders one or more runs (one per measured thread count) as the
+/// `BENCH_mapper.json` document.
+pub fn render_json(reports: &[MapperBenchReport]) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     let _ = writeln!(s, "  \"schema\": {},", json_str(SCHEMA));
-    let _ = writeln!(s, "  \"iterations\": {},", report.iterations);
-    s.push_str("  \"jobs\": [\n");
-    for (i, j) in report.jobs.iter().enumerate() {
-        let _ = write!(
+    s.push_str("  \"runs\": [\n");
+    for (r, report) in reports.iter().enumerate() {
+        s.push_str("    {\n");
+        let _ = writeln!(s, "      \"threads\": {},", report.threads);
+        let _ = writeln!(s, "      \"iterations\": {},", report.iterations);
+        s.push_str("      \"jobs\": [\n");
+        for (i, j) in report.jobs.iter().enumerate() {
+            let _ = write!(
+                s,
+                "        {{\"kernel\": {}, \"variant\": {}, \"config\": {}, \"ok\": {}, \
+                 \"ops\": {}, \"wall_ms\": {}, \"ops_per_sec\": {}, \
+                 \"candidates_per_sec\": {}, \"peak_population\": {}, \"rollbacks\": {}}}",
+                json_str(&j.kernel),
+                json_str(&j.variant),
+                json_str(&j.config),
+                j.ok,
+                j.ops,
+                json_f64(j.wall_ms),
+                json_f64(j.ops_per_sec),
+                json_f64(j.candidates_per_sec),
+                j.peak_population,
+                j.rollbacks,
+            );
+            s.push_str(if i + 1 < report.jobs.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        s.push_str("      ],\n");
+        s.push_str("      \"totals\": {\n");
+        let _ = writeln!(
             s,
-            "    {{\"kernel\": {}, \"variant\": {}, \"config\": {}, \"ok\": {}, \
-             \"ops\": {}, \"wall_ms\": {}, \"ops_per_sec\": {}, \
-             \"candidates_per_sec\": {}, \"peak_population\": {}, \"rollbacks\": {}}}",
-            json_str(&j.kernel),
-            json_str(&j.variant),
-            json_str(&j.config),
-            j.ok,
-            j.ops,
-            json_f64(j.wall_ms),
-            json_f64(j.ops_per_sec),
-            json_f64(j.candidates_per_sec),
-            j.peak_population,
-            j.rollbacks,
+            "        \"ops_mapped_per_sec\": {},",
+            json_f64(report.total_ops_per_sec())
         );
-        s.push_str(if i + 1 < report.jobs.len() {
-            ",\n"
+        let _ = writeln!(
+            s,
+            "        \"candidates_per_sec\": {},",
+            json_f64(report.total_candidates_per_sec())
+        );
+        let _ = writeln!(
+            s,
+            "        \"wall_ms\": {}",
+            json_f64(report.total_wall_ms())
+        );
+        s.push_str("      }\n");
+        s.push_str(if r + 1 < reports.len() {
+            "    },\n"
         } else {
-            "\n"
+            "    }\n"
         });
     }
-    s.push_str("  ],\n");
-    s.push_str("  \"totals\": {\n");
-    let _ = writeln!(
-        s,
-        "    \"ops_mapped_per_sec\": {},",
-        json_f64(report.total_ops_per_sec())
-    );
-    let _ = writeln!(
-        s,
-        "    \"candidates_per_sec\": {},",
-        json_f64(report.total_candidates_per_sec())
-    );
-    let _ = writeln!(s, "    \"wall_ms\": {}", json_f64(report.total_wall_ms()));
-    s.push_str("  }\n");
+    s.push_str("  ]\n");
     s.push_str("}\n");
     s
 }
@@ -437,6 +470,7 @@ mod tests {
     fn sample() -> MapperBenchReport {
         MapperBenchReport {
             iterations: 2,
+            threads: 1,
             jobs: vec![
                 MapperBenchJob {
                     kernel: "fir".into(),
@@ -468,36 +502,46 @@ mod tests {
 
     #[test]
     fn json_schema_has_all_required_fields() {
-        let doc = json::parse(&render_json(&sample())).expect("valid JSON");
+        let mut parallel = sample();
+        parallel.threads = 8;
+        let doc = json::parse(&render_json(&[sample(), parallel])).expect("valid JSON");
         assert_eq!(
             doc.get("schema").and_then(json::Value::as_str),
             Some(SCHEMA)
         );
-        assert_eq!(
-            doc.get("iterations").and_then(json::Value::as_f64),
-            Some(2.0)
-        );
-        let jobs = doc.get("jobs").and_then(json::Value::as_arr).expect("jobs");
-        assert_eq!(jobs.len(), 2);
-        for job in jobs {
-            for key in [
-                "kernel",
-                "variant",
-                "config",
-                "ok",
-                "ops",
-                "wall_ms",
-                "ops_per_sec",
-                "candidates_per_sec",
-                "peak_population",
-                "rollbacks",
-            ] {
-                assert!(job.get(key).is_some(), "job missing {key}");
+        let runs = doc.get("runs").and_then(json::Value::as_arr).expect("runs");
+        assert_eq!(runs.len(), 2);
+        for (expect_threads, run) in [1.0, 8.0].iter().zip(runs) {
+            assert_eq!(
+                run.get("threads").and_then(json::Value::as_f64),
+                Some(*expect_threads)
+            );
+            assert_eq!(
+                run.get("iterations").and_then(json::Value::as_f64),
+                Some(2.0)
+            );
+            let jobs = run.get("jobs").and_then(json::Value::as_arr).expect("jobs");
+            assert_eq!(jobs.len(), 2);
+            for job in jobs {
+                for key in [
+                    "kernel",
+                    "variant",
+                    "config",
+                    "ok",
+                    "ops",
+                    "wall_ms",
+                    "ops_per_sec",
+                    "candidates_per_sec",
+                    "peak_population",
+                    "rollbacks",
+                ] {
+                    assert!(job.get(key).is_some(), "job missing {key}");
+                }
             }
-        }
-        let totals = doc.get("totals").expect("totals");
-        for key in ["ops_mapped_per_sec", "candidates_per_sec", "wall_ms"] {
-            assert!(totals.get(key).is_some(), "totals missing {key}");
+            let totals = run.get("totals").expect("totals");
+            for key in ["ops_mapped_per_sec", "candidates_per_sec", "wall_ms"] {
+                assert!(totals.get(key).is_some(), "totals missing {key}");
+            }
         }
     }
 
@@ -516,8 +560,9 @@ mod tests {
     fn json_strings_are_escaped() {
         let mut r = sample();
         r.jobs[0].kernel = "we\"ird\nname".into();
-        let doc = json::parse(&render_json(&r)).expect("still valid");
-        let jobs = doc.get("jobs").and_then(json::Value::as_arr).unwrap();
+        let doc = json::parse(&render_json(&[r])).expect("still valid");
+        let runs = doc.get("runs").and_then(json::Value::as_arr).unwrap();
+        let jobs = runs[0].get("jobs").and_then(json::Value::as_arr).unwrap();
         assert_eq!(
             jobs[0].get("kernel").and_then(json::Value::as_str),
             Some("we\"ird\nname")

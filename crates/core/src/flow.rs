@@ -19,14 +19,15 @@ use crate::options::{MapperOptions, Traversal};
 use crate::partial::{FlowState, MapCtx, MapPre, Partial};
 use crate::prune::stochastic_prune_by;
 use crate::schedule::priority_order;
-use cmam_arch::CgraConfig;
+use cmam_arch::{CgraConfig, TileId};
 use cmam_cdfg::analysis::{forward_order, weighted_order, DepGraph};
-use cmam_cdfg::{BlockId, Cdfg, ValidateError};
+use cmam_cdfg::{BlockId, Cdfg, OpId, ValidateError};
 use cmam_isa::KernelMapping;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::error::Error;
 use std::fmt;
+use std::sync::{Arc, Mutex};
 
 /// Why a kernel could not be mapped.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -131,6 +132,228 @@ pub struct Mapper {
     options: MapperOptions,
 }
 
+/// One successful trial binding: which parent it extends and where the op
+/// goes, plus everything the downstream pipeline steps need (cost for
+/// ranking, the memory-filter verdicts) — recorded while the delta was
+/// applied, before it was rolled back. Only the candidates that survive
+/// pruning are ever materialised into real [`Partial`]s.
+struct Candidate {
+    parent: u32,
+    tile: TileId,
+    cycle: u32,
+    cost: (usize, usize),
+    acmap_ok: bool,
+    ecmap_ok: bool,
+}
+
+/// Search counters produced by one expansion shard; folded into
+/// [`MapStats`] after the (sequential or parallel) round joins. Plain
+/// integer sums, so the fold order cannot influence the totals.
+#[derive(Debug, Clone, Copy, Default)]
+struct ExpandStats {
+    attempts: u64,
+    candidates: u64,
+    rollbacks: u64,
+}
+
+impl ExpandStats {
+    fn absorb(&mut self, other: ExpandStats) {
+        self.attempts += other.attempts;
+        self.candidates += other.candidates;
+        self.rollbacks += other.rollbacks;
+    }
+}
+
+/// Expands one partial mapping for `op` at the given `slack`: the
+/// tiles × cycles try/rollback loop, the per-candidate memory-filter
+/// verdicts, and the per-partial expansion cut. **The** candidate
+/// generator — the sequential path and every parallel beam shard call
+/// exactly this function, which is what makes the parallel search
+/// bit-identical to the sequential one by construction.
+fn expand_partial(
+    ctx: &MapCtx<'_>,
+    deps: &DepGraph,
+    tiles: &[TileId],
+    op: OpId,
+    slack: usize,
+    pi: usize,
+    partial: &mut Partial,
+) -> (Vec<Candidate>, ExpandStats) {
+    let geom = ctx.config.geometry();
+    let mut st = ExpandStats::default();
+    let earliest = partial.earliest_cycle(deps, op);
+    let cp = partial.checkpoint();
+    let mut local: Vec<Candidate> = Vec::new();
+    for &tile in tiles {
+        for cycle in earliest..=earliest + slack {
+            st.attempts += 1;
+            if partial.try_place_op(ctx, op, tile, cycle) {
+                st.candidates += 1;
+                // Evaluate the memory filters while the delta is applied —
+                // O(1) per tile from the incremental counters.
+                let acmap_ok = !ctx.options.acmap
+                    || geom
+                        .tiles()
+                        .all(|t| partial.acmap_words(t) <= ctx.capacity(t));
+                let ecmap_ok = !ctx.options.ecmap
+                    || geom
+                        .tiles()
+                        .all(|t| partial.ecmap_words(t) <= ctx.capacity(t));
+                local.push(Candidate {
+                    parent: pi as u32,
+                    tile,
+                    cycle: cycle as u32,
+                    cost: partial.cost(),
+                    acmap_ok,
+                    ecmap_ok,
+                });
+            }
+            if partial.dirty_since(cp) {
+                st.rollbacks += 1;
+                partial.rollback(cp);
+            }
+        }
+    }
+    // Note the expansion cut happens *before* the memory filters, exactly
+    // like the paper's Fig 4 pipeline (binding -> ACMAP -> stochastic
+    // pruning): the memory-aware steps prune the partial-mapping set,
+    // they do not re-rank the binder's candidates. This is what makes
+    // over-constrained targets fail (the zero bars of Figs 6-8) instead
+    // of being rescued by exhaustive candidate filtering. (Stable sort:
+    // ties keep generation order, as when partials themselves were
+    // sorted.)
+    local.sort_by_key(|c| c.cost);
+    local.truncate(ctx.options.expansion);
+    (local, st)
+}
+
+/// The owned copy of one `map()` call's inputs that parallel beam shards
+/// share through an `Arc`. Cloning the CDFG and configuration once per
+/// `map()` call (graph-sized, microseconds) is what lets the shard jobs
+/// be `'static` for the persistent [`cmam_pool`] workers — no borrow of
+/// the caller's stack ever crosses a thread.
+#[derive(Debug)]
+struct SharedSearch {
+    cdfg: Cdfg,
+    config: CgraConfig,
+    options: MapperOptions,
+    pre: MapPre,
+}
+
+impl SharedSearch {
+    fn ctx(&self, reserve: usize) -> MapCtx<'_> {
+        MapCtx {
+            cdfg: &self.cdfg,
+            config: &self.config,
+            options: &self.options,
+            reserve,
+            pre: &self.pre,
+        }
+    }
+}
+
+/// Handle for the intra-search beam parallelism: the shared inputs plus
+/// the resolved thread count. Present only when
+/// [`MapperOptions::effective_threads`] > 1.
+struct BeamPool {
+    shared: Arc<SharedSearch>,
+    threads: usize,
+}
+
+/// Takes every partial back out of the per-index slots after a parallel
+/// round joined, restoring the population in index order.
+fn take_back(slots: &[Mutex<Option<Partial>>]) -> Vec<Partial> {
+    slots
+        .iter()
+        .map(|s| {
+            s.lock()
+                .expect("beam slot poisoned")
+                .take()
+                .expect("every shard returned its partial")
+        })
+        .collect()
+}
+
+/// Wraps a population into the `Mutex<Option<_>>` slots parallel jobs
+/// move their partials in and out of.
+fn into_slots(population: Vec<Partial>) -> Arc<Vec<Mutex<Option<Partial>>>> {
+    Arc::new(
+        population
+            .into_iter()
+            .map(|p| Mutex::new(Some(p)))
+            .collect(),
+    )
+}
+
+impl BeamPool {
+    /// One parallel expansion round: shards the `tiles × slack`
+    /// try/rollback loop across the beam (one shard per live partial) and
+    /// concatenates the per-partial candidate lists back **in partial
+    /// index order** — the exact order the sequential loop produces.
+    fn expand_round(
+        &self,
+        reserve: usize,
+        deps: &Arc<DepGraph>,
+        tiles: &Arc<Vec<TileId>>,
+        op: OpId,
+        slack: usize,
+        population: Vec<Partial>,
+    ) -> (Vec<Partial>, Vec<Candidate>, ExpandStats) {
+        let n = population.len();
+        let slots = into_slots(population);
+        let job_slots = Arc::clone(&slots);
+        let shared = Arc::clone(&self.shared);
+        let deps = Arc::clone(deps);
+        let tiles = Arc::clone(tiles);
+        let results = cmam_pool::global().run_indexed(n, self.threads, move |i| {
+            let ctx = shared.ctx(reserve);
+            let mut p = job_slots[i]
+                .lock()
+                .expect("beam slot poisoned")
+                .take()
+                .expect("partial present");
+            let out = expand_partial(&ctx, &deps, &tiles, op, slack, i, &mut p);
+            *job_slots[i].lock().expect("beam slot poisoned") = Some(p);
+            out
+        });
+        let population = take_back(&slots);
+        let mut pool: Vec<Candidate> = Vec::new();
+        let mut st = ExpandStats::default();
+        for (local, s) in results {
+            pool.extend(local);
+            st.absorb(s);
+        }
+        (population, pool, st)
+    }
+
+    /// One parallel finalisation round: every surviving partial runs its
+    /// (independent) symbol-commit + exact-fit trials on a shard; verdicts
+    /// come back in partial index order.
+    fn finalize_round(
+        &self,
+        reserve: usize,
+        block: BlockId,
+        population: Vec<Partial>,
+    ) -> (Vec<Partial>, Vec<bool>) {
+        let n = population.len();
+        let slots = into_slots(population);
+        let job_slots = Arc::clone(&slots);
+        let shared = Arc::clone(&self.shared);
+        let flags = cmam_pool::global().run_indexed(n, self.threads, move |i| {
+            let ctx = shared.ctx(reserve);
+            let mut p = job_slots[i]
+                .lock()
+                .expect("beam slot poisoned")
+                .take()
+                .expect("partial present");
+            let ok = p.finalize(&ctx, block);
+            *job_slots[i].lock().expect("beam slot poisoned") = Some(p);
+            ok
+        });
+        (take_back(&slots), flags)
+    }
+}
+
 impl Mapper {
     /// Creates a mapper with the given options.
     pub fn new(options: MapperOptions) -> Self {
@@ -143,6 +366,14 @@ impl Mapper {
     }
 
     /// Maps `cdfg` onto `config`.
+    ///
+    /// With [`MapperOptions::threads`] (or `CMAM_THREADS`) above 1 the
+    /// candidate expansion and finalisation shard across the shared
+    /// [`cmam_pool`] — the result is **bit-identical** to the sequential
+    /// search for every thread count, because every shard runs the same
+    /// per-partial generator, shards join in partial index order, and the
+    /// only RNG consumer (the stochastic pruning) always runs
+    /// sequentially on the ordered candidate pool.
     ///
     /// # Errors
     ///
@@ -158,6 +389,16 @@ impl Mapper {
         };
         let ntiles = config.geometry().num_tiles();
         let pre = MapPre::new(config);
+        let threads = self.options.effective_threads();
+        let beam = (threads > 1).then(|| BeamPool {
+            shared: Arc::new(SharedSearch {
+                cdfg: cdfg.clone(),
+                config: config.clone(),
+                options: self.options.clone(),
+                pre: pre.clone(),
+            }),
+            threads,
+        });
         let mut state = FlowState::new(ntiles);
         let mut rng = StdRng::seed_from_u64(self.options.seed);
         let mut stats = MapStats::default();
@@ -177,8 +418,15 @@ impl Mapper {
                 reserve: order.len() - 1 - pos,
                 pre: &pre,
             };
-            let bm =
-                self.map_block(&ctx, block, &mut state, &mut rng, &mut stats, &mut pool_mem)?;
+            let bm = self.map_block(
+                &ctx,
+                block,
+                &mut state,
+                &mut rng,
+                &mut stats,
+                &mut pool_mem,
+                beam.as_ref(),
+            )?;
             blocks[block.0 as usize] = Some(bm);
         }
 
@@ -201,89 +449,56 @@ impl Mapper {
         rng: &mut StdRng,
         stats: &mut MapStats,
         pool_mem: &mut Vec<Partial>,
+        beam: Option<&BeamPool>,
     ) -> Result<cmam_isa::BlockMapping, MapError> {
         let dfg = ctx.cdfg.dfg(block);
-        let deps = DepGraph::build(&dfg);
+        let deps = Arc::new(DepGraph::build(&dfg));
         let order = priority_order(&dfg, &deps);
-        let tiles: Vec<_> = ctx.config.geometry().tiles().collect();
-        let geom = ctx.config.geometry();
-
-        /// One successful trial binding: which parent it extends and
-        /// where the op goes, plus everything the downstream pipeline
-        /// steps need (cost for ranking, the memory-filter verdicts) —
-        /// recorded while the delta was applied, before it was rolled
-        /// back. Only the candidates that survive pruning are ever
-        /// materialised into real [`Partial`]s.
-        struct Candidate {
-            parent: u32,
-            tile: cmam_arch::TileId,
-            cycle: u32,
-            cost: (usize, usize),
-            acmap_ok: bool,
-            ecmap_ok: bool,
-        }
+        let tiles: Arc<Vec<TileId>> = Arc::new(ctx.config.geometry().tiles().collect());
 
         let mut population = vec![Partial::new(state, ctx)];
 
         for &op in &order {
             // Candidate generation with slack escalation. Every trial is
             // applied to the shared parent state and rolled back; cloning
-            // happens only for pruning survivors below.
+            // happens only for pruning survivors below. With beam
+            // parallelism on, the per-partial shards run concurrently and
+            // join in partial index order — the pool below is identical
+            // either way.
             let mut pool: Vec<Candidate> = Vec::new();
             for escalation in 0..3 {
                 let slack = self.options.slack << (2 * escalation);
                 if escalation > 0 {
                     stats.escalations += 1;
                 }
-                for (pi, partial) in population.iter_mut().enumerate() {
-                    let earliest = partial.earliest_cycle(&deps, op);
-                    let cp = partial.checkpoint();
-                    let mut local: Vec<Candidate> = Vec::new();
-                    for &tile in &tiles {
-                        for cycle in earliest..=earliest + slack {
-                            stats.attempts += 1;
-                            if partial.try_place_op(ctx, op, tile, cycle) {
-                                stats.candidates += 1;
-                                // Evaluate the memory filters while the
-                                // delta is applied — O(1) per tile from
-                                // the incremental counters.
-                                let acmap_ok = !self.options.acmap
-                                    || geom
-                                        .tiles()
-                                        .all(|t| partial.acmap_words(t) <= ctx.capacity(t));
-                                let ecmap_ok = !self.options.ecmap
-                                    || geom
-                                        .tiles()
-                                        .all(|t| partial.ecmap_words(t) <= ctx.capacity(t));
-                                local.push(Candidate {
-                                    parent: pi as u32,
-                                    tile,
-                                    cycle: cycle as u32,
-                                    cost: partial.cost(),
-                                    acmap_ok,
-                                    ecmap_ok,
-                                });
-                            }
-                            if partial.dirty_since(cp) {
-                                stats.rollbacks += 1;
-                                partial.rollback(cp);
-                            }
-                        }
+                let round_stats = match beam {
+                    Some(bp) if population.len() > 1 => {
+                        let (pop, cands, st) = bp.expand_round(
+                            ctx.reserve,
+                            &deps,
+                            &tiles,
+                            op,
+                            slack,
+                            std::mem::take(&mut population),
+                        );
+                        population = pop;
+                        pool = cands;
+                        st
                     }
-                    // Note the expansion cut happens *before* the memory
-                    // filters, exactly like the paper's Fig 4 pipeline
-                    // (binding -> ACMAP -> stochastic pruning): the
-                    // memory-aware steps prune the partial-mapping set,
-                    // they do not re-rank the binder's candidates. This is
-                    // what makes over-constrained targets fail (the zero
-                    // bars of Figs 6-8) instead of being rescued by
-                    // exhaustive candidate filtering. (Stable sort: ties
-                    // keep generation order, as when partials themselves
-                    // were sorted.)
-                    local.sort_by_key(|c| c.cost);
-                    local.truncate(self.options.expansion);
-                    pool.extend(local);
-                }
+                    _ => {
+                        let mut st = ExpandStats::default();
+                        for (pi, partial) in population.iter_mut().enumerate() {
+                            let (local, s) =
+                                expand_partial(ctx, &deps, &tiles, op, slack, pi, partial);
+                            pool.extend(local);
+                            st.absorb(s);
+                        }
+                        st
+                    }
+                };
+                stats.attempts += round_stats.attempts;
+                stats.candidates += round_stats.candidates;
+                stats.rollbacks += round_stats.rollbacks;
                 if !pool.is_empty() {
                     break;
                 }
@@ -374,10 +589,22 @@ impl Mapper {
             population = next;
         }
 
-        // Finalisation: symbol commits + exact feasibility.
+        // Finalisation: symbol commits + exact feasibility. Each trial
+        // only touches its own partial, so the surviving beam shards the
+        // same way expansion did; verdicts join in partial index order.
+        let (population, verdicts) = match beam {
+            Some(bp) if population.len() > 1 => bp.finalize_round(ctx.reserve, block, population),
+            _ => {
+                let mut flags = Vec::with_capacity(population.len());
+                for p in population.iter_mut() {
+                    flags.push(p.finalize(ctx, block));
+                }
+                (population, flags)
+            }
+        };
         let mut finalized: Vec<Partial> = Vec::new();
-        for mut p in population {
-            if p.finalize(ctx, block) {
+        for (p, ok) in population.into_iter().zip(verdicts) {
+            if ok {
                 finalized.push(p);
             } else {
                 stats.finalize_failures += 1;

@@ -95,6 +95,15 @@ pub struct MapperOptions {
     /// Seed of the stochastic pruning RNG (the flow is deterministic for a
     /// fixed seed).
     pub seed: u64,
+    /// Worker threads for the intra-search beam parallelism (candidate
+    /// expansion and finalisation sharded across the partial-mapping
+    /// population). `0` means *auto*: the `CMAM_THREADS` environment
+    /// variable if set, else 1 (sequential). The mapping produced is
+    /// **bit-identical** for every thread count — see
+    /// [`Mapper::map`](crate::Mapper::map) — so this knob trades wall
+    /// clock only; it is deliberately excluded from the engine's job
+    /// fingerprints.
+    pub threads: usize,
 }
 
 impl MapperOptions {
@@ -110,6 +119,7 @@ impl MapperOptions {
             slack: 3,
             max_schedule: 512,
             seed: 0xC64A,
+            threads: 0,
         }
     }
 
@@ -122,6 +132,20 @@ impl MapperOptions {
     /// then refuses mappings that overflow a tile's context memory).
     pub fn memory_aware(&self) -> bool {
         self.acmap || self.ecmap || self.cab
+    }
+
+    /// Resolves [`threads`](MapperOptions::threads): an explicit value
+    /// wins, `0` falls back to `CMAM_THREADS` (ignored unless it parses
+    /// to a positive integer) and finally to 1.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            return self.threads;
+        }
+        std::env::var("CMAM_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(1)
     }
 }
 

@@ -1,13 +1,20 @@
 //! The two-level artifact cache: an in-process memo table plus an on-disk
-//! store of plain serialized text under `target/cmam-cache/`.
+//! store of length-prefixed binary artifacts under `target/cmam-cache/`.
 //!
 //! Artifacts are keyed by the job's content hash (see
 //! [`crate::fingerprint`]): any change to the kernel CDFG, the CGRA
 //! configuration or the mapper options produces a new key, so entries
 //! never need invalidation — stale ones are simply never addressed again.
-//! The serialization is a deliberately boring line-oriented text format
-//! (no serde, the workspace stays offline); a parse failure of any kind is
-//! treated as a cache miss and the entry is rewritten.
+//!
+//! The format is a deliberately boring little-endian binary layout (no
+//! serde, the workspace stays offline): a magic + [`FORMAT_VERSION`]
+//! header, then fixed-width integers with `u32` length prefixes for every
+//! string and sequence. Compared to the earlier line-oriented text format
+//! this removes the escape/unescape round-trip and the per-field
+//! `to_string`/`parse` churn from every store and load. Any read that
+//! does not consume a well-formed artifact — wrong magic, older version,
+//! truncated file, out-of-range tag — is treated as a clean cache miss
+//! and the entry is rewritten.
 
 use crate::fingerprint::FORMAT_VERSION;
 use crate::job::{FailStage, JobResult, RunFailure, RunOutcome};
@@ -20,6 +27,10 @@ use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+
+/// Leading bytes of every artifact; anything else is a foreign file (for
+/// example a text artifact from a pre-v3 toolchain) and therefore a miss.
+const MAGIC: &[u8; 8] = b"cmamrunb";
 
 /// On-disk artifact store. Construction never fails: if the directory
 /// cannot be created the store silently degrades to a no-op (a cache must
@@ -52,8 +63,8 @@ impl DiskCache {
 
     /// Loads the artifact for `key`, or `None` on miss/corruption.
     pub fn load(&self, key: u64) -> Option<JobResult> {
-        let text = std::fs::read_to_string(self.path_for(key)?).ok()?;
-        parse_result(&text)
+        let bytes = std::fs::read(self.path_for(key)?).ok()?;
+        parse_result(&bytes)
     }
 
     /// Persists the artifact for `key`. Best-effort: write errors are
@@ -80,138 +91,229 @@ impl DiskCache {
     }
 }
 
-fn escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('\n', "\\n")
+/// Little-endian byte writer behind [`serialize_result`].
+struct Writer {
+    buf: Vec<u8>,
 }
 
-fn unescape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    let mut chars = s.chars();
-    while let Some(c) = chars.next() {
-        if c == '\\' {
-            match chars.next() {
-                Some('n') => out.push('\n'),
-                Some(other) => out.push(other),
-                None => {}
-            }
-        } else {
-            out.push(c);
-        }
+impl Writer {
+    fn new() -> Self {
+        Writer { buf: Vec::new() }
     }
-    out
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn i32(&mut self, v: i32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Sequence lengths are `u32`: artifacts are per-kernel, nothing in
+    /// them approaches 4 billion elements.
+    fn len(&mut self, n: usize) {
+        self.u32(u32::try_from(n).expect("artifact sequence fits u32"));
+    }
+
+    fn str(&mut self, s: &str) {
+        self.len(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    fn duration(&mut self, d: Duration) {
+        self.u64(d.as_secs());
+        self.u32(d.subsec_nanos());
+    }
 }
 
-fn instr_to_text(i: &Instr) -> String {
+/// Checked little-endian reader behind [`parse_result`]; every accessor
+/// returns `None` past the end, so truncation surfaces as a miss.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let s = self.buf.get(self.pos..end)?;
+        self.pos = end;
+        Some(s)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    fn i32(&mut self) -> Option<i32> {
+        Some(i32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    fn usize(&mut self) -> Option<usize> {
+        usize::try_from(self.u64()?).ok()
+    }
+
+    fn len(&mut self) -> Option<usize> {
+        Some(self.u32()? as usize)
+    }
+
+    fn str(&mut self) -> Option<String> {
+        let n = self.len()?;
+        Some(std::str::from_utf8(self.take(n)?).ok()?.to_owned())
+    }
+
+    fn duration(&mut self) -> Option<Duration> {
+        let secs = self.u64()?;
+        let nanos = self.u32()?;
+        (nanos < 1_000_000_000).then(|| Duration::new(secs, nanos))
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+fn write_instr(w: &mut Writer, i: &Instr) {
     match i {
-        Instr::Pnop { cycles } => format!("p{cycles}"),
+        Instr::Pnop { cycles } => {
+            w.u8(0);
+            w.u32(*cycles);
+        }
         Instr::Exec { opcode, dst, srcs } => {
-            let dst = dst.map(|d| d.to_string()).unwrap_or_else(|| "-".into());
-            let srcs = srcs
+            w.u8(1);
+            let idx = Opcode::ALL
                 .iter()
-                .map(|s| match s {
-                    Operand::Crf(i) => format!("c{i}"),
-                    Operand::Reg(i) => format!("r{i}"),
-                    Operand::Neighbor(d, i) => {
-                        let d = match d {
-                            Direction::North => 'N',
-                            Direction::East => 'E',
-                            Direction::South => 'S',
-                            Direction::West => 'W',
-                        };
-                        format!("n{d}{i}")
-                    }
-                })
-                .collect::<Vec<_>>()
-                .join(",");
-            format!("e:{opcode}:{dst}:{srcs}")
-        }
-    }
-}
-
-fn opcode_from_name(name: &str) -> Option<Opcode> {
-    Opcode::ALL.iter().copied().find(|o| o.to_string() == name)
-}
-
-fn instr_from_text(s: &str) -> Option<Instr> {
-    if let Some(c) = s.strip_prefix('p') {
-        return Some(Instr::Pnop {
-            cycles: c.parse().ok()?,
-        });
-    }
-    let mut parts = s.splitn(4, ':');
-    if parts.next()? != "e" {
-        return None;
-    }
-    let opcode = opcode_from_name(parts.next()?)?;
-    let dst_text = parts.next()?;
-    let dst = if dst_text == "-" {
-        None
-    } else {
-        Some(dst_text.parse().ok()?)
-    };
-    let srcs_text = parts.next()?;
-    let mut srcs = Vec::new();
-    if !srcs_text.is_empty() {
-        for tok in srcs_text.split(',') {
-            let mut chars = tok.chars();
-            let kind = chars.next()?;
-            let rest = chars.as_str();
-            srcs.push(match kind {
-                'c' => Operand::Crf(rest.parse().ok()?),
-                'r' => Operand::Reg(rest.parse().ok()?),
-                'n' => {
-                    let mut chars = rest.chars();
-                    let dir = match chars.next()? {
-                        'N' => Direction::North,
-                        'E' => Direction::East,
-                        'S' => Direction::South,
-                        'W' => Direction::West,
-                        _ => return None,
-                    };
-                    Operand::Neighbor(dir, chars.as_str().parse().ok()?)
+                .position(|o| o == opcode)
+                .expect("every opcode is in Opcode::ALL");
+            w.u8(idx as u8);
+            match dst {
+                Some(d) => {
+                    w.u8(1);
+                    w.u8(*d);
                 }
-                _ => return None,
-            });
+                None => w.u8(0),
+            }
+            w.len(srcs.len());
+            for s in srcs {
+                match s {
+                    Operand::Crf(i) => {
+                        w.u8(0);
+                        w.u8(*i);
+                    }
+                    Operand::Reg(i) => {
+                        w.u8(1);
+                        w.u8(*i);
+                    }
+                    Operand::Neighbor(d, i) => {
+                        w.u8(2);
+                        w.u8(match d {
+                            Direction::North => 0,
+                            Direction::East => 1,
+                            Direction::South => 2,
+                            Direction::West => 3,
+                        });
+                        w.u8(*i);
+                    }
+                }
+            }
         }
     }
-    Some(Instr::Exec { opcode, dst, srcs })
 }
 
-/// Renders a job result as the on-disk text artifact.
-pub fn serialize_result(result: &JobResult) -> String {
-    let mut out = format!("cmam-run v{FORMAT_VERSION}\n");
+fn read_instr(r: &mut Reader<'_>) -> Option<Instr> {
+    match r.u8()? {
+        0 => Some(Instr::Pnop { cycles: r.u32()? }),
+        1 => {
+            let opcode = *Opcode::ALL.get(r.u8()? as usize)?;
+            let dst = match r.u8()? {
+                0 => None,
+                1 => Some(r.u8()?),
+                _ => return None,
+            };
+            let nsrcs = r.len()?;
+            let mut srcs = Vec::with_capacity(nsrcs.min(8));
+            for _ in 0..nsrcs {
+                srcs.push(match r.u8()? {
+                    0 => Operand::Crf(r.u8()?),
+                    1 => Operand::Reg(r.u8()?),
+                    2 => {
+                        let d = match r.u8()? {
+                            0 => Direction::North,
+                            1 => Direction::East,
+                            2 => Direction::South,
+                            3 => Direction::West,
+                            _ => return None,
+                        };
+                        Operand::Neighbor(d, r.u8()?)
+                    }
+                    _ => return None,
+                });
+            }
+            Some(Instr::Exec { opcode, dst, srcs })
+        }
+        _ => None,
+    }
+}
+
+/// Renders a job result as the on-disk binary artifact.
+pub fn serialize_result(result: &JobResult) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.buf.extend_from_slice(MAGIC);
+    w.u32(FORMAT_VERSION);
     match result {
         Err(f) => {
-            out.push_str("err\n");
-            out.push_str(&format!(
-                "stage {}\n",
-                match f.stage {
-                    FailStage::Map => "map",
-                    FailStage::Assemble => "assemble",
-                    FailStage::Execution => "execution",
-                }
-            ));
-            out.push_str(&format!("compile_ns {}\n", f.compile_time.as_nanos()));
-            out.push_str(&format!("message {}\n", escape(&f.message)));
+            w.u8(0);
+            w.u8(match f.stage {
+                FailStage::Map => 0,
+                FailStage::Assemble => 1,
+                FailStage::Execution => 2,
+            });
+            w.duration(f.compile_time);
+            w.str(&f.message);
         }
         Ok(o) => {
-            out.push_str("ok\n");
-            out.push_str(&format!("compile_ns {}\n", o.compile_time.as_nanos()));
-            out.push_str(&format!("cycles {}\n", o.cycles));
-            out.push_str(&format!("tiles {}\n", o.sim.tiles.len()));
-            out.push_str(&format!("sim {} {}\n", o.sim.cycles, o.sim.stall_cycles));
+            w.u8(1);
+            w.duration(o.compile_time);
+            w.u64(o.cycles);
+            w.u64(o.sim.cycles);
+            w.u64(o.sim.stall_cycles);
+            // Sorted so the artifact bytes are a pure function of the
+            // outcome, not of HashMap iteration order.
             let mut blocks: Vec<(u32, u64)> =
                 o.sim.block_execs.iter().map(|(&b, &n)| (b, n)).collect();
             blocks.sort_unstable();
-            let blocks = blocks
-                .iter()
-                .map(|(b, n)| format!("{b}:{n}"))
-                .collect::<Vec<_>>()
-                .join(" ");
-            out.push_str(&format!("sim.blocks {blocks}\n"));
+            w.len(blocks.len());
+            for (b, n) in blocks {
+                w.u32(b);
+                w.u64(n);
+            }
+            w.len(o.sim.tiles.len());
             for t in &o.sim.tiles {
-                out.push_str(&format!(
-                    "sim.tile {} {} {} {} {} {} {} {} {} {} {}\n",
+                for v in [
                     t.active_cycles,
                     t.idle_cycles,
                     t.cm_fetches,
@@ -223,18 +325,17 @@ pub fn serialize_result(result: &JobResult) -> String {
                     t.neighbor_reads,
                     t.crf_reads,
                     t.rf_writes,
-                ));
+                ] {
+                    w.u64(v);
+                }
             }
-            let report = o
-                .report
-                .per_tile
-                .iter()
-                .map(|(a, m, p)| format!("{a}:{m}:{p}"))
-                .collect::<Vec<_>>()
-                .join(" ");
-            out.push_str(&format!("report {report}\n"));
-            out.push_str(&format!(
-                "map {} {} {} {} {} {} {} {} {}\n",
+            w.len(o.report.per_tile.len());
+            for &(a, m, p) in &o.report.per_tile {
+                w.usize(a);
+                w.usize(m);
+                w.usize(p);
+            }
+            for s in [
                 o.map_stats.candidates,
                 o.map_stats.attempts,
                 o.map_stats.acmap_pruned,
@@ -244,113 +345,102 @@ pub fn serialize_result(result: &JobResult) -> String {
                 o.map_stats.escalations,
                 o.map_stats.peak_population,
                 o.map_stats.rollbacks,
-            ));
-            out.push_str(&format!("bin.name {}\n", escape(&o.binary.name)));
-            out.push_str(&format!("bin.entry {}\n", o.binary.entry));
-            let lengths = o
-                .binary
-                .block_lengths
-                .iter()
-                .map(usize::to_string)
-                .collect::<Vec<_>>()
-                .join(" ");
-            out.push_str(&format!("bin.lengths {lengths}\n"));
-            let terms = o
-                .binary
-                .terminators
-                .iter()
-                .map(|t| match t {
-                    BinTerminator::Jump(b) => format!("j{b}"),
-                    BinTerminator::Branch { taken, fallthrough } => {
-                        format!("b{taken},{fallthrough}")
-                    }
-                    BinTerminator::Return => "r".to_owned(),
-                })
-                .collect::<Vec<_>>()
-                .join(" ");
-            out.push_str(&format!("bin.terms {terms}\n"));
-            for crf in &o.binary.crf {
-                let words = crf.iter().map(i32::to_string).collect::<Vec<_>>().join(" ");
-                out.push_str(&format!("bin.crf {words}\n"));
+            ] {
+                w.u64(s);
             }
+            w.str(&o.binary.name);
+            w.u32(o.binary.entry);
+            w.len(o.binary.block_lengths.len());
+            for &l in &o.binary.block_lengths {
+                w.usize(l);
+            }
+            w.len(o.binary.terminators.len());
+            for t in &o.binary.terminators {
+                match t {
+                    BinTerminator::Jump(b) => {
+                        w.u8(0);
+                        w.u32(*b);
+                    }
+                    BinTerminator::Branch { taken, fallthrough } => {
+                        w.u8(1);
+                        w.u32(*taken);
+                        w.u32(*fallthrough);
+                    }
+                    BinTerminator::Return => w.u8(2),
+                }
+            }
+            w.len(o.binary.crf.len());
+            for crf in &o.binary.crf {
+                w.len(crf.len());
+                for &c in crf {
+                    w.i32(c);
+                }
+            }
+            w.len(o.binary.tiles.len());
             for tile in &o.binary.tiles {
-                out.push_str(&format!("bin.tile {}\n", tile.blocks.len()));
+                w.len(tile.blocks.len());
                 for block in &tile.blocks {
-                    let words = block
-                        .iter()
-                        .map(instr_to_text)
-                        .collect::<Vec<_>>()
-                        .join("|");
-                    out.push_str(&format!("bin.block {words}\n"));
+                    w.len(block.len());
+                    for i in block {
+                        write_instr(&mut w, i);
+                    }
                 }
             }
         }
     }
-    out
+    w.buf
 }
 
 /// Parses an on-disk artifact back into a job result. `None` on any
-/// malformed or version-mismatched input (treated as a cache miss).
-pub fn parse_result(text: &str) -> Option<JobResult> {
-    let mut lines = text.lines();
-    if lines.next()? != format!("cmam-run v{FORMAT_VERSION}") {
+/// malformed, truncated or version-mismatched input (treated as a cache
+/// miss).
+pub fn parse_result(bytes: &[u8]) -> Option<JobResult> {
+    let mut r = Reader::new(bytes);
+    if r.take(MAGIC.len())? != MAGIC || r.u32()? != FORMAT_VERSION {
         return None;
     }
-    let status = lines.next()?;
-    // Every subsequent line is "<tag> <payload>"; `field` pops one and
-    // checks the tag.
-    let mut field = |tag: &str| -> Option<String> {
-        let line = lines.next()?;
-        let (got, payload) = line.split_once(' ').unwrap_or((line, ""));
-        (got == tag).then(|| payload.to_owned())
-    };
-    match status {
-        "err" => {
-            let stage = parse_failure_stage(&field("stage")?)?;
-            let compile_time = nanos_to_duration(&field("compile_ns")?)?;
-            let message = unescape(&field("message")?);
-            Some(Err(RunFailure {
+    let result = match r.u8()? {
+        0 => {
+            let stage = match r.u8()? {
+                0 => FailStage::Map,
+                1 => FailStage::Assemble,
+                2 => FailStage::Execution,
+                _ => return None,
+            };
+            let compile_time = r.duration()?;
+            let message = r.str()?;
+            Err(RunFailure {
                 stage,
                 message,
                 compile_time,
-            }))
+            })
         }
-        "ok" => {
-            let compile_time = nanos_to_duration(&field("compile_ns")?)?;
-            let cycles: u64 = field("cycles")?.parse().ok()?;
-            let ntiles: usize = field("tiles")?.parse().ok()?;
-            let sim_line = field("sim")?;
-            let mut sim_parts = sim_line.split_whitespace();
-            let sim_cycles: u64 = sim_parts.next()?.parse().ok()?;
-            let stall_cycles: u64 = sim_parts.next()?.parse().ok()?;
-            let mut block_execs = HashMap::new();
-            for pair in field("sim.blocks")?.split_whitespace() {
-                let (b, n) = pair.split_once(':')?;
-                block_execs.insert(b.parse().ok()?, n.parse().ok()?);
+        1 => {
+            let compile_time = r.duration()?;
+            let cycles = r.u64()?;
+            let sim_cycles = r.u64()?;
+            let stall_cycles = r.u64()?;
+            let nblocks = r.len()?;
+            let mut block_execs = HashMap::with_capacity(nblocks.min(1024));
+            for _ in 0..nblocks {
+                let b = r.u32()?;
+                block_execs.insert(b, r.u64()?);
             }
-            let mut tiles = Vec::with_capacity(ntiles);
+            let ntiles = r.len()?;
+            let mut tiles = Vec::with_capacity(ntiles.min(1024));
             for _ in 0..ntiles {
-                let line = field("sim.tile")?;
-                let v: Vec<u64> = line
-                    .split_whitespace()
-                    .map(str::parse)
-                    .collect::<Result<_, _>>()
-                    .ok()?;
-                if v.len() != 11 {
-                    return None;
-                }
                 tiles.push(TileStats {
-                    active_cycles: v[0],
-                    idle_cycles: v[1],
-                    cm_fetches: v[2],
-                    alu_ops: v[3],
-                    moves: v[4],
-                    loads: v[5],
-                    stores: v[6],
-                    rf_reads: v[7],
-                    neighbor_reads: v[8],
-                    crf_reads: v[9],
-                    rf_writes: v[10],
+                    active_cycles: r.u64()?,
+                    idle_cycles: r.u64()?,
+                    cm_fetches: r.u64()?,
+                    alu_ops: r.u64()?,
+                    moves: r.u64()?,
+                    loads: r.u64()?,
+                    stores: r.u64()?,
+                    rf_reads: r.u64()?,
+                    neighbor_reads: r.u64()?,
+                    crf_reads: r.u64()?,
+                    rf_writes: r.u64()?,
                 });
             }
             let sim = SimStats {
@@ -359,126 +449,90 @@ pub fn parse_result(text: &str) -> Option<JobResult> {
                 block_execs,
                 tiles,
             };
-            let mut per_tile = Vec::with_capacity(ntiles);
-            for triple in field("report")?.split_whitespace() {
-                let mut it = triple.split(':');
-                per_tile.push((
-                    it.next()?.parse().ok()?,
-                    it.next()?.parse().ok()?,
-                    it.next()?.parse().ok()?,
-                ));
-            }
-            if per_tile.len() != ntiles {
-                return None;
+            let nreport = r.len()?;
+            let mut per_tile = Vec::with_capacity(nreport.min(1024));
+            for _ in 0..nreport {
+                per_tile.push((r.usize()?, r.usize()?, r.usize()?));
             }
             let report = AsmReport { per_tile };
-            let map_line = field("map")?;
-            let m: Vec<u64> = map_line
-                .split_whitespace()
-                .map(str::parse)
-                .collect::<Result<_, _>>()
-                .ok()?;
-            if m.len() != 9 {
-                return None;
-            }
             let map_stats = cmam_core::MapStats {
-                candidates: m[0],
-                attempts: m[1],
-                acmap_pruned: m[2],
-                ecmap_pruned: m[3],
-                stochastic_pruned: m[4],
-                finalize_failures: m[5],
-                escalations: m[6],
-                peak_population: m[7],
-                rollbacks: m[8],
+                candidates: r.u64()?,
+                attempts: r.u64()?,
+                acmap_pruned: r.u64()?,
+                ecmap_pruned: r.u64()?,
+                stochastic_pruned: r.u64()?,
+                finalize_failures: r.u64()?,
+                escalations: r.u64()?,
+                peak_population: r.u64()?,
+                rollbacks: r.u64()?,
             };
-            let name = unescape(&field("bin.name")?);
-            let entry: u32 = field("bin.entry")?.parse().ok()?;
-            let block_lengths: Vec<usize> = field("bin.lengths")?
-                .split_whitespace()
-                .map(str::parse)
-                .collect::<Result<_, _>>()
-                .ok()?;
-            let mut terminators = Vec::new();
-            for tok in field("bin.terms")?.split_whitespace() {
-                // strip_prefix, not split_at(1): a corrupted artifact whose
-                // token starts with a multi-byte character must be a miss,
-                // not a char-boundary panic.
-                terminators.push(if let Some(b) = tok.strip_prefix('j') {
-                    BinTerminator::Jump(b.parse().ok()?)
-                } else if let Some(rest) = tok.strip_prefix('b') {
-                    let (t, f) = rest.split_once(',')?;
-                    BinTerminator::Branch {
-                        taken: t.parse().ok()?,
-                        fallthrough: f.parse().ok()?,
-                    }
-                } else if tok == "r" {
-                    BinTerminator::Return
-                } else {
-                    return None;
+            let name = r.str()?;
+            let entry = r.u32()?;
+            let nlengths = r.len()?;
+            let mut block_lengths = Vec::with_capacity(nlengths.min(1024));
+            for _ in 0..nlengths {
+                block_lengths.push(r.usize()?);
+            }
+            let nterms = r.len()?;
+            let mut terminators = Vec::with_capacity(nterms.min(1024));
+            for _ in 0..nterms {
+                terminators.push(match r.u8()? {
+                    0 => BinTerminator::Jump(r.u32()?),
+                    1 => BinTerminator::Branch {
+                        taken: r.u32()?,
+                        fallthrough: r.u32()?,
+                    },
+                    2 => BinTerminator::Return,
+                    _ => return None,
                 });
             }
-            let mut crf = Vec::with_capacity(ntiles);
-            for _ in 0..ntiles {
-                let words: Vec<i32> = field("bin.crf")?
-                    .split_whitespace()
-                    .map(str::parse)
-                    .collect::<Result<_, _>>()
-                    .ok()?;
+            let ncrf = r.len()?;
+            let mut crf = Vec::with_capacity(ncrf.min(1024));
+            for _ in 0..ncrf {
+                let nwords = r.len()?;
+                let mut words = Vec::with_capacity(nwords.min(1024));
+                for _ in 0..nwords {
+                    words.push(r.i32()?);
+                }
                 crf.push(words);
             }
-            let mut tiles = Vec::with_capacity(ntiles);
-            for _ in 0..ntiles {
-                let nblocks: usize = field("bin.tile")?.parse().ok()?;
-                let mut blocks = Vec::with_capacity(nblocks);
+            let nprogs = r.len()?;
+            let mut prog_tiles = Vec::with_capacity(nprogs.min(1024));
+            for _ in 0..nprogs {
+                let nblocks = r.len()?;
+                let mut blocks = Vec::with_capacity(nblocks.min(1024));
                 for _ in 0..nblocks {
-                    let line = field("bin.block")?;
-                    let mut words = Vec::new();
-                    if !line.is_empty() {
-                        for tok in line.split('|') {
-                            words.push(instr_from_text(tok)?);
-                        }
+                    let ninstr = r.len()?;
+                    let mut words = Vec::with_capacity(ninstr.min(1024));
+                    for _ in 0..ninstr {
+                        words.push(read_instr(&mut r)?);
                     }
                     blocks.push(words);
                 }
-                tiles.push(TileProgram { blocks });
+                prog_tiles.push(TileProgram { blocks });
             }
             let binary = CgraBinary {
                 name,
-                tiles,
+                tiles: prog_tiles,
                 crf,
                 block_lengths,
                 terminators,
                 entry,
             };
-            Some(Ok(RunOutcome {
+            Ok(RunOutcome {
                 cycles,
                 sim,
                 report,
                 binary,
                 compile_time,
                 map_stats,
-            }))
+            })
         }
-        _ => None,
-    }
-}
-
-fn parse_failure_stage(s: &str) -> Option<FailStage> {
-    match s {
-        "map" => Some(FailStage::Map),
-        "assemble" => Some(FailStage::Assemble),
-        "execution" => Some(FailStage::Execution),
-        _ => None,
-    }
-}
-
-fn nanos_to_duration(s: &str) -> Option<Duration> {
-    let n: u128 = s.parse().ok()?;
-    Some(Duration::new(
-        (n / 1_000_000_000) as u64,
-        (n % 1_000_000_000) as u32,
-    ))
+        _ => return None,
+    };
+    // Trailing garbage means the file is not an artifact this version
+    // wrote; treat it as corrupt rather than silently ignoring bytes.
+    r.at_end().then_some(result)
 }
 
 #[cfg(test)]
@@ -489,7 +543,7 @@ mod tests {
     use cmam_core::FlowVariant;
 
     #[test]
-    fn outcome_round_trips_through_text() {
+    fn outcome_round_trips_through_binary() {
         let spec = cmam_kernels::fir::spec();
         let config = CgraConfig::hom64();
         let req = JobRequest::flow(&spec, FlowVariant::Basic, &config);
@@ -506,7 +560,7 @@ mod tests {
     }
 
     #[test]
-    fn failure_round_trips_through_text() {
+    fn failure_round_trips_through_binary() {
         let f = RunFailure {
             stage: FailStage::Assemble,
             message: "tile T3 needs 99 words\nbut has 16".into(),
@@ -520,14 +574,43 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_or_versioned_text_is_a_miss() {
-        assert!(parse_result("").is_none());
-        assert!(parse_result("cmam-run v999\nok\n").is_none());
-        assert!(parse_result("cmam-run v1\nok\ncompile_ns nope\n").is_none());
+    fn corrupt_or_versioned_input_is_a_miss() {
+        // Empty, foreign and pre-v3 text artifacts are clean misses.
+        assert!(parse_result(b"").is_none());
+        assert!(parse_result(b"cmam-run v2\nok\ncompile_ns 12\n").is_none());
+        assert!(parse_result(b"cmamrunbXXXX").is_none());
+        // A version bump invalidates the artifact even with valid magic.
+        let f = RunFailure {
+            stage: FailStage::Map,
+            message: "x".into(),
+            compile_time: Duration::ZERO,
+        };
+        let mut bytes = serialize_result(&Err(f));
+        assert!(parse_result(&bytes).is_some());
+        let bumped = (FORMAT_VERSION + 1).to_le_bytes();
+        bytes[MAGIC.len()..MAGIC.len() + 4].copy_from_slice(&bumped);
+        assert!(parse_result(&bytes).is_none());
     }
 
     #[test]
-    fn instr_text_round_trips() {
+    fn truncated_and_padded_artifacts_are_misses() {
+        let spec = cmam_kernels::dc::spec();
+        let config = CgraConfig::hom64();
+        let req = JobRequest::flow(&spec, FlowVariant::Basic, &config);
+        let bytes = serialize_result(&execute(&req));
+        assert!(parse_result(&bytes).is_some());
+        // Every strict prefix is a miss (no partial parse can succeed).
+        for cut in [bytes.len() - 1, bytes.len() / 2, MAGIC.len() + 4, 3] {
+            assert!(parse_result(&bytes[..cut]).is_none(), "cut at {cut}");
+        }
+        // Trailing garbage is a miss, not silently ignored.
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(parse_result(&padded).is_none());
+    }
+
+    #[test]
+    fn instr_binary_round_trips() {
         let instrs = [
             Instr::Pnop { cycles: 17 },
             Instr::Exec {
@@ -545,7 +628,11 @@ mod tests {
             },
         ];
         for i in &instrs {
-            assert_eq!(instr_from_text(&instr_to_text(i)).as_ref(), Some(i));
+            let mut w = Writer::new();
+            write_instr(&mut w, i);
+            let mut r = Reader::new(&w.buf);
+            assert_eq!(read_instr(&mut r).as_ref(), Some(i));
+            assert!(r.at_end());
         }
     }
 

@@ -17,7 +17,11 @@ use cmam_kernels::KernelSpec;
 ///
 /// v2: `MapStats` gained `peak_population` and `rollbacks` (the `map`
 /// artifact line carries 9 counters instead of 7).
-pub const FORMAT_VERSION: u32 = 2;
+///
+/// v3: the artifact format switched from line-oriented text to the
+/// length-prefixed binary layout of [`crate::cache`]; pre-v3 text
+/// artifacts are clean misses.
+pub const FORMAT_VERSION: u32 = 3;
 
 /// Build-time hash of every toolchain source file whose code influences a
 /// job outcome (mapper, assembler, simulator, kernels, arch, and the
@@ -127,6 +131,11 @@ impl Fingerprint for MapperOptions {
         h.feed_usize(self.slack);
         h.feed_usize(self.max_schedule);
         h.feed_u64(self.seed);
+        // `threads` is deliberately NOT hashed: the mapper's beam
+        // parallelism is bit-identical for every thread count, so jobs
+        // differing only in their thread budget are the same job — a
+        // sequential artifact must answer a parallel request and vice
+        // versa.
     }
 }
 

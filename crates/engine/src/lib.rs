@@ -10,29 +10,42 @@
 //! * **dedup** — identical jobs submitted twice in a batch (or across
 //!   batches) execute once;
 //! * **in-memory cache** — every result is memoised for the process
-//!   lifetime;
-//! * **on-disk cache** — results are persisted as plain serialized text
-//!   under `target/cmam-cache/` (override with `CMAM_CACHE_DIR`), so
-//!   repeated sweeps across processes are near-free.
+//!   lifetime (a sharded lock table, so high `--jobs` counts do not
+//!   serialise on one memo mutex);
+//! * **on-disk cache** — results are persisted as length-prefixed binary
+//!   artifacts under `target/cmam-cache/` (override with
+//!   `CMAM_CACHE_DIR`), so repeated sweeps across processes are
+//!   near-free.
 //!
-//! Mapping is a pure seeded function, so a parallel run is bit-identical
-//! to a sequential one; the engine's tests assert this over the full
-//! smoke sweep. Experiment binaries therefore accept `--jobs N` and
-//! `--no-cache` without any change in output.
+//! Batches execute on the process-wide persistent [`cmam_pool`] — the
+//! same pool the mapper's intra-search beam parallelism draws from — and
+//! the engine hands every executing job a **mapper thread budget** so the
+//! two levels compose instead of oversubscribing: with at least as many
+//! pending jobs as workers each map runs sequentially, and as the
+//! pending set shrinks below the worker count (the sweep tail, or a
+//! single submitted job) the leftover workers move *inside* the maps.
+//!
+//! Mapping is a pure seeded function — for any thread count, at either
+//! level — so a parallel run is bit-identical to a sequential one; the
+//! engine's tests assert this over the full smoke sweep. Experiment
+//! binaries therefore accept `--jobs N` and `--no-cache` without any
+//! change in output.
 
 pub mod cache;
 pub mod dse;
 pub mod fingerprint;
 pub mod job;
-pub mod pool;
 
 pub use fingerprint::{Fingerprint, Fnv64, FORMAT_VERSION};
 pub use job::{execute, smoke_matrix, FailStage, JobRequest, JobResult, RunFailure, RunOutcome};
 
 use cache::DiskCache;
+use cmam_arch::CgraConfig;
+use cmam_core::MapperOptions;
+use cmam_kernels::KernelSpec;
 use std::collections::{HashMap, HashSet};
 use std::path::PathBuf;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Engine construction knobs.
 #[derive(Debug, Clone)]
@@ -132,26 +145,66 @@ pub struct EngineStats {
     pub executed: u64,
 }
 
+/// Lock shards of the in-memory memo table. Shard choice is the low bits
+/// of the job fingerprint (already uniform), so concurrent workers
+/// publishing results rarely contend on the same mutex.
+const MEMO_SHARDS: usize = 16;
+
+/// One pending job, cloned out of the borrowed [`JobRequest`] so the
+/// executing closure is `'static` for the persistent pool workers.
+#[derive(Debug)]
+struct PendingJob {
+    key: u64,
+    spec: KernelSpec,
+    config: CgraConfig,
+    options: MapperOptions,
+}
+
 /// The batch compilation engine. One instance per process is the normal
 /// deployment (see `cmam_bench::engine()`); all methods take `&self` and
 /// are thread-safe.
 #[derive(Debug)]
 pub struct Engine {
     options: EngineOptions,
-    disk: DiskCache,
-    memo: Mutex<HashMap<u64, JobResult>>,
+    disk: Arc<DiskCache>,
+    memo: Vec<Mutex<HashMap<u64, JobResult>>>,
     stats: Mutex<EngineStats>,
 }
 
 impl Engine {
     /// Builds an engine with the given options.
     pub fn new(options: EngineOptions) -> Self {
-        let disk = DiskCache::new(options.cache_dir.clone());
+        let disk = Arc::new(DiskCache::new(options.cache_dir.clone()));
         Engine {
             options,
             disk,
-            memo: Mutex::new(HashMap::new()),
+            memo: (0..MEMO_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
             stats: Mutex::new(EngineStats::default()),
+        }
+    }
+
+    fn memo_shard(&self, key: u64) -> &Mutex<HashMap<u64, JobResult>> {
+        &self.memo[(key % MEMO_SHARDS as u64) as usize]
+    }
+
+    /// The mapper thread budget handed to each executing job so job-level
+    /// and intra-map parallelism compose: with `remaining >= workers`
+    /// every worker has its own job and each map runs sequentially; as
+    /// the unstarted frontier shrinks below the worker count (the batch
+    /// tail, or a single submitted job), the idle workers move inside the
+    /// maps instead. `remaining` is sampled *when the job starts* (a
+    /// shared countdown, see `run_batch`), so a large batch tightens and
+    /// then relaxes its budget as it drains. The budget never changes
+    /// any output — the mapper is bit-identical for every thread count —
+    /// so it is applied only to the executed clone of the options, never
+    /// to the job key.
+    fn intra_map_threads(remaining: usize, workers: usize) -> usize {
+        if remaining == 0 || remaining >= workers {
+            1
+        } else {
+            (workers / remaining).max(1)
         }
     }
 
@@ -191,16 +244,20 @@ impl Engine {
         };
         // Resolve each submission against (in order): earlier submissions
         // in this batch, the memo table, the disk store. What's left is
-        // the unique frontier that actually executes. The memo lock is
-        // never held across disk I/O.
+        // the unique frontier that actually executes. No memo lock is
+        // ever held across disk I/O (or across another shard's lock).
         let mut probes: Vec<usize> = Vec::new();
         {
-            let memo = self.memo.lock().expect("memo poisoned");
             let mut seen_in_batch: HashSet<u64> = HashSet::new();
             for (i, &key) in keys.iter().enumerate() {
                 if !seen_in_batch.insert(key) {
                     batch_stats.deduped += 1;
-                } else if memo.contains_key(&key) {
+                } else if self
+                    .memo_shard(key)
+                    .lock()
+                    .expect("memo poisoned")
+                    .contains_key(&key)
+                {
                     batch_stats.memory_hits += 1;
                 } else {
                     probes.push(i);
@@ -208,35 +265,69 @@ impl Engine {
             }
         }
         let mut pending: Vec<usize> = Vec::new();
-        let mut from_disk: Vec<(u64, JobResult)> = Vec::new();
         for i in probes {
             match self.disk.load(keys[i]) {
                 Some(result) => {
                     batch_stats.disk_hits += 1;
-                    from_disk.push((keys[i], result));
+                    self.memo_shard(keys[i])
+                        .lock()
+                        .expect("memo poisoned")
+                        .insert(keys[i], result);
                 }
                 None => pending.push(i),
             }
         }
-        if !from_disk.is_empty() {
-            let mut memo = self.memo.lock().expect("memo poisoned");
-            memo.extend(from_disk);
-        }
-        // Execute the frontier in parallel. Each worker persists its
-        // result to disk as soon as the job finishes, so an interrupted
-        // sweep keeps everything already computed; the memo lock is NOT
-        // held here — workers only compute and write artifacts.
+        // Execute the frontier on the shared persistent pool. Each job is
+        // cloned into owned state (so the closure is `'static`), handed
+        // the composed mapper thread budget, and persisted to disk as
+        // soon as it finishes — an interrupted sweep keeps everything
+        // already computed. No memo lock is held while workers run.
         batch_stats.executed = pending.len() as u64;
-        let computed = pool::run_indexed(pending.len(), self.workers(), |p| {
-            let result = job::execute(&requests[pending[p]]);
-            self.disk.store(keys[pending[p]], &result);
+        let workers = self.workers();
+        let jobs: Arc<Vec<PendingJob>> = Arc::new(
+            pending
+                .iter()
+                .map(|&i| {
+                    let r = &requests[i];
+                    PendingJob {
+                        key: keys[i],
+                        spec: r.spec.clone(),
+                        config: r.config.clone(),
+                        options: r.options.clone(),
+                    }
+                })
+                .collect(),
+        );
+        let job_list = Arc::clone(&jobs);
+        let disk = Arc::clone(&self.disk);
+        // Unstarted-job countdown: each job samples it at start, so the
+        // thread budget tightens while the frontier is wide and relaxes
+        // on the tail — the last `< workers` maps soak up the idle
+        // workers instead of leaving them parked.
+        let unstarted = Arc::new(std::sync::atomic::AtomicUsize::new(jobs.len()));
+        let computed = cmam_pool::global().run_indexed(jobs.len(), workers, move |p| {
+            let remaining = unstarted.fetch_sub(1, std::sync::atomic::Ordering::Relaxed);
+            let j = &job_list[p];
+            let mut options = j.options.clone();
+            // Respect an explicitly requested per-map thread count; only
+            // the auto setting takes the budget.
+            if options.threads == 0 {
+                options.threads = Engine::intra_map_threads(remaining, workers);
+            }
+            let request = JobRequest {
+                spec: &j.spec,
+                config: &j.config,
+                options,
+            };
+            let result = job::execute(&request);
+            disk.store(j.key, &result);
             result
         });
-        {
-            let mut memo = self.memo.lock().expect("memo poisoned");
-            for (p, result) in pending.iter().zip(computed) {
-                memo.insert(keys[*p], result);
-            }
+        for (j, result) in jobs.iter().zip(computed) {
+            self.memo_shard(j.key)
+                .lock()
+                .expect("memo poisoned")
+                .insert(j.key, result);
         }
         {
             let mut stats = self.stats.lock().expect("stats poisoned");
@@ -246,9 +337,15 @@ impl Engine {
             stats.disk_hits += batch_stats.disk_hits;
             stats.executed += batch_stats.executed;
         }
-        let memo = self.memo.lock().expect("memo poisoned");
         keys.iter()
-            .map(|k| memo.get(k).expect("every key resolved").clone())
+            .map(|k| {
+                self.memo_shard(*k)
+                    .lock()
+                    .expect("memo poisoned")
+                    .get(k)
+                    .expect("every key resolved")
+                    .clone()
+            })
             .collect()
     }
 

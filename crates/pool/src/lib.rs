@@ -1,0 +1,393 @@
+//! # cmam-pool — the shared persistent work-stealing thread pool
+//!
+//! One process-wide pool serves every parallel consumer of the toolchain:
+//! the engine's batch compilation jobs (whole map→assemble→simulate
+//! pipelines, milliseconds each) and the mapper's intra-search beam
+//! expansion (per-partial candidate generation, tens of microseconds
+//! each). Extracting the pool into its own crate lets `cmam_core` use it
+//! without inverting the `engine → core` dependency edge.
+//!
+//! ## Execution model
+//!
+//! A call to [`ThreadPool::run_indexed`] is a fork-join over the index
+//! range `0..n`: indices are claimed in **chunks** from a shared atomic
+//! cursor (the stealing discipline — a worker that finishes its chunk
+//! steals the next one), each claimed index runs `job(i)`, and the
+//! results come back in index order. The *submitting* thread always
+//! participates: it drains chunks like any worker and then waits for the
+//! stragglers, so a batch completes even when every helper is busy with
+//! other batches (including the nested case, where a pool worker running
+//! an engine job submits the mapper's beam batches from inside that job).
+//!
+//! Workers are **persistent and lazily spawned**: the first batch that
+//! wants `k` helpers spawns them, later batches reuse them, and the
+//! threads idle on a condvar between batches. Compared to the previous
+//! per-call `std::thread::scope` pool this removes thread creation and
+//! teardown from every batch — which matters once batches arrive at the
+//! mapper's per-operation rate rather than the engine's per-sweep rate.
+//!
+//! ## Determinism
+//!
+//! Results are returned in index order, so parallel execution is
+//! observationally identical to sequential execution whenever the job
+//! function itself is pure — the property the engine's determinism tests
+//! and the mapper's golden-equivalence suite both pin down. With
+//! `threads <= 1` (or fewer than two jobs) everything runs inline on the
+//! calling thread without touching the pool at all: the degenerate case
+//! the equivalence tests compare the parallel pool against.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Type-erased view of one submitted batch: workers only need to drain
+/// chunks, not to know the job's input/output types.
+trait Task: Send + Sync {
+    fn drain(&self);
+}
+
+/// Mutable state of a batch, behind one mutex: the result slots and the
+/// completion count the submitter waits on.
+struct BatchState<T> {
+    results: Vec<Option<T>>,
+    completed: usize,
+    /// Payload of the first job panic, kept so the submitter can
+    /// [`std::panic::resume_unwind`] the *original* panic (message
+    /// intact) instead of a generic "a job panicked" stand-in.
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+/// One fork-join batch over `0..n`.
+struct Batch<T, F> {
+    job: F,
+    n: usize,
+    /// Indices claimed per cursor bump. Small enough to balance uneven
+    /// jobs across workers, large enough that the cursor is not contended.
+    chunk: usize,
+    cursor: AtomicUsize,
+    state: Mutex<BatchState<T>>,
+    done: Condvar,
+}
+
+impl<T: Send, F: Fn(usize) -> T + Send + Sync> Batch<T, F> {
+    fn new(job: F, n: usize, chunk: usize) -> Self {
+        Batch {
+            job,
+            n,
+            chunk: chunk.max(1),
+            cursor: AtomicUsize::new(0),
+            state: Mutex::new(BatchState {
+                results: (0..n).map(|_| None).collect(),
+                completed: 0,
+                panic: None,
+            }),
+            done: Condvar::new(),
+        }
+    }
+
+    /// Claims and runs chunks until the cursor is exhausted. Called by the
+    /// submitter and by any helper that picked this batch off the queue.
+    fn drain_chunks(&self) {
+        loop {
+            let start = self.cursor.fetch_add(self.chunk, Ordering::Relaxed);
+            if start >= self.n {
+                return;
+            }
+            let end = (start + self.chunk).min(self.n);
+            for i in start..end {
+                // A panicking job must not take the whole (persistent)
+                // worker down with it, and must still count as completed —
+                // otherwise the submitter would wait forever. The panic is
+                // re-raised on the submitting thread instead.
+                let out = catch_unwind(AssertUnwindSafe(|| (self.job)(i)));
+                let mut st = self.state.lock().expect("pool batch poisoned");
+                match out {
+                    Ok(v) => st.results[i] = Some(v),
+                    Err(payload) => {
+                        // Keep the first payload; later panics of the same
+                        // batch are secondary casualties.
+                        st.panic.get_or_insert(payload);
+                    }
+                }
+                st.completed += 1;
+                if st.completed == self.n {
+                    self.done.notify_all();
+                }
+            }
+        }
+    }
+
+    /// Blocks until every index reported, then takes the results (and
+    /// the first panic payload, if any job panicked).
+    #[allow(clippy::type_complexity)]
+    fn wait(&self) -> (Vec<Option<T>>, Option<Box<dyn std::any::Any + Send>>) {
+        let mut st = self.state.lock().expect("pool batch poisoned");
+        while st.completed < self.n {
+            st = self.done.wait(st).expect("pool batch poisoned");
+        }
+        (std::mem::take(&mut st.results), st.panic.take())
+    }
+}
+
+impl<T: Send, F: Fn(usize) -> T + Send + Sync> Task for Batch<T, F> {
+    fn drain(&self) {
+        self.drain_chunks();
+    }
+}
+
+struct Inner {
+    /// Pending batch handles. A batch is pushed once per helper invited;
+    /// a worker that pops an already-exhausted batch returns immediately.
+    queue: Mutex<VecDeque<Arc<dyn Task>>>,
+    work_ready: Condvar,
+    /// Workers spawned so far (they never exit).
+    spawned: AtomicUsize,
+}
+
+/// A persistent pool of worker threads. Most callers want the process-wide
+/// [`global`] instance; independent pools exist only so tests can exercise
+/// spawning in isolation.
+pub struct ThreadPool {
+    inner: Arc<Inner>,
+}
+
+impl Default for ThreadPool {
+    fn default() -> Self {
+        ThreadPool::new()
+    }
+}
+
+impl ThreadPool {
+    /// A fresh pool with no workers; they are spawned on first demand.
+    pub fn new() -> Self {
+        ThreadPool {
+            inner: Arc::new(Inner {
+                queue: Mutex::new(VecDeque::new()),
+                work_ready: Condvar::new(),
+                spawned: AtomicUsize::new(0),
+            }),
+        }
+    }
+
+    /// Workers spawned so far (diagnostics/tests only).
+    pub fn workers_spawned(&self) -> usize {
+        self.inner.spawned.load(Ordering::Relaxed)
+    }
+
+    fn ensure_spawned(&self, want: usize) {
+        let mut cur = self.inner.spawned.load(Ordering::Relaxed);
+        while cur < want {
+            match self.inner.spawned.compare_exchange(
+                cur,
+                cur + 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    let inner = Arc::clone(&self.inner);
+                    std::thread::Builder::new()
+                        .name(format!("cmam-pool-{cur}"))
+                        .spawn(move || worker_loop(&inner))
+                        .expect("spawning a pool worker");
+                    cur += 1;
+                }
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Runs `job(i)` for every `i in 0..n` on up to `threads` threads
+    /// (the calling thread plus `threads - 1` pool workers) and returns
+    /// the results in index order.
+    ///
+    /// With `threads <= 1` or `n <= 1` everything runs inline on the
+    /// calling thread. The `'static` bounds are what allow persistent
+    /// workers without unsafe lifetime erasure: callers share state with
+    /// the job through `Arc`s (and move owned work in and out through
+    /// `Mutex<Option<_>>` slots), rather than borrowing the caller's
+    /// stack.
+    ///
+    /// # Panics
+    ///
+    /// Resumes the first panicking job's unwind on the calling thread —
+    /// the original payload, so its message survives; the worker that
+    /// ran the job itself survives too.
+    pub fn run_indexed<T, F>(&self, n: usize, threads: usize, job: F) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: Fn(usize) -> T + Send + Sync + 'static,
+    {
+        if threads <= 1 || n <= 1 {
+            return (0..n).map(job).collect();
+        }
+        let helpers = (threads - 1).min(n - 1);
+        self.ensure_spawned(helpers);
+        // Four chunks per thread: enough slack for stealing to rebalance
+        // uneven jobs, few enough cursor bumps to stay uncontended.
+        let chunk = (n / (threads * 4)).max(1);
+        let batch = Arc::new(Batch::new(job, n, chunk));
+        {
+            let mut q = self.inner.queue.lock().expect("pool queue poisoned");
+            for _ in 0..helpers {
+                q.push_back(Arc::clone(&batch) as Arc<dyn Task>);
+            }
+        }
+        self.inner.work_ready.notify_all();
+        batch.drain_chunks();
+        let (slots, panic) = batch.wait();
+        if let Some(payload) = panic {
+            std::panic::resume_unwind(payload);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every index reported a result"))
+            .collect()
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        let task = {
+            let mut q = inner.queue.lock().expect("pool queue poisoned");
+            loop {
+                if let Some(t) = q.pop_front() {
+                    break t;
+                }
+                q = inner.work_ready.wait(q).expect("pool queue poisoned");
+            }
+        };
+        task.drain();
+    }
+}
+
+/// The process-wide pool every toolchain consumer shares. Sharing one
+/// pool is what lets the engine's job-level parallelism and the mapper's
+/// intra-search parallelism compose: both draw helpers from the same
+/// worker set instead of oversubscribing the machine with private pools.
+pub fn global() -> &'static ThreadPool {
+    static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+    GLOBAL.get_or_init(ThreadPool::new)
+}
+
+/// Runs `job` over `0..n` on the [`global`] pool.
+pub fn run_indexed<T, F>(n: usize, threads: usize, job: F) -> Vec<T>
+where
+    T: Send + 'static,
+    F: Fn(usize) -> T + Send + Sync + 'static,
+{
+    global().run_indexed(n, threads, job)
+}
+
+/// Available hardware parallelism (1 when it cannot be determined).
+pub fn ncpu() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        let pool = ThreadPool::new();
+        for threads in [1, 2, 4, 7] {
+            let out = pool.run_indexed(25, threads, |i| i * i);
+            assert_eq!(out, (0..25).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&counter);
+        let out = run_indexed(100, 4, move |i| {
+            c.fetch_add(1, Ordering::SeqCst);
+            i
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+        assert_eq!(out.len(), 100);
+    }
+
+    #[test]
+    fn zero_and_one_job_edge_cases() {
+        assert_eq!(run_indexed(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(run_indexed(1, 4, |i| i + 41), vec![41]);
+    }
+
+    #[test]
+    fn more_threads_than_jobs_is_fine() {
+        assert_eq!(run_indexed(3, 16, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn workers_persist_across_batches() {
+        let pool = ThreadPool::new();
+        let a = pool.run_indexed(8, 3, |i| i);
+        let spawned = pool.workers_spawned();
+        assert!(spawned >= 1 && spawned <= 2, "lazy spawn up to threads-1");
+        let b = pool.run_indexed(8, 3, |i| i);
+        assert_eq!(a, b);
+        assert_eq!(
+            pool.workers_spawned(),
+            spawned,
+            "the second batch reuses the first batch's workers"
+        );
+    }
+
+    #[test]
+    fn nested_batches_complete() {
+        // An outer batch whose jobs each submit an inner batch on the same
+        // (global) pool — the engine-job → mapper-beam nesting. Must not
+        // deadlock even when every worker is busy with outer jobs.
+        let out = run_indexed(4, 4, |i| {
+            let inner = run_indexed(6, 4, move |j| i * 10 + j);
+            inner.iter().sum::<usize>()
+        });
+        let expect: Vec<usize> = (0..4).map(|i| (0..6).map(|j| i * 10 + j).sum()).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn owned_state_rides_through_slots() {
+        // The mapper's pattern: move owned values into Mutex<Option<_>>
+        // slots, mutate them inside jobs, take them back after the join.
+        let slots: Arc<Vec<Mutex<Option<Vec<usize>>>>> =
+            Arc::new((0..10).map(|i| Mutex::new(Some(vec![i]))).collect());
+        let s = Arc::clone(&slots);
+        run_indexed(10, 4, move |i| {
+            let mut v = s[i].lock().unwrap().take().unwrap();
+            v.push(i * 2);
+            *s[i].lock().unwrap() = Some(v);
+        });
+        for (i, slot) in slots.iter().enumerate() {
+            assert_eq!(slot.lock().unwrap().take().unwrap(), vec![i, i * 2]);
+        }
+    }
+
+    #[test]
+    fn job_panic_is_reraised_and_the_pool_survives() {
+        let pool = Arc::new(ThreadPool::new());
+        let p = Arc::clone(&pool);
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(move || {
+            p.run_indexed(8, 2, |i| {
+                assert!(i != 5, "boom");
+                i
+            })
+        }));
+        let payload = caught.expect_err("the panic must reach the submitter");
+        // The *original* payload is resumed, so its message survives.
+        let msg = payload
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| payload.downcast_ref::<&str>().copied())
+            .expect("panic payload is a message");
+        assert!(msg.contains("boom"), "got {msg:?}");
+        // The worker that ran the panicking job is still serving batches.
+        let out = pool.run_indexed(8, 2, |i| i + 1);
+        assert_eq!(out, (1..9).collect::<Vec<_>>());
+    }
+}

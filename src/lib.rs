@@ -12,8 +12,11 @@
 //!   separable/non-separable filters, FFT, DC filter);
 //! * [`isa`] — instruction encoding, mapping model, assembler with pnop
 //!   compression;
+//! * [`pool`] — the shared persistent thread pool (beam parallelism and
+//!   engine batches draw from the same workers);
 //! * [`core`] — the paper's contribution: the basic mapping flow and the
-//!   context-memory aware flow (weighted traversal + ACMAP + ECMAP + CAB);
+//!   context-memory aware flow (weighted traversal + ACMAP + ECMAP + CAB),
+//!   with deterministic beam-parallel candidate expansion;
 //! * [`sim`] — cycle-level CGRA simulator;
 //! * [`cpu`] — or1k-like scalar CPU baseline;
 //! * [`energy`] — area and energy models (Fig 11, Table II);
@@ -31,4 +34,5 @@ pub use cmam_energy as energy;
 pub use cmam_engine as engine;
 pub use cmam_isa as isa;
 pub use cmam_kernels as kernels;
+pub use cmam_pool as pool;
 pub use cmam_sim as sim;
