@@ -8,7 +8,7 @@ use std::hint::black_box;
 
 use cmam_arch::CgraConfig;
 use cmam_core::{FlowVariant, Mapper};
-use cmam_sim::{simulate, SimOptions};
+use cmam_sim::{simulate, simulate_reference, DecodedProgram, SimOptions};
 
 fn bench_simulator(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulator");
@@ -25,6 +25,34 @@ fn bench_simulator(c: &mut Criterion) {
                 b.iter(|| {
                     let mut mem = spec.mem.clone();
                     black_box(simulate(binary, &config, &mut mem, SimOptions::default()))
+                })
+            },
+        );
+        // The decoded fast path with the one-time decode hoisted out —
+        // the steady-state cost a sweep pays per simulation.
+        let decoded = DecodedProgram::decode(&binary, &config).expect("decodes");
+        group.bench_with_input(
+            BenchmarkId::new("simulate_decoded", spec.name),
+            &decoded,
+            |b, decoded| {
+                b.iter(|| {
+                    let mut mem = spec.mem.clone();
+                    black_box(decoded.simulate(&mut mem, SimOptions::default()))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("simulate_reference", spec.name),
+            &binary,
+            |b, binary| {
+                b.iter(|| {
+                    let mut mem = spec.mem.clone();
+                    black_box(simulate_reference(
+                        binary,
+                        &config,
+                        &mut mem,
+                        SimOptions::default(),
+                    ))
                 })
             },
         );

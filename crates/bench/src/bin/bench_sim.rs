@@ -1,0 +1,89 @@
+//! The tracked simulator/assembler microbenchmark: times the decoded
+//! fast-path simulator, the reference (pre-optimization) simulator and
+//! the assembler — uncached, one job at a time — over every kernel and
+//! writes `BENCH_sim.json` (see [`cmam_bench::sim_bench`] for the
+//! schema).
+//!
+//! The reference simulator is re-measured on every run, so the tracked
+//! `speedup` column always compares two numbers from the same machine
+//! and build; the committed `BENCH_sim.baseline.json` pins the numbers
+//! of the run that landed the decoded simulator.
+//!
+//! Flags: `--quick` (20 iterations instead of 100, the CI setting),
+//! `--iters N` (explicit iteration count), `--out PATH` (where to write
+//! the JSON; default `BENCH_sim.json` in the current directory).
+
+use cmam_bench::sim_bench;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iterations: u32 = 100;
+    let mut out = "BENCH_sim.json".to_owned();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => iterations = 20,
+            "--iters" => {
+                i += 1;
+                iterations = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .expect("--iters needs a positive integer");
+            }
+            "--out" => {
+                i += 1;
+                out = args.get(i).expect("--out needs a path").clone();
+            }
+            other => {
+                eprintln!("unknown flag {other} (known: --quick, --iters N, --out PATH)");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    assert!(iterations > 0, "--iters must be positive");
+
+    eprintln!("bench_sim: {iterations} iteration(s) per job, uncached");
+    let report = sim_bench::run(iterations);
+
+    let mut rows = Vec::new();
+    for j in &report.jobs {
+        rows.push(vec![
+            j.kernel.clone(),
+            j.config.clone(),
+            j.variant.clone(),
+            if j.ok { "ok" } else { "FAIL" }.to_owned(),
+            j.sim_cycles.to_string(),
+            format!("{:.0}", j.decoded_cycles_per_sec / 1e3),
+            format!("{:.0}", j.reference_cycles_per_sec / 1e3),
+            format!("{:.1}x", j.speedup),
+            format!("{:.0}", j.asm_blocks_per_sec),
+        ]);
+    }
+    cmam_bench::emit_table(
+        &[
+            "Kernel",
+            "Config",
+            "Flow",
+            "run",
+            "cycles",
+            "kcyc/s fast",
+            "kcyc/s ref",
+            "speedup",
+            "blocks/s asm",
+        ],
+        &rows,
+    );
+    println!(
+        "totals: {:.0} cycles/s decoded vs {:.0} cycles/s reference ({:.1}x), \
+         {:.0} assembled blocks/s",
+        report.total_decoded_cycles_per_sec(),
+        report.total_reference_cycles_per_sec(),
+        report.total_speedup(),
+        report.total_asm_blocks_per_sec()
+    );
+
+    let json = sim_bench::render_json(&report);
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    eprintln!("wrote {out}");
+}

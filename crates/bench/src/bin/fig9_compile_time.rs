@@ -15,11 +15,13 @@ use cmam_bench::{emit_table, Engine, EngineOptions, JobRequest};
 use cmam_core::FlowVariant;
 use std::time::Duration;
 
-/// Averaged wall-clock plus the timing-noise-free search-effort counters
-/// (candidates generated, peak candidate pool, rollbacks) over the
-/// kernel set.
+/// Averaged wall-clock per pipeline phase plus the timing-noise-free
+/// search-effort counters (candidates generated, peak candidate pool,
+/// rollbacks) over the kernel set.
 struct Effort {
     time: Duration,
+    assemble: Duration,
+    simulate: Duration,
     candidates: u64,
     peak_population: u64,
     rollbacks: u64,
@@ -33,6 +35,8 @@ fn time_variant(engine: &Engine, variant: FlowVariant, config: &CgraConfig) -> E
         .collect();
     let mut effort = Effort {
         time: Duration::ZERO,
+        assemble: Duration::ZERO,
+        simulate: Duration::ZERO,
         candidates: 0,
         peak_population: 0,
         rollbacks: 0,
@@ -41,6 +45,8 @@ fn time_variant(engine: &Engine, variant: FlowVariant, config: &CgraConfig) -> E
         match r {
             Ok(out) => {
                 effort.time += out.compile_time;
+                effort.assemble += out.assemble_time;
+                effort.simulate += out.sim_time;
                 effort.candidates += out.map_stats.candidates;
                 effort.peak_population = effort.peak_population.max(out.map_stats.peak_population);
                 effort.rollbacks += out.map_stats.rollbacks;
@@ -51,6 +57,8 @@ fn time_variant(engine: &Engine, variant: FlowVariant, config: &CgraConfig) -> E
         }
     }
     effort.time /= specs.len() as u32;
+    effort.assemble /= specs.len() as u32;
+    effort.simulate /= specs.len() as u32;
     effort
 }
 
@@ -70,6 +78,8 @@ fn main() {
             label,
             format!("{:.0} ms", e.time.as_secs_f64() * 1e3),
             format!("{:.2}", e.time.as_secs_f64() / base_secs),
+            format!("{:.2} ms", e.assemble.as_secs_f64() * 1e3),
+            format!("{:.2} ms", e.simulate.as_secs_f64() * 1e3),
             e.candidates.to_string(),
             e.peak_population.to_string(),
             e.rollbacks.to_string(),
@@ -86,13 +96,17 @@ fn main() {
         let e = time_variant(&engine, variant, &CgraConfig::het1());
         rows.push(row(variant.to_string(), &e, base_secs));
     }
-    // The three rightmost columns measure search effort in counters, not
-    // seconds — they compare across machines and stay stable under load.
+    // The per-phase columns (`asm`, `sim`) make a regression in any
+    // pipeline stage visible, not just the mapper; the three rightmost
+    // columns measure search effort in counters, not seconds — they
+    // compare across machines and stay stable under load.
     emit_table(
         &[
             "Flow",
-            "avg time / kernel",
+            "avg map / kernel",
             "vs basic",
+            "asm",
+            "sim",
             "candidates",
             "peak pop",
             "rollbacks",

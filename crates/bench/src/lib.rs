@@ -23,6 +23,7 @@ use cmam_kernels::KernelSpec;
 use std::sync::OnceLock;
 
 pub mod mapper_bench;
+pub mod sim_bench;
 
 pub use cmam_engine::{
     smoke_matrix, Engine, EngineOptions, EngineStats, FailStage, JobRequest, RunFailure, RunOutcome,

@@ -1,0 +1,440 @@
+//! The tracked simulator/assembler microbenchmark behind the `bench_sim`
+//! binary.
+//!
+//! Measures the assemble→simulate back half of a job — uncached, no
+//! engine — over every kernel on the two ends of the flow axis, and
+//! renders the result as `BENCH_sim.json` so the repo carries a
+//! comparable performance trajectory across PRs. Each job times three
+//! things:
+//!
+//! * the **decoded fast path**: `DecodedProgram::decode` once, then the
+//!   allocation-free cycle loop per iteration (simulated cycles/sec);
+//! * the **reference simulator**: the pre-optimization implementation
+//!   kept in `cmam_sim::reference`, re-measured on every run so the
+//!   speedup column compares two numbers from the *same* machine and
+//!   build, never a stale baseline;
+//! * the **assembler**: `cmam_isa::assemble` per iteration (assembled
+//!   blocks/sec).
+//!
+//! The JSON is written by hand (the workspace is offline, no serde);
+//! [`crate::mapper_bench::json`] parses it back in the schema tests.
+
+use cmam_arch::CgraConfig;
+use cmam_core::{FlowVariant, Mapper};
+use cmam_sim::{simulate_reference, DecodedProgram, SimOptions};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Schema tag of the emitted JSON; bump on any shape change.
+pub const SCHEMA: &str = "cmam-bench-sim-v1";
+
+/// One measured (kernel, flow, config) combination.
+#[derive(Debug, Clone)]
+pub struct SimBenchJob {
+    /// Kernel name.
+    pub kernel: String,
+    /// Flow variant label.
+    pub variant: String,
+    /// Target configuration name.
+    pub config: String,
+    /// Whether the job mapped, assembled and simulated successfully.
+    pub ok: bool,
+    /// Simulated cycles of one kernel execution (including stalls).
+    pub sim_cycles: u64,
+    /// Basic blocks assembled per `assemble` call.
+    pub blocks: u64,
+    /// One-time `DecodedProgram::decode` cost, in milliseconds.
+    pub decode_ms: f64,
+    /// Wall-clock of one decoded-path simulation, averaged, in ms.
+    pub decoded_wall_ms: f64,
+    /// Wall-clock of one reference simulation, averaged, in ms.
+    pub reference_wall_ms: f64,
+    /// Simulated cycles per second on the decoded fast path.
+    pub decoded_cycles_per_sec: f64,
+    /// Simulated cycles per second on the reference simulator.
+    pub reference_cycles_per_sec: f64,
+    /// `decoded_cycles_per_sec / reference_cycles_per_sec`.
+    pub speedup: f64,
+    /// Wall-clock of one `assemble` call, averaged, in ms.
+    pub asm_wall_ms: f64,
+    /// Basic blocks assembled per second.
+    pub asm_blocks_per_sec: f64,
+}
+
+/// One whole benchmark run.
+#[derive(Debug, Clone)]
+pub struct SimBenchReport {
+    /// Simulation calls per combination (assembly runs the same count).
+    pub iterations: u32,
+    /// Per-combination measurements.
+    pub jobs: Vec<SimBenchJob>,
+}
+
+impl SimBenchReport {
+    fn total_cycles_per_sec(&self, wall_of: impl Fn(&SimBenchJob) -> f64) -> f64 {
+        let (cycles, secs) = self
+            .jobs
+            .iter()
+            .filter(|j| j.ok)
+            .fold((0u64, 0f64), |(c, s), j| {
+                (c + j.sim_cycles, s + wall_of(j) / 1e3)
+            });
+        if secs > 0.0 {
+            cycles as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Total simulated cycles/sec on the decoded fast path (one
+    /// execution of every successful job).
+    pub fn total_decoded_cycles_per_sec(&self) -> f64 {
+        self.total_cycles_per_sec(|j| j.decoded_wall_ms)
+    }
+
+    /// Total simulated cycles/sec on the reference simulator.
+    pub fn total_reference_cycles_per_sec(&self) -> f64 {
+        self.total_cycles_per_sec(|j| j.reference_wall_ms)
+    }
+
+    /// Whole-suite speedup of the decoded path over the reference.
+    pub fn total_speedup(&self) -> f64 {
+        let r = self.total_reference_cycles_per_sec();
+        if r > 0.0 {
+            self.total_decoded_cycles_per_sec() / r
+        } else {
+            0.0
+        }
+    }
+
+    /// Total assembled blocks/sec over all successful jobs.
+    pub fn total_asm_blocks_per_sec(&self) -> f64 {
+        let (blocks, secs) = self
+            .jobs
+            .iter()
+            .filter(|j| j.ok)
+            .fold((0u64, 0f64), |(b, s), j| {
+                (b + j.blocks, s + j.asm_wall_ms / 1e3)
+            });
+        if secs > 0.0 {
+            blocks as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The benchmark matrix: the basic flow on the unconstrained target plus
+/// the full aware flow on a constrained one — same two ends of the flow
+/// axis as `bench_mapper`.
+pub fn bench_matrix() -> Vec<(FlowVariant, CgraConfig)> {
+    vec![
+        (FlowVariant::Basic, CgraConfig::hom64()),
+        (FlowVariant::Cab, CgraConfig::het1()),
+    ]
+}
+
+/// Runs the benchmark: for every kernel × [`bench_matrix`] combination,
+/// maps once (untimed), then times `iterations` calls of the assembler,
+/// the reference simulator and the decoded simulator.
+pub fn run(iterations: u32) -> SimBenchReport {
+    assert!(iterations > 0, "at least one iteration");
+    let specs = cmam_kernels::all();
+    let mut jobs = Vec::new();
+    for spec in &specs {
+        for (variant, config) in bench_matrix() {
+            let mut job = SimBenchJob {
+                kernel: spec.name.to_owned(),
+                variant: variant.to_string(),
+                config: config.name().to_owned(),
+                ok: false,
+                sim_cycles: 0,
+                blocks: 0,
+                decode_ms: 0.0,
+                decoded_wall_ms: 0.0,
+                reference_wall_ms: 0.0,
+                decoded_cycles_per_sec: 0.0,
+                reference_cycles_per_sec: 0.0,
+                speedup: 0.0,
+                asm_wall_ms: 0.0,
+                asm_blocks_per_sec: 0.0,
+            };
+            let mapper = Mapper::new(variant.options());
+            let Ok(result) = mapper.map(&spec.cdfg, &config) else {
+                jobs.push(job);
+                continue;
+            };
+            let Ok((binary, _)) = cmam_isa::assemble(&spec.cdfg, &result.mapping, &config) else {
+                jobs.push(job);
+                continue;
+            };
+
+            // Assembler throughput.
+            let t0 = Instant::now();
+            for _ in 0..iterations {
+                let asm = cmam_isa::assemble(&spec.cdfg, &result.mapping, &config);
+                std::hint::black_box(asm.is_ok());
+            }
+            let asm_wall_s = t0.elapsed().as_secs_f64() / iterations as f64;
+            job.blocks = result.mapping.blocks.len() as u64;
+
+            // One-time decode, then the fast cycle loop.
+            let t0 = Instant::now();
+            let decoded = DecodedProgram::decode(&binary, &config).expect("valid binary");
+            let decode_s = t0.elapsed().as_secs_f64();
+            let options = SimOptions::default();
+            let mut mem = vec![0i32; spec.mem.len()];
+            let mut decoded_cycles = 0u64;
+            let t0 = Instant::now();
+            for _ in 0..iterations {
+                mem.copy_from_slice(&spec.mem);
+                let stats = decoded.simulate(&mut mem, options).expect("simulates");
+                decoded_cycles = stats.cycles;
+            }
+            let decoded_wall_s = t0.elapsed().as_secs_f64() / iterations as f64;
+
+            // The reference interpretation of the same binary.
+            let mut reference_cycles = 0u64;
+            let t0 = Instant::now();
+            for _ in 0..iterations {
+                mem.copy_from_slice(&spec.mem);
+                let stats =
+                    simulate_reference(&binary, &config, &mut mem, options).expect("simulates");
+                reference_cycles = stats.cycles;
+            }
+            let reference_wall_s = t0.elapsed().as_secs_f64() / iterations as f64;
+            assert_eq!(
+                decoded_cycles, reference_cycles,
+                "decoded and reference simulators disagree on {}",
+                spec.name
+            );
+
+            job.ok = true;
+            job.sim_cycles = decoded_cycles;
+            job.decode_ms = decode_s * 1e3;
+            job.decoded_wall_ms = decoded_wall_s * 1e3;
+            job.reference_wall_ms = reference_wall_s * 1e3;
+            job.decoded_cycles_per_sec = if decoded_wall_s > 0.0 {
+                decoded_cycles as f64 / decoded_wall_s
+            } else {
+                0.0
+            };
+            job.reference_cycles_per_sec = if reference_wall_s > 0.0 {
+                reference_cycles as f64 / reference_wall_s
+            } else {
+                0.0
+            };
+            job.speedup = if job.reference_cycles_per_sec > 0.0 {
+                job.decoded_cycles_per_sec / job.reference_cycles_per_sec
+            } else {
+                0.0
+            };
+            job.asm_wall_ms = asm_wall_s * 1e3;
+            job.asm_blocks_per_sec = if asm_wall_s > 0.0 {
+                job.blocks as f64 / asm_wall_s
+            } else {
+                0.0
+            };
+            jobs.push(job);
+        }
+    }
+    SimBenchReport { iterations, jobs }
+}
+
+fn json_f64(v: f64) -> String {
+    // JSON has no NaN/Infinity; clamp to 0 (a job that never ran).
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "0".to_owned()
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders a run as the `BENCH_sim.json` document.
+pub fn render_json(report: &SimBenchReport) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema\": {},", json_str(SCHEMA));
+    let _ = writeln!(s, "  \"iterations\": {},", report.iterations);
+    s.push_str("  \"jobs\": [\n");
+    for (i, j) in report.jobs.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"kernel\": {}, \"variant\": {}, \"config\": {}, \"ok\": {}, \
+             \"sim_cycles\": {}, \"blocks\": {}, \"decode_ms\": {}, \
+             \"decoded_wall_ms\": {}, \"reference_wall_ms\": {}, \
+             \"decoded_cycles_per_sec\": {}, \"reference_cycles_per_sec\": {}, \
+             \"speedup\": {}, \"asm_wall_ms\": {}, \"asm_blocks_per_sec\": {}}}",
+            json_str(&j.kernel),
+            json_str(&j.variant),
+            json_str(&j.config),
+            j.ok,
+            j.sim_cycles,
+            j.blocks,
+            json_f64(j.decode_ms),
+            json_f64(j.decoded_wall_ms),
+            json_f64(j.reference_wall_ms),
+            json_f64(j.decoded_cycles_per_sec),
+            json_f64(j.reference_cycles_per_sec),
+            json_f64(j.speedup),
+            json_f64(j.asm_wall_ms),
+            json_f64(j.asm_blocks_per_sec),
+        );
+        s.push_str(if i + 1 < report.jobs.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"totals\": {\n");
+    let _ = writeln!(
+        s,
+        "    \"decoded_cycles_per_sec\": {},",
+        json_f64(report.total_decoded_cycles_per_sec())
+    );
+    let _ = writeln!(
+        s,
+        "    \"reference_cycles_per_sec\": {},",
+        json_f64(report.total_reference_cycles_per_sec())
+    );
+    let _ = writeln!(s, "    \"speedup\": {},", json_f64(report.total_speedup()));
+    let _ = writeln!(
+        s,
+        "    \"asm_blocks_per_sec\": {}",
+        json_f64(report.total_asm_blocks_per_sec())
+    );
+    s.push_str("  }\n");
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapper_bench::json;
+
+    fn sample() -> SimBenchReport {
+        SimBenchReport {
+            iterations: 3,
+            jobs: vec![
+                SimBenchJob {
+                    kernel: "fir".into(),
+                    variant: "basic".into(),
+                    config: "HOM64".into(),
+                    ok: true,
+                    sim_cycles: 1000,
+                    blocks: 3,
+                    decode_ms: 0.01,
+                    decoded_wall_ms: 0.1,
+                    reference_wall_ms: 1.0,
+                    decoded_cycles_per_sec: 10_000_000.0,
+                    reference_cycles_per_sec: 1_000_000.0,
+                    speedup: 10.0,
+                    asm_wall_ms: 0.5,
+                    asm_blocks_per_sec: 6000.0,
+                },
+                SimBenchJob {
+                    kernel: "fft".into(),
+                    variant: "basic+ACMAP+ECMAP+CAB".into(),
+                    config: "HET1".into(),
+                    ok: false,
+                    sim_cycles: 0,
+                    blocks: 0,
+                    decode_ms: 0.0,
+                    decoded_wall_ms: 0.0,
+                    reference_wall_ms: 0.0,
+                    decoded_cycles_per_sec: 0.0,
+                    reference_cycles_per_sec: 0.0,
+                    speedup: 0.0,
+                    asm_wall_ms: 0.0,
+                    asm_blocks_per_sec: 0.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_schema_has_all_required_fields() {
+        let doc = json::parse(&render_json(&sample())).expect("valid JSON");
+        assert_eq!(
+            doc.get("schema").and_then(json::Value::as_str),
+            Some(SCHEMA)
+        );
+        assert_eq!(
+            doc.get("iterations").and_then(json::Value::as_f64),
+            Some(3.0)
+        );
+        let jobs = doc.get("jobs").and_then(json::Value::as_arr).expect("jobs");
+        assert_eq!(jobs.len(), 2);
+        for job in jobs {
+            for key in [
+                "kernel",
+                "variant",
+                "config",
+                "ok",
+                "sim_cycles",
+                "blocks",
+                "decode_ms",
+                "decoded_wall_ms",
+                "reference_wall_ms",
+                "decoded_cycles_per_sec",
+                "reference_cycles_per_sec",
+                "speedup",
+                "asm_wall_ms",
+                "asm_blocks_per_sec",
+            ] {
+                assert!(job.get(key).is_some(), "job missing {key}");
+            }
+        }
+        let totals = doc.get("totals").expect("totals");
+        for key in [
+            "decoded_cycles_per_sec",
+            "reference_cycles_per_sec",
+            "speedup",
+            "asm_blocks_per_sec",
+        ] {
+            assert!(totals.get(key).is_some(), "totals missing {key}");
+        }
+    }
+
+    #[test]
+    fn totals_aggregate_only_successful_jobs() {
+        let r = sample();
+        // 1000 cycles in 0.1 ms -> 10M/s decoded, 1M/s reference; the
+        // failed job contributes nothing (it must not dilute the
+        // tracked speedup).
+        assert!((r.total_decoded_cycles_per_sec() - 10_000_000.0).abs() < 1.0);
+        assert!((r.total_reference_cycles_per_sec() - 1_000_000.0).abs() < 1.0);
+        assert!((r.total_speedup() - 10.0).abs() < 1e-9);
+        assert!((r.total_asm_blocks_per_sec() - 6000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn empty_and_all_failed_runs_render_zero_totals() {
+        let mut r = sample();
+        r.jobs[0].ok = false;
+        assert_eq!(r.total_decoded_cycles_per_sec(), 0.0);
+        assert_eq!(r.total_speedup(), 0.0);
+        let doc = json::parse(&render_json(&r)).expect("still valid JSON");
+        assert!(doc.get("totals").is_some());
+    }
+}

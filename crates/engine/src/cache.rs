@@ -23,7 +23,6 @@ use cmam_cdfg::Opcode;
 use cmam_isa::program::BinTerminator;
 use cmam_isa::{AsmReport, CgraBinary, Instr, Operand, TileProgram};
 use cmam_sim::{SimStats, TileStats};
-use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -298,17 +297,14 @@ pub fn serialize_result(result: &JobResult) -> Vec<u8> {
         Ok(o) => {
             w.u8(1);
             w.duration(o.compile_time);
+            w.duration(o.assemble_time);
+            w.duration(o.sim_time);
             w.u64(o.cycles);
             w.u64(o.sim.cycles);
             w.u64(o.sim.stall_cycles);
-            // Sorted so the artifact bytes are a pure function of the
-            // outcome, not of HashMap iteration order.
-            let mut blocks: Vec<(u32, u64)> =
-                o.sim.block_execs.iter().map(|(&b, &n)| (b, n)).collect();
-            blocks.sort_unstable();
-            w.len(blocks.len());
-            for (b, n) in blocks {
-                w.u32(b);
+            // Dense per-block execution counts, in block order.
+            w.len(o.sim.block_execs.len());
+            for &n in &o.sim.block_execs {
                 w.u64(n);
             }
             w.len(o.sim.tiles.len());
@@ -417,14 +413,15 @@ pub fn parse_result(bytes: &[u8]) -> Option<JobResult> {
         }
         1 => {
             let compile_time = r.duration()?;
+            let assemble_time = r.duration()?;
+            let sim_time = r.duration()?;
             let cycles = r.u64()?;
             let sim_cycles = r.u64()?;
             let stall_cycles = r.u64()?;
             let nblocks = r.len()?;
-            let mut block_execs = HashMap::with_capacity(nblocks.min(1024));
+            let mut block_execs = Vec::with_capacity(nblocks.min(1024));
             for _ in 0..nblocks {
-                let b = r.u32()?;
-                block_execs.insert(b, r.u64()?);
+                block_execs.push(r.u64()?);
             }
             let ntiles = r.len()?;
             let mut tiles = Vec::with_capacity(ntiles.min(1024));
@@ -525,6 +522,8 @@ pub fn parse_result(bytes: &[u8]) -> Option<JobResult> {
                 report,
                 binary,
                 compile_time,
+                assemble_time,
+                sim_time,
                 map_stats,
             })
         }
@@ -556,6 +555,8 @@ mod tests {
         assert_eq!(back.report.per_tile, out.report.per_tile);
         assert_eq!(back.binary, out.binary);
         assert_eq!(back.compile_time, out.compile_time);
+        assert_eq!(back.assemble_time, out.assemble_time);
+        assert_eq!(back.sim_time, out.sim_time);
         assert_eq!(back.content_digest(), out.content_digest());
     }
 

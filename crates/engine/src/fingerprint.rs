@@ -21,7 +21,12 @@ use cmam_kernels::KernelSpec;
 /// v3: the artifact format switched from line-oriented text to the
 /// length-prefixed binary layout of [`crate::cache`]; pre-v3 text
 /// artifacts are clean misses.
-pub const FORMAT_VERSION: u32 = 3;
+///
+/// v4: `RunOutcome` gained per-phase wall times (`assemble_time`,
+/// `sim_time`) and `SimStats::block_execs` became a dense per-block
+/// vector (serialized as a plain `u64` list in block order instead of
+/// sorted `(block, count)` pairs).
+pub const FORMAT_VERSION: u32 = 4;
 
 /// Build-time hash of every toolchain source file whose code influences a
 /// job outcome (mapper, assembler, simulator, kernels, arch, and the

@@ -23,13 +23,20 @@ pub struct RunOutcome {
     /// when the artifact was first produced, not the (near-zero) lookup
     /// time — so compile-time experiments stay reproducible across runs.
     pub compile_time: Duration,
+    /// Wall-clock assembly time (same cache-hit caveat as
+    /// [`RunOutcome::compile_time`]).
+    pub assemble_time: Duration,
+    /// Wall-clock simulation time (same cache-hit caveat as
+    /// [`RunOutcome::compile_time`]).
+    pub sim_time: Duration,
     /// Mapper search statistics.
     pub map_stats: cmam_core::MapStats,
 }
 
 impl RunOutcome {
-    /// Hash of every deterministic field (everything except
-    /// [`RunOutcome::compile_time`], which is wall-clock noise). Two runs
+    /// Hash of every deterministic field (everything except the
+    /// wall-clock noise of [`RunOutcome::compile_time`],
+    /// [`RunOutcome::assemble_time`] and [`RunOutcome::sim_time`]). Two runs
     /// of the same job must agree on this digest regardless of thread
     /// count or cache state — the determinism tests assert exactly that.
     pub fn content_digest(&self) -> u64 {
@@ -37,11 +44,9 @@ impl RunOutcome {
         h.feed_u64(self.cycles);
         h.feed_u64(self.sim.cycles);
         h.feed_u64(self.sim.stall_cycles);
-        let mut blocks: Vec<(u32, u64)> =
-            self.sim.block_execs.iter().map(|(&b, &n)| (b, n)).collect();
-        blocks.sort_unstable();
-        for (b, n) in blocks {
-            h.feed_u64(b as u64);
+        // Dense per-block counts: iteration order is the block order.
+        h.feed_usize(self.sim.block_execs.len());
+        for &n in &self.sim.block_execs {
             h.feed_u64(n);
         }
         for t in &self.sim.tiles {
@@ -204,11 +209,15 @@ pub fn execute(req: &JobRequest<'_>) -> JobResult {
         Ok(r) => r,
         Err(e) => return Err(fail(FailStage::Map, e.to_string())),
     };
+    let t1 = Instant::now();
     let (binary, report) = cmam_isa::assemble(&req.spec.cdfg, &result.mapping, req.config)
         .map_err(|e| fail(FailStage::Assemble, e.to_string()))?;
+    let assemble_time = t1.elapsed();
     let mut mem = req.spec.mem.clone();
+    let t2 = Instant::now();
     let sim = simulate(&binary, req.config, &mut mem, SimOptions::default())
         .map_err(|e| fail(FailStage::Execution, e.to_string()))?;
+    let sim_time = t2.elapsed();
     req.spec.check(&mem).map_err(|(i, got, want)| {
         fail(
             FailStage::Execution,
@@ -221,6 +230,8 @@ pub fn execute(req: &JobRequest<'_>) -> JobResult {
         report,
         binary,
         compile_time,
+        assemble_time,
+        sim_time,
         map_stats: result.stats,
     })
 }

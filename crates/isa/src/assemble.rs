@@ -20,7 +20,6 @@ use crate::mapping::{KernelMapping, OperandSource};
 use crate::program::{BinTerminator, CgraBinary, TileProgram};
 use cmam_arch::{CgraConfig, Direction, TileId};
 use cmam_cdfg::{Cdfg, SymbolId, Terminator, ValueId, ValueKind};
-use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
@@ -223,10 +222,22 @@ impl AsmReport {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Copy {
+/// Epoch-stamped entry of the dense `(tile, value)` copy tables: a block
+/// entry is live only while its `stamp` equals the current block's epoch,
+/// so "clearing" all tables between blocks is a counter increment.
+#[derive(Debug, Clone, Copy, Default)]
+struct CopySlot {
+    stamp: u32,
     reg: u8,
     ready: usize,
+}
+
+/// Epoch-stamped entry of the dense `(tile, value)` live-interval table.
+#[derive(Debug, Clone, Copy, Default)]
+struct IntervalSlot {
+    stamp: u32,
+    start: usize,
+    end: usize,
 }
 
 /// Assembles `mapping` of `cdfg` for `config`.
@@ -246,11 +257,14 @@ pub fn assemble(
     // --- Persistent registers: symbols grouped by home tile. ---
     // `symbol_homes` is a BTreeMap, so iteration is already sorted by
     // symbol id — register numbers are deterministic by construction.
-    let mut persistent: HashMap<SymbolId, (TileId, u8)> = HashMap::new();
+    // Homes live in a dense `SymbolId`-indexed table, so `home_of` is a
+    // single array load.
+    let nsymbols = cdfg.num_symbols();
+    let mut persistent: Vec<Option<(TileId, u8)>> = vec![None; nsymbols];
     let mut persistent_count = vec![0usize; ntiles];
     for (&s, &home) in &mapping.symbol_homes {
         let reg = persistent_count[home.0];
-        persistent.insert(s, (home, reg as u8));
+        persistent[s.0 as usize] = Some((home, reg as u8));
         persistent_count[home.0] += 1;
     }
     for (i, &cnt) in persistent_count.iter().enumerate() {
@@ -265,8 +279,9 @@ pub fn assemble(
     }
     let home_of = |s: SymbolId| -> Result<(TileId, u8), AssembleError> {
         persistent
-            .get(&s)
+            .get(s.0 as usize)
             .copied()
+            .flatten()
             .ok_or(AssembleError::MissingHome { symbol: s })
     };
 
@@ -308,15 +323,39 @@ pub fn assemble(
 
     let mut tiles = vec![TileProgram { blocks: Vec::new() }; ntiles];
 
+    // --- Dense per-block scratch, allocated once and epoch-stamped. ---
+    // Every block-local hot table is an index-keyed array mirroring
+    // `cmam_core::partial`'s flat layout: `(tile, value)` keys flatten to
+    // `tile * nvalues + value`, `(tile, cycle)` keys to
+    // `cycle * ntiles + tile`, symbols index directly. Entries are live
+    // only under the current block's epoch stamp, so moving to the next
+    // block "clears" all tables by bumping a counter.
+    let nvalues = cdfg.num_values();
+    let max_len = mapping.blocks.iter().map(|b| b.length).max().unwrap_or(0);
+    // Slot occupancy (the old `(tile, cycle) -> Intent` conflict map).
+    let mut slot_used = vec![0u32; ntiles * max_len];
+    // Overwrite cycle of each symbol's home register in this block.
+    let mut overwrite: Vec<(u32, usize)> = vec![(0, 0); nsymbols];
+    // Values landing in persistent registers (direct writes / commits).
+    let mut persistent_values: Vec<CopySlot> = vec![CopySlot::default(); ntiles * nvalues];
+    // (tile, value) -> live interval, plus the keys touched this block in
+    // insertion order (ops before moves — a deterministic work list the
+    // register allocator sorts per tile).
+    let mut intervals: Vec<IntervalSlot> = vec![IntervalSlot::default(); ntiles * nvalues];
+    let mut touched: Vec<usize> = Vec::new();
+    // Block-local copies produced by the register allocator.
+    let mut copies: Vec<CopySlot> = vec![CopySlot::default(); ntiles * nvalues];
+    let mut per_tile_ivals: Vec<Vec<(usize, usize, ValueId)>> = vec![Vec::new(); ntiles];
+    // The cycle-indexed schedule, one contiguous row of `bm.length`
+    // slots per tile.
+    let mut sched: Vec<Option<Instr>> = Vec::new();
+
     for (bidx, bm) in mapping.blocks.iter().enumerate() {
-        // --- Gather instruction intents and detect slot conflicts. ---
-        #[derive(Debug, Clone, Copy, PartialEq)]
-        enum Intent {
-            Op(usize),
-            Move(usize),
-        }
-        let mut slots: HashMap<(TileId, usize), Intent> = HashMap::new();
-        for (i, po) in bm.ops.iter().enumerate() {
+        let epoch = bidx as u32 + 1;
+        let tv = |tile: TileId, value: ValueId| tile.0 * nvalues + value.0 as usize;
+
+        // --- Detect slot conflicts and architectural violations. ---
+        for po in &bm.ops {
             if po.cycle >= bm.length {
                 return Err(AssembleError::CycleOutOfRange {
                     tile: po.tile,
@@ -327,38 +366,49 @@ pub fn assemble(
             if opcode.is_memory() && !config.tile(po.tile).has_lsu {
                 return Err(AssembleError::LsuViolation { tile: po.tile });
             }
-            if slots.insert((po.tile, po.cycle), Intent::Op(i)).is_some() {
+            let slot = &mut slot_used[po.cycle * ntiles + po.tile.0];
+            if *slot == epoch {
                 return Err(AssembleError::SlotConflict {
                     tile: po.tile,
                     cycle: po.cycle,
                 });
             }
+            *slot = epoch;
         }
-        for (i, mv) in bm.moves.iter().enumerate() {
+        for mv in &bm.moves {
             if mv.cycle >= bm.length {
                 return Err(AssembleError::CycleOutOfRange {
                     tile: mv.tile,
                     cycle: mv.cycle,
                 });
             }
-            if slots.insert((mv.tile, mv.cycle), Intent::Move(i)).is_some() {
+            let slot = &mut slot_used[mv.cycle * ntiles + mv.tile.0];
+            if *slot == epoch {
                 return Err(AssembleError::SlotConflict {
                     tile: mv.tile,
                     cycle: mv.cycle,
                 });
             }
+            *slot = epoch;
         }
 
         // --- Collect block-local copies with live intervals. ---
         // Copy key: (tile, value). Persistent writes (direct symbol writes
         // and commit moves) target the persistent register instead.
-        // Overwrite cycle of each symbol's home register in this block.
-        let mut overwrite: HashMap<SymbolId, usize> = HashMap::new();
-        // Values landing in persistent registers.
-        let mut persistent_values: HashMap<(TileId, ValueId), Copy> = HashMap::new();
-        // (tile, value) -> (start, end) live interval.
-        let mut intervals: HashMap<(TileId, ValueId), (usize, usize)> = HashMap::new();
-
+        touched.clear();
+        let mut start_interval = |k: usize, cycle: usize, touched: &mut Vec<usize>| {
+            let e = &mut intervals[k];
+            if e.stamp != epoch {
+                *e = IntervalSlot {
+                    stamp: epoch,
+                    start: cycle + 1,
+                    end: cycle + 1,
+                };
+                touched.push(k);
+            } else {
+                e.start = e.start.min(cycle + 1); // re-computed duplicates merge
+            }
+        };
         for po in &bm.ops {
             let op = cdfg.op(po.op);
             let Some(result) = op.result else { continue };
@@ -374,19 +424,14 @@ pub fn assemble(
                         tile: po.tile,
                     });
                 }
-                overwrite.insert(s, po.cycle);
-                persistent_values.insert(
-                    (home, result),
-                    Copy {
-                        reg,
-                        ready: po.cycle + 1,
-                    },
-                );
+                overwrite[s.0 as usize] = (epoch, po.cycle);
+                persistent_values[tv(home, result)] = CopySlot {
+                    stamp: epoch,
+                    reg,
+                    ready: po.cycle + 1,
+                };
             } else {
-                let e = intervals
-                    .entry((po.tile, result))
-                    .or_insert((po.cycle + 1, po.cycle + 1));
-                e.0 = e.0.min(po.cycle + 1); // re-computed duplicates merge
+                start_interval(tv(po.tile, result), po.cycle, &mut touched);
             }
         }
         for mv in &bm.moves {
@@ -398,27 +443,23 @@ pub fn assemble(
                         tile: mv.tile,
                     });
                 }
-                overwrite.insert(s, mv.cycle);
-                persistent_values.insert(
-                    (home, mv.value),
-                    Copy {
-                        reg,
-                        ready: mv.cycle + 1,
-                    },
-                );
+                overwrite[s.0 as usize] = (epoch, mv.cycle);
+                persistent_values[tv(home, mv.value)] = CopySlot {
+                    stamp: epoch,
+                    reg,
+                    ready: mv.cycle + 1,
+                };
             } else {
-                let e = intervals
-                    .entry((mv.tile, mv.value))
-                    .or_insert((mv.cycle + 1, mv.cycle + 1));
-                e.0 = e.0.min(mv.cycle + 1);
+                start_interval(tv(mv.tile, mv.value), mv.cycle, &mut touched);
             }
         }
 
         // Reads extend the interval of the copy they resolve to.
         {
             let mut extend = |tile: TileId, value: ValueId, cycle: usize| {
-                if let Some(e) = intervals.get_mut(&(tile, value)) {
-                    e.1 = e.1.max(cycle);
+                let e = &mut intervals[tv(tile, value)];
+                if e.stamp == epoch {
+                    e.end = e.end.max(cycle);
                 }
             };
             for po in &bm.ops {
@@ -437,46 +478,54 @@ pub fn assemble(
         // Live intervals of an interval graph colour optimally with
         // max-overlap registers, so this succeeds whenever the mapper's
         // occupancy checks passed.
-        let mut copies: HashMap<(TileId, ValueId), Copy> = HashMap::new();
-        {
-            let mut per_tile: Vec<Vec<(usize, usize, ValueId)>> = vec![Vec::new(); ntiles];
-            for (&(tile, value), &(start, end)) in &intervals {
-                per_tile[tile.0].push((start, end, value));
-            }
-            for (i, list) in per_tile.iter_mut().enumerate() {
-                let tile = TileId(i);
-                let cap = config.tile(tile).rf_words;
-                let first_local = persistent_count[i];
-                list.sort();
-                let mut free: Vec<u8> = (first_local..cap).rev().map(|r| r as u8).collect();
-                let mut active: Vec<(usize, u8)> = Vec::new(); // (end, reg)
-                for &(start, end, value) in list.iter() {
-                    // Release registers whose interval ended before `start`.
-                    active.retain(|&(e, reg)| {
-                        if e < start {
-                            free.push(reg);
-                            false
-                        } else {
-                            true
-                        }
+        for list in per_tile_ivals.iter_mut() {
+            list.clear();
+        }
+        for &k in &touched {
+            let e = intervals[k];
+            per_tile_ivals[k / nvalues].push((e.start, e.end, ValueId((k % nvalues) as u32)));
+        }
+        for (i, list) in per_tile_ivals.iter_mut().enumerate() {
+            let tile = TileId(i);
+            let cap = config.tile(tile).rf_words;
+            let first_local = persistent_count[i];
+            list.sort();
+            let mut free: Vec<u8> = (first_local..cap).rev().map(|r| r as u8).collect();
+            let mut active: Vec<(usize, u8)> = Vec::new(); // (end, reg)
+            for &(start, end, value) in list.iter() {
+                // Release registers whose interval ended before `start`.
+                active.retain(|&(e, reg)| {
+                    if e < start {
+                        free.push(reg);
+                        false
+                    } else {
+                        true
+                    }
+                });
+                free.sort_by(|a, b| b.cmp(a)); // lowest register first (pop from end)
+                let Some(reg) = free.pop() else {
+                    return Err(AssembleError::RfOverflow {
+                        tile,
+                        need: active.len() + first_local + 1,
+                        capacity: cap,
                     });
-                    free.sort_by(|a, b| b.cmp(a)); // lowest register first (pop from end)
-                    let Some(reg) = free.pop() else {
-                        return Err(AssembleError::RfOverflow {
-                            tile,
-                            need: active.len() + first_local + 1,
-                            capacity: cap,
-                        });
-                    };
-                    active.push((end, reg));
-                    copies.insert((tile, value), Copy { reg, ready: start });
-                }
+                };
+                active.push((end, reg));
+                copies[tv(tile, value)] = CopySlot {
+                    stamp: epoch,
+                    reg,
+                    ready: start,
+                };
             }
         }
 
         // --- Resolve a read of `value` from `src`'s RF at `cycle`. ---
+        let copies = &copies;
+        let persistent_values = &persistent_values;
+        let overwrite = &overwrite;
         let resolve = |value: ValueId, src: TileId, cycle: usize| -> Result<u8, AssembleError> {
-            if let Some(c) = copies.get(&(src, value)) {
+            let c = copies[tv(src, value)];
+            if c.stamp == epoch {
                 if cycle < c.ready {
                     return Err(AssembleError::ValueNotReady {
                         value,
@@ -491,34 +540,35 @@ pub fn assemble(
             if let ValueKind::SymbolUse(s) = cdfg.value(value).kind {
                 let (home, reg) = home_of(s)?;
                 if home == src {
-                    if let Some(&w) = overwrite.get(&s) {
-                        if cycle > w {
-                            return Err(AssembleError::SymbolOverwriteHazard {
-                                symbol: s,
-                                read_cycle: cycle,
-                                write_cycle: w,
-                            });
-                        }
+                    let (stamp, w) = overwrite[s.0 as usize];
+                    if stamp == epoch && cycle > w {
+                        return Err(AssembleError::SymbolOverwriteHazard {
+                            symbol: s,
+                            read_cycle: cycle,
+                            write_cycle: w,
+                        });
                     }
                     return Ok(reg);
                 }
             }
             // New symbol value written directly / committed to home.
-            if let Some(c) = persistent_values.get(&(src, value)) {
-                if cycle < c.ready {
+            let p = persistent_values[tv(src, value)];
+            if p.stamp == epoch {
+                if cycle < p.ready {
                     return Err(AssembleError::ValueNotReady {
                         value,
                         tile: src,
                         cycle,
                     });
                 }
-                return Ok(c.reg);
+                return Ok(p.reg);
             }
             Err(AssembleError::MissingCopy { value, tile: src })
         };
 
         // --- Emit the cycle-indexed schedule per tile, then compress. ---
-        let mut schedules: Vec<Vec<Option<Instr>>> = vec![vec![None; bm.length]; ntiles];
+        sched.clear();
+        sched.resize(ntiles * bm.length, None);
         for po in &bm.ops {
             let op = cdfg.op(po.op);
             let mut srcs = Vec::with_capacity(po.operands.len());
@@ -544,14 +594,21 @@ pub fn assemble(
             let dst = match op.result {
                 None => None,
                 Some(r) => {
-                    if po.direct_symbol_write {
-                        Some(persistent_values[&(po.tile, r)].reg)
+                    // The first pass registered every result in exactly
+                    // one of the two tables under this block's epoch; a
+                    // stale stamp here means the collection pass and the
+                    // emit pass disagree (the dense-table analogue of
+                    // the old HashMap-indexing panic).
+                    let slot = if po.direct_symbol_write {
+                        persistent_values[tv(po.tile, r)]
                     } else {
-                        Some(copies[&(po.tile, r)].reg)
-                    }
+                        copies[tv(po.tile, r)]
+                    };
+                    debug_assert_eq!(slot.stamp, epoch, "result was registered above");
+                    Some(slot.reg)
                 }
             };
-            schedules[po.tile.0][po.cycle] = Some(Instr::Exec {
+            sched[po.tile.0 * bm.length + po.cycle] = Some(Instr::Exec {
                 opcode: op.opcode,
                 dst,
                 srcs,
@@ -563,21 +620,23 @@ pub fn assemble(
                 None => Operand::Reg(reg),
                 Some(d) => Operand::Neighbor(d, reg),
             };
-            let dst = if mv.commit_symbol.is_some() {
-                persistent_values[&(mv.tile, mv.value)].reg
+            let slot = if mv.commit_symbol.is_some() {
+                persistent_values[tv(mv.tile, mv.value)]
             } else {
-                copies[&(mv.tile, mv.value)].reg
+                copies[tv(mv.tile, mv.value)]
             };
-            schedules[mv.tile.0][mv.cycle] = Some(Instr::Exec {
+            debug_assert_eq!(slot.stamp, epoch, "move target was registered above");
+            let dst = slot.reg;
+            sched[mv.tile.0 * bm.length + mv.cycle] = Some(Instr::Exec {
                 opcode: cmam_cdfg::Opcode::Mov,
                 dst: Some(dst),
                 srcs: vec![src],
             });
         }
 
-        let _ = bidx;
-        for (i, sched) in schedules.iter().enumerate() {
-            tiles[i].blocks.push(compress(sched));
+        for (i, tp) in tiles.iter_mut().enumerate() {
+            tp.blocks
+                .push(compress(&sched[i * bm.length..(i + 1) * bm.length]));
         }
     }
 

@@ -1,0 +1,507 @@
+//! One-time decoding of a [`CgraBinary`] into a flat, cache-friendly
+//! program the cycle loop can execute without hashing, cloning or
+//! allocating.
+//!
+//! [`DecodedProgram::decode`] runs every per-run cost of the old
+//! simulator exactly once per binary instead of once per call (and once
+//! per cycle):
+//!
+//! * pnop-compressed word lists are expanded into a dense array of
+//!   **active micro-ops only**, grouped by `(block, cycle)` with the
+//!   tiles of one cycle contiguous — the cycle loop walks a range of
+//!   executing ops and never visits an idle tile;
+//! * neighbour operands are resolved through the torus geometry up
+//!   front — the cycle loop never computes a wrap-around position;
+//! * CRF constants are inlined into the slot (the CRF is read-only
+//!   during execution, so the fetch is just the stored word);
+//! * register files live in one flat word array (per-tile offsets), and
+//!   every register and CRF index is bounds-checked here, at decode
+//!   time — a corrupt binary fails before cycle 0 and the cycle loop
+//!   itself cannot fail on operand fetch;
+//! * all eleven [`TileStats`] counters of one block execution are
+//!   statically known (a simulation that errors discards its stats, so
+//!   mid-block aborts never expose partial counts), so decode
+//!   pre-aggregates a per-`(block, tile)` delta that
+//!   [`DecodedProgram::simulate`] adds once per block execution — the
+//!   cycle loop maintains no activity counters at all, only the cycle
+//!   count, the stall count and the dynamic machine state.
+//!
+//! The only runtime failures left are data-dependent: an out-of-bounds
+//! memory address and the cycle budget.
+
+use crate::machine::{SimError, SimOptions};
+use crate::stats::{SimStats, TileStats};
+use cmam_arch::{CgraConfig, TileId};
+use cmam_cdfg::Opcode;
+use cmam_isa::program::BinTerminator;
+use cmam_isa::{CgraBinary, Instr, Operand};
+
+/// Sentinel for "no destination register" in a [`Slot`].
+const NO_DST: u32 = u32::MAX;
+
+/// What an active slot does, pre-classified so the cycle loop dispatches
+/// on one byte instead of re-matching the opcode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotKind {
+    /// Pure ALU operation (everything except the cases below).
+    Alu,
+    /// Register move.
+    Mov,
+    /// TCDM load.
+    Load,
+    /// TCDM store.
+    Store,
+    /// Branch-flag update.
+    Br,
+}
+
+/// Where one operand comes from, with everything pre-resolved. `Rf` and
+/// `Neighbor` carry the flat register-file index of the already-resolved
+/// register; they are distinguished only for decode-time accounting.
+#[derive(Debug, Clone, Copy)]
+enum Arg {
+    /// CRF constant, inlined at decode time.
+    Const(i32),
+    /// Register-file read (own or neighbour RF — resolved to a flat
+    /// index either way).
+    Rf(u32),
+}
+
+/// One executing micro-op of a `(block, cycle)` row.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    kind: SlotKind,
+    opcode: Opcode,
+    nargs: u8,
+    /// Flat RF index of the destination, or [`NO_DST`].
+    dst: u32,
+    args: [Arg; 3],
+}
+
+/// A queued TCDM access of the current cycle.
+#[derive(Debug, Clone, Copy)]
+struct MemOp {
+    store: bool,
+    addr: i64,
+    val: i32,
+    /// Flat RF index of a load's destination ([`NO_DST`] for stores).
+    dst: u32,
+}
+
+/// A [`CgraBinary`] decoded against one [`CgraConfig`]: dense micro-op
+/// rows plus the control-flow skeleton. Decode once, simulate many
+/// times — [`DecodedProgram::simulate`] is pure over `(mem, options)`.
+#[derive(Debug, Clone)]
+pub struct DecodedProgram {
+    ntiles: usize,
+    entry: usize,
+    block_lengths: Vec<usize>,
+    terminators: Vec<BinTerminator>,
+    /// Active micro-ops, grouped by `(block, cycle)` in block order,
+    /// tiles of one cycle contiguous and in tile order.
+    ops: Vec<Slot>,
+    /// End index into [`DecodedProgram::ops`] per `(block, cycle)`,
+    /// flattened in block order; the row of global cycle `g` is
+    /// `ops[op_ends[g - 1]..op_ends[g]]` (`0` for `g == 0`). Monotone by
+    /// construction, so starts need not be stored.
+    op_ends: Vec<u32>,
+    /// Index of each block's cycle 0 in [`DecodedProgram::op_ends`].
+    block_cycle_base: Vec<usize>,
+    /// For a fully idle `(block, cycle)`: the length of the maximal run
+    /// of fully idle cycles starting there (not crossing the block end),
+    /// so the cycle loop advances over a whole pnop window in one step.
+    /// `0` for cycles with at least one active op.
+    idle_skip: Vec<u32>,
+    /// Statically-known per-tile activity of one execution of each
+    /// block, flattened `block * ntiles + tile`.
+    stats_delta: Vec<TileStats>,
+    /// Total RF words over all tiles (tile offsets are resolved into the
+    /// slots at decode time, so only the flat extent is kept).
+    rf_words: usize,
+}
+
+impl DecodedProgram {
+    /// Decodes `binary` for `config`, resolving geometry and validating
+    /// every register and CRF index.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::BadRegister`] / [`SimError::BadConstant`] for indices
+    /// outside the configured register files (a corrupt binary). The
+    /// reference simulator reports these lazily at first execution; the
+    /// decoded path reports them eagerly here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `binary` and `config` disagree on the tile count, a
+    /// tile's word list does not cover its block's schedule length, or
+    /// an instruction carries more than three operands (the maximum
+    /// opcode arity) — all assembler invariants.
+    pub fn decode(binary: &CgraBinary, config: &CgraConfig) -> Result<Self, SimError> {
+        let geom = config.geometry();
+        let ntiles = binary.num_tiles();
+        assert_eq!(
+            ntiles,
+            geom.num_tiles(),
+            "binary and configuration disagree on the tile count"
+        );
+
+        let mut rf_base = Vec::with_capacity(ntiles);
+        let mut rf_len: Vec<usize> = Vec::with_capacity(ntiles);
+        let mut rf_words = 0usize;
+        for t in 0..ntiles {
+            rf_base.push(u32::try_from(rf_words).expect("RF fits u32"));
+            let words = config.tile(TileId(t)).rf_words;
+            rf_len.push(words);
+            rf_words += words;
+        }
+        // A register read of `(tile, reg)`, bounds-checked and flattened.
+        let reg_at = |tile: usize, reg: u8| -> Result<u32, SimError> {
+            if (reg as usize) < rf_len[tile] {
+                Ok(rf_base[tile] + reg as u32)
+            } else {
+                Err(SimError::BadRegister { tile, reg })
+            }
+        };
+
+        let nblocks = binary.block_lengths.len();
+        let mut ops: Vec<Slot> = Vec::new();
+        let mut op_ends: Vec<u32> = Vec::new();
+        let mut block_cycle_base = Vec::with_capacity(nblocks);
+        let mut stats_delta = vec![TileStats::default(); nblocks * ntiles];
+        for (b, &length) in binary.block_lengths.iter().enumerate() {
+            block_cycle_base.push(op_ends.len());
+            // Bucket the block's active ops by cycle; the outer tile loop
+            // keeps each bucket in tile order.
+            let mut buckets: Vec<Vec<Slot>> = vec![Vec::new(); length];
+            for t in 0..ntiles {
+                let delta = &mut stats_delta[b * ntiles + t];
+                let mut cycle = 0usize;
+                for word in &binary.tiles[t].blocks[b] {
+                    match word {
+                        Instr::Pnop { cycles } => {
+                            if *cycles > 0 {
+                                // One context-memory fetch per idle run.
+                                delta.cm_fetches += 1;
+                                delta.idle_cycles += *cycles as u64;
+                            }
+                            cycle += *cycles as usize;
+                        }
+                        Instr::Exec { opcode, dst, srcs } => {
+                            delta.active_cycles += 1;
+                            delta.cm_fetches += 1;
+                            let mut args = [Arg::Const(0); 3];
+                            assert!(srcs.len() <= args.len(), "operand count fits the slot");
+                            for (a, s) in args.iter_mut().zip(srcs) {
+                                *a = match *s {
+                                    Operand::Crf(i) => {
+                                        delta.crf_reads += 1;
+                                        Arg::Const(
+                                            *binary.crf[t]
+                                                .get(i as usize)
+                                                .ok_or(SimError::BadConstant { tile: t, idx: i })?,
+                                        )
+                                    }
+                                    Operand::Reg(r) => {
+                                        delta.rf_reads += 1;
+                                        Arg::Rf(reg_at(t, r)?)
+                                    }
+                                    Operand::Neighbor(d, r) => {
+                                        delta.neighbor_reads += 1;
+                                        let n = geom.neighbor(TileId(t), d).0;
+                                        Arg::Rf(reg_at(n, r)?)
+                                    }
+                                };
+                            }
+                            let kind = match opcode {
+                                Opcode::Load => SlotKind::Load,
+                                Opcode::Store => SlotKind::Store,
+                                Opcode::Br => SlotKind::Br,
+                                Opcode::Mov => SlotKind::Mov,
+                                _ => SlotKind::Alu,
+                            };
+                            let dst = match dst {
+                                Some(r) => reg_at(t, *r)?,
+                                None => NO_DST,
+                            };
+                            debug_assert!(
+                                !matches!(kind, SlotKind::Load | SlotKind::Mov) || dst != NO_DST,
+                                "load/mov has a destination"
+                            );
+                            match kind {
+                                SlotKind::Load => {
+                                    delta.loads += 1;
+                                    delta.rf_writes += 1;
+                                }
+                                SlotKind::Store => delta.stores += 1,
+                                SlotKind::Br => delta.alu_ops += 1,
+                                SlotKind::Mov => {
+                                    delta.moves += 1;
+                                    delta.rf_writes += 1;
+                                }
+                                SlotKind::Alu => {
+                                    delta.alu_ops += 1;
+                                    delta.rf_writes += (dst != NO_DST) as u64;
+                                }
+                            }
+                            buckets[cycle].push(Slot {
+                                kind,
+                                opcode: *opcode,
+                                nargs: srcs.len() as u8,
+                                dst,
+                                args,
+                            });
+                            cycle += 1;
+                        }
+                    }
+                }
+                assert_eq!(
+                    cycle, length,
+                    "tile {t} words do not cover block {b}'s schedule"
+                );
+            }
+            for bucket in buckets {
+                ops.extend(bucket);
+                op_ends.push(u32::try_from(ops.len()).expect("op count fits u32"));
+            }
+        }
+        // Idle-run lengths, computed backwards within each block.
+        let mut idle_skip = vec![0u32; op_ends.len()];
+        for (b, &length) in binary.block_lengths.iter().enumerate() {
+            let cbase = block_cycle_base[b];
+            let mut run = 0u32;
+            for c in (0..length).rev() {
+                let g = cbase + c;
+                let start = if g == 0 { 0 } else { op_ends[g - 1] };
+                run = if op_ends[g] == start { run + 1 } else { 0 };
+                idle_skip[g] = run;
+            }
+        }
+
+        Ok(DecodedProgram {
+            ntiles,
+            entry: binary.entry as usize,
+            block_lengths: binary.block_lengths.clone(),
+            terminators: binary.terminators.clone(),
+            ops,
+            op_ends,
+            block_cycle_base,
+            idle_skip,
+            stats_delta,
+            rf_words,
+        })
+    }
+
+    /// Number of tiles the program was decoded for.
+    pub fn num_tiles(&self) -> usize {
+        self.ntiles
+    }
+
+    /// Executes the program over `mem`, producing the same [`SimStats`]
+    /// and final memory image as [`crate::reference::simulate_reference`]
+    /// on the original binary — bit for bit (golden- and
+    /// property-tested). The cycle loop performs no allocation: all
+    /// scratch is set up once per call and cleared, not reallocated.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::OutOfBounds`] and [`SimError::MaxCycles`]; the
+    /// operand-fetch errors were already ruled out at decode time. On
+    /// error the memory may be partially updated.
+    pub fn simulate(&self, mem: &mut [i32], options: SimOptions) -> Result<SimStats, SimError> {
+        let options = options.normalized();
+        let ntiles = self.ntiles;
+        let mut rf = vec![0i32; self.rf_words];
+        let mut stats = SimStats {
+            block_execs: vec![0; self.block_lengths.len()],
+            tiles: vec![TileStats::default(); ntiles],
+            ..SimStats::default()
+        };
+        // Per-cycle scratch, fixed capacity: at most one instruction per
+        // tile queues at most one RF write and one memory op, and every
+        // load adds one more RF write.
+        let mut rf_writes: Vec<(u32, i32)> = Vec::with_capacity(2 * ntiles);
+        let mut mem_ops: Vec<MemOp> = Vec::with_capacity(ntiles);
+        let mut bank_load: Vec<u64> = vec![0; options.mem_banks];
+
+        let ops = &self.ops[..];
+        let op_ends = &self.op_ends[..];
+        let idle_skip = &self.idle_skip[..];
+        let max_cycles = options.max_cycles;
+        // Cycle and stall counters stay in locals through the hot loop.
+        let mut cycles = 0u64;
+        let mut stall_cycles = 0u64;
+
+        let mut block = self.entry;
+        'blocks: loop {
+            stats.block_execs[block] += 1;
+            let length = self.block_lengths[block];
+            let cbase = self.block_cycle_base[block];
+            let mut br_flag = false;
+
+            // `start` tracks the previous cycle's op range end; idle
+            // cycles leave it unchanged (their range is empty).
+            let mut start = if cbase == 0 {
+                0
+            } else {
+                op_ends[cbase - 1] as usize
+            };
+            let mut cycle = 0usize;
+            while cycle < length {
+                let g = cbase + cycle;
+                let end = op_ends[g] as usize;
+                if start == end {
+                    // A maximal run of fully idle cycles (every tile
+                    // under a pnop): advance over it in one step. The
+                    // budget check still fires at the same total the
+                    // per-cycle reference check would reach, and idle
+                    // cycles touch no machine state.
+                    let run = idle_skip[g] as u64;
+                    cycles += run;
+                    if cycles > max_cycles {
+                        return Err(SimError::MaxCycles(max_cycles));
+                    }
+                    cycle += run as usize;
+                    continue;
+                }
+                cycles += 1;
+                if cycles > max_cycles {
+                    return Err(SimError::MaxCycles(max_cycles));
+                }
+                if end - start == 1 {
+                    // Single-op cycle: no same-cycle reader can observe
+                    // the write and one memory access can never bank-
+                    // conflict, so the phase machinery (write queue,
+                    // bank table, stall sum) is provably a no-op —
+                    // commit directly.
+                    let slot = &ops[start];
+                    let mut args = [0i32; 3];
+                    for (v, a) in args.iter_mut().zip(&slot.args[..slot.nargs as usize]) {
+                        *v = match *a {
+                            Arg::Const(c) => c,
+                            Arg::Rf(i) => rf[i as usize],
+                        };
+                    }
+                    match slot.kind {
+                        SlotKind::Load | SlotKind::Store => {
+                            let addr = args[0] as i64;
+                            let idx = usize::try_from(addr).ok().filter(|&i| i < mem.len());
+                            let Some(i) = idx else {
+                                return Err(SimError::OutOfBounds {
+                                    addr,
+                                    size: mem.len(),
+                                });
+                            };
+                            if slot.kind == SlotKind::Store {
+                                mem[i] = args[1];
+                            } else {
+                                rf[slot.dst as usize] = mem[i];
+                            }
+                        }
+                        SlotKind::Br => br_flag = args[0] != 0,
+                        SlotKind::Mov => rf[slot.dst as usize] = args[0],
+                        SlotKind::Alu => {
+                            let r = slot.opcode.eval(&args[..slot.nargs as usize]);
+                            if slot.dst != NO_DST {
+                                rf[slot.dst as usize] = r;
+                            }
+                        }
+                    }
+                    start = end;
+                    cycle += 1;
+                    continue;
+                }
+                rf_writes.clear();
+                mem_ops.clear();
+                // Phase 1: evaluate the cycle's active ops against the
+                // start-of-cycle RF state (writes visible next cycle).
+                for slot in &ops[start..end] {
+                    let mut args = [0i32; 3];
+                    for (v, a) in args.iter_mut().zip(&slot.args[..slot.nargs as usize]) {
+                        *v = match *a {
+                            Arg::Const(c) => c,
+                            Arg::Rf(i) => rf[i as usize],
+                        };
+                    }
+                    match slot.kind {
+                        SlotKind::Load => mem_ops.push(MemOp {
+                            store: false,
+                            addr: args[0] as i64,
+                            val: 0,
+                            dst: slot.dst,
+                        }),
+                        SlotKind::Store => mem_ops.push(MemOp {
+                            store: true,
+                            addr: args[0] as i64,
+                            val: args[1],
+                            dst: NO_DST,
+                        }),
+                        SlotKind::Br => br_flag = args[0] != 0,
+                        SlotKind::Mov => rf_writes.push((slot.dst, args[0])),
+                        SlotKind::Alu => {
+                            let r = slot.opcode.eval(&args[..slot.nargs as usize]);
+                            if slot.dst != NO_DST {
+                                rf_writes.push((slot.dst, r));
+                            }
+                        }
+                    }
+                }
+
+                // Phase 2: TCDM accesses with bank-conflict stalls.
+                if !mem_ops.is_empty() {
+                    bank_load.fill(0);
+                    for op in &mem_ops {
+                        let idx = usize::try_from(op.addr).ok().filter(|&i| i < mem.len());
+                        let Some(i) = idx else {
+                            return Err(SimError::OutOfBounds {
+                                addr: op.addr,
+                                size: mem.len(),
+                            });
+                        };
+                        bank_load[i % options.mem_banks] += 1;
+                        if op.store {
+                            mem[i] = op.val;
+                        } else {
+                            rf_writes.push((op.dst, mem[i]));
+                        }
+                    }
+                    let stall: u64 = bank_load.iter().map(|&c| c.saturating_sub(1)).sum();
+                    cycles += stall;
+                    stall_cycles += stall;
+                }
+
+                // Phase 3: commit register writes (queue order — a later
+                // write to the same register wins, as in the reference).
+                for &(idx, v) in &rf_writes {
+                    rf[idx as usize] = v;
+                }
+                start = end;
+                cycle += 1;
+            }
+
+            match self.terminators[block] {
+                BinTerminator::Jump(b) => block = b as usize,
+                BinTerminator::Branch { taken, fallthrough } => {
+                    block = if br_flag { taken } else { fallthrough } as usize;
+                }
+                BinTerminator::Return => break 'blocks,
+            }
+        }
+        stats.cycles = cycles;
+        stats.stall_cycles = stall_cycles;
+        // Reconstruct the per-tile activity from each block's static
+        // per-execution delta and its execution count (see the module
+        // docs: errors discard stats, so doing this only on the success
+        // path is exact).
+        for (b, &n) in stats.block_execs.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let deltas = &self.stats_delta[b * ntiles..(b + 1) * ntiles];
+            for (ts, d) in stats.tiles.iter_mut().zip(deltas) {
+                ts.accumulate_scaled(d, n);
+            }
+        }
+        Ok(stats)
+    }
+}

@@ -19,11 +19,23 @@
 //!
 //! The simulator is validated end-to-end: for every kernel, the memory
 //! image after simulation must equal the reference interpreter's.
+//!
+//! Internally the hot path is a two-stage design: [`decode`] flattens a
+//! binary once into a dense `(block, cycle, tile)` micro-op array
+//! (neighbours resolved, CRF constants inlined, register indices
+//! validated), and the cycle loop executes it without allocating. The
+//! original naive interpretation survives in [`mod@reference`] as the
+//! executable specification — the golden and property suites pin the
+//! two bit-for-bit against each other.
 
+pub mod decode;
 pub mod machine;
+pub mod reference;
 pub mod stats;
 
+pub use decode::DecodedProgram;
 pub use machine::{simulate, SimError, SimOptions};
+pub use reference::simulate_reference;
 pub use stats::{SimStats, TileStats};
 
 pub use cmam_isa::CgraBinary;

@@ -1,17 +1,25 @@
-//! The lock-step execution engine.
+//! The lock-step execution engine: options, errors, and the one-call
+//! entry point.
+//!
+//! The heavy lifting lives in [`crate::decode`]: [`simulate`] decodes
+//! the binary into a flat [`DecodedProgram`] and runs its allocation-free
+//! cycle loop. Callers that simulate one binary many times (benchmarks,
+//! sweeps over memory contents) should decode once and call
+//! [`DecodedProgram::simulate`] directly.
 
-use crate::stats::{SimStats, TileStats};
+use crate::decode::DecodedProgram;
+use crate::stats::SimStats;
 use cmam_arch::CgraConfig;
-use cmam_cdfg::Opcode;
-use cmam_isa::program::BinTerminator;
-use cmam_isa::{CgraBinary, Instr, Operand};
+use cmam_isa::CgraBinary;
 use std::error::Error;
 use std::fmt;
 
 /// Simulator knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SimOptions {
-    /// Number of TCDM banks (bank = word address modulo banks).
+    /// Number of TCDM banks (bank = word address modulo banks). A value
+    /// of `0` is treated as `1` — normalization happens once, in
+    /// [`SimOptions::normalized`], never at the point of use.
     pub mem_banks: usize,
     /// Hard cycle budget; exceeded means a non-terminating kernel.
     pub max_cycles: u64,
@@ -22,6 +30,19 @@ impl Default for SimOptions {
         SimOptions {
             mem_banks: 8,
             max_cycles: 50_000_000,
+        }
+    }
+}
+
+impl SimOptions {
+    /// The same options with `mem_banks == 0` normalized to `1` (a
+    /// degenerate "single bank" memory). Every simulation entry point
+    /// calls this exactly once up front, so the cycle loop can divide by
+    /// `mem_banks` unguarded.
+    pub fn normalized(self) -> Self {
+        SimOptions {
+            mem_banks: self.mem_banks.max(1),
+            ..self
         }
     }
 }
@@ -73,36 +94,11 @@ impl fmt::Display for SimError {
 
 impl Error for SimError {}
 
-/// One expanded schedule slot: the instruction (if any) and whether this
-/// cycle performs the context-memory fetch for its word.
-#[derive(Debug, Clone)]
-struct Slot {
-    instr: Option<Instr>,
-    fetch: bool,
-}
-
-fn expand_with_fetch(words: &[Instr]) -> Vec<Slot> {
-    let mut out = Vec::new();
-    for w in words {
-        match w {
-            Instr::Pnop { cycles } => {
-                for i in 0..*cycles {
-                    out.push(Slot {
-                        instr: None,
-                        fetch: i == 0,
-                    });
-                }
-            }
-            e => out.push(Slot {
-                instr: Some(e.clone()),
-                fetch: true,
-            }),
-        }
-    }
-    out
-}
-
 /// Runs `binary` on the CGRA described by `config` over `mem`.
+///
+/// Decodes the binary (see [`DecodedProgram::decode`]) and executes the
+/// flat program. Output is bit-identical to the reference interpretation
+/// in [`crate::reference`].
 ///
 /// # Errors
 ///
@@ -113,160 +109,7 @@ pub fn simulate(
     mem: &mut [i32],
     options: SimOptions,
 ) -> Result<SimStats, SimError> {
-    let geom = config.geometry();
-    let ntiles = binary.num_tiles();
-    assert_eq!(
-        ntiles,
-        geom.num_tiles(),
-        "binary and configuration disagree on the tile count"
-    );
-
-    // Pre-expand every (block, tile) word list once.
-    let nblocks = binary.block_lengths.len();
-    let mut expanded: Vec<Vec<Vec<Slot>>> = Vec::with_capacity(nblocks);
-    for b in 0..nblocks {
-        let mut per_tile = Vec::with_capacity(ntiles);
-        for t in 0..ntiles {
-            let slots = expand_with_fetch(&binary.tiles[t].blocks[b]);
-            debug_assert_eq!(slots.len(), binary.block_lengths[b]);
-            per_tile.push(slots);
-        }
-        expanded.push(per_tile);
-    }
-
-    let mut rf: Vec<Vec<i32>> = (0..ntiles)
-        .map(|i| vec![0; config.tile(cmam_arch::TileId(i)).rf_words])
-        .collect();
-    let mut stats = SimStats {
-        tiles: vec![TileStats::default(); ntiles],
-        ..SimStats::default()
-    };
-
-    let mut block = binary.entry as usize;
-    loop {
-        *stats.block_execs.entry(block as u32).or_insert(0) += 1;
-        let length = binary.block_lengths[block];
-        let mut br_flag = false;
-
-        for cycle in 0..length {
-            stats.cycles += 1;
-            if stats.cycles > options.max_cycles {
-                return Err(SimError::MaxCycles(options.max_cycles));
-            }
-            // Phase 1: evaluate all tiles against the start-of-cycle state.
-            let mut rf_writes: Vec<(usize, u8, i32)> = Vec::new();
-            let mut mem_ops: Vec<(usize, Opcode, i64, i32, Option<u8>)> = Vec::new();
-            for t in 0..ntiles {
-                let slot = &expanded[block][t][cycle];
-                let ts = &mut stats.tiles[t];
-                if slot.fetch {
-                    ts.cm_fetches += 1;
-                }
-                let Some(instr) = &slot.instr else {
-                    ts.idle_cycles += 1;
-                    continue;
-                };
-                ts.active_cycles += 1;
-                let Instr::Exec { opcode, dst, srcs } = instr else {
-                    unreachable!("pnops were expanded away");
-                };
-                // Operand fetch.
-                let mut args = Vec::with_capacity(srcs.len());
-                for s in srcs {
-                    let v = match *s {
-                        Operand::Crf(i) => {
-                            stats.tiles[t].crf_reads += 1;
-                            *binary.crf[t]
-                                .get(i as usize)
-                                .ok_or(SimError::BadConstant { tile: t, idx: i })?
-                        }
-                        Operand::Reg(r) => {
-                            stats.tiles[t].rf_reads += 1;
-                            *rf[t]
-                                .get(r as usize)
-                                .ok_or(SimError::BadRegister { tile: t, reg: r })?
-                        }
-                        Operand::Neighbor(d, r) => {
-                            stats.tiles[t].neighbor_reads += 1;
-                            let n = geom.neighbor(cmam_arch::TileId(t), d).0;
-                            *rf[n]
-                                .get(r as usize)
-                                .ok_or(SimError::BadRegister { tile: n, reg: r })?
-                        }
-                    };
-                    args.push(v);
-                }
-                match opcode {
-                    Opcode::Load => {
-                        stats.tiles[t].loads += 1;
-                        mem_ops.push((t, Opcode::Load, args[0] as i64, 0, *dst));
-                    }
-                    Opcode::Store => {
-                        stats.tiles[t].stores += 1;
-                        mem_ops.push((t, Opcode::Store, args[0] as i64, args[1], None));
-                    }
-                    Opcode::Br => {
-                        stats.tiles[t].alu_ops += 1;
-                        br_flag = args[0] != 0;
-                    }
-                    Opcode::Mov => {
-                        stats.tiles[t].moves += 1;
-                        rf_writes.push((t, dst.expect("mov has a destination"), args[0]));
-                    }
-                    op => {
-                        stats.tiles[t].alu_ops += 1;
-                        let r = op.eval(&args);
-                        if let Some(d) = dst {
-                            rf_writes.push((t, *d, r));
-                        }
-                    }
-                }
-            }
-
-            // Phase 2: TCDM accesses with bank-conflict stalls.
-            if !mem_ops.is_empty() {
-                let mut bank_load = vec![0u64; options.mem_banks.max(1)];
-                for &(t, op, addr, val, dst) in &mem_ops {
-                    let idx = usize::try_from(addr).ok().filter(|&i| i < mem.len());
-                    let Some(i) = idx else {
-                        return Err(SimError::OutOfBounds {
-                            addr,
-                            size: mem.len(),
-                        });
-                    };
-                    bank_load[i % options.mem_banks.max(1)] += 1;
-                    match op {
-                        Opcode::Load => {
-                            rf_writes.push((t, dst.expect("load has a destination"), mem[i]));
-                        }
-                        Opcode::Store => mem[i] = val,
-                        _ => unreachable!(),
-                    }
-                }
-                let stall: u64 = bank_load.iter().map(|&c| c.saturating_sub(1)).sum();
-                stats.cycles += stall;
-                stats.stall_cycles += stall;
-            }
-
-            // Phase 3: commit register writes.
-            for (t, r, v) in rf_writes {
-                let cell = rf[t]
-                    .get_mut(r as usize)
-                    .ok_or(SimError::BadRegister { tile: t, reg: r })?;
-                *cell = v;
-                stats.tiles[t].rf_writes += 1;
-            }
-        }
-
-        match binary.terminators[block] {
-            BinTerminator::Jump(b) => block = b as usize,
-            BinTerminator::Branch { taken, fallthrough } => {
-                block = if br_flag { taken } else { fallthrough } as usize;
-            }
-            BinTerminator::Return => break,
-        }
-    }
-    Ok(stats)
+    DecodedProgram::decode(binary, config)?.simulate(mem, options)
 }
 
 #[cfg(test)]
@@ -337,7 +180,7 @@ mod tests {
         assert_eq!(mem, golden, "simulated memory differs from golden");
         assert_eq!(mem[100], (1..=8).map(|x: i32| x * x).sum::<i32>());
         // The loop body ran 8 times.
-        assert_eq!(stats.block_execs[&1], 8);
+        assert_eq!(stats.block_execs[1], 8);
         assert!(stats.cycles > 0);
     }
 
@@ -461,6 +304,36 @@ mod tests {
     }
 
     #[test]
+    fn zero_banks_normalizes_to_one() {
+        // `mem_banks: 0` is the degenerate single-bank memory: every
+        // same-cycle access pair conflicts, and nothing divides by zero.
+        let cdfg = sum_squares_cdfg(4, 64);
+        let config = CgraConfig::hom64();
+        let mapper = Mapper::new(MapperOptions::basic());
+        let result = mapper.map(&cdfg, &config).expect("mapping");
+        let (binary, _) = assemble(&cdfg, &result.mapping, &config).expect("assembly");
+        let run = |banks: usize| {
+            let mut mem = vec![1i32; 80];
+            let stats = simulate(
+                &binary,
+                &config,
+                &mut mem,
+                SimOptions {
+                    mem_banks: banks,
+                    max_cycles: 1_000_000,
+                },
+            )
+            .expect("sim");
+            (stats, mem)
+        };
+        let (s0, m0) = run(0);
+        let (s1, m1) = run(1);
+        assert_eq!(s0, s1, "0 banks must behave exactly like 1 bank");
+        assert_eq!(m0, m1);
+        assert_eq!(SimOptions::default().normalized(), SimOptions::default());
+    }
+
+    #[test]
     fn out_of_bounds_reported() {
         let mut b = CdfgBuilder::new("oob");
         let _ = b.block("b");
@@ -477,5 +350,28 @@ mod tests {
         let mut mem = vec![0i32; 16];
         let err = simulate(&binary, &config, &mut mem, SimOptions::default()).unwrap_err();
         assert!(matches!(err, SimError::OutOfBounds { addr: 500, .. }));
+    }
+
+    #[test]
+    fn corrupt_register_index_fails_at_decode() {
+        // A hand-corrupted binary referencing a register outside the RF
+        // must fail before cycle 0 (decode-time validation), with the
+        // same error the reference simulator reports lazily.
+        let cdfg = sum_squares_cdfg(2, 64);
+        let config = CgraConfig::hom64();
+        let mapper = Mapper::new(MapperOptions::basic());
+        let result = mapper.map(&cdfg, &config).expect("mapping");
+        let (mut binary, _) = assemble(&cdfg, &result.mapping, &config).expect("assembly");
+        let bad = config.tile(TileId(0)).rf_words as u8;
+        'corrupt: for block in &mut binary.tiles[0].blocks {
+            for word in block.iter_mut() {
+                if let cmam_isa::Instr::Exec { dst: Some(d), .. } = word {
+                    *d = bad;
+                    break 'corrupt;
+                }
+            }
+        }
+        let err = DecodedProgram::decode(&binary, &config).unwrap_err();
+        assert_eq!(err, SimError::BadRegister { tile: 0, reg: bad });
     }
 }

@@ -1,7 +1,6 @@
 //! Activity counters produced by the simulator, consumed by `cmam-energy`.
 
 use cmam_arch::TileId;
-use std::collections::HashMap;
 
 /// Per-tile activity over a whole kernel run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -32,6 +31,27 @@ pub struct TileStats {
     pub rf_writes: u64,
 }
 
+impl TileStats {
+    /// Adds `n` times every counter of `other` into `self`. The decoded
+    /// simulator uses this to reconstruct a whole run's per-tile
+    /// activity from each block's statically-known per-execution delta
+    /// and its execution count — one pass after the run, zero stats
+    /// work inside the cycle loop.
+    pub fn accumulate_scaled(&mut self, other: &TileStats, n: u64) {
+        self.active_cycles += n * other.active_cycles;
+        self.idle_cycles += n * other.idle_cycles;
+        self.cm_fetches += n * other.cm_fetches;
+        self.alu_ops += n * other.alu_ops;
+        self.moves += n * other.moves;
+        self.loads += n * other.loads;
+        self.stores += n * other.stores;
+        self.rf_reads += n * other.rf_reads;
+        self.neighbor_reads += n * other.neighbor_reads;
+        self.crf_reads += n * other.crf_reads;
+        self.rf_writes += n * other.rf_writes;
+    }
+}
+
 /// Whole-run statistics.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SimStats {
@@ -40,8 +60,9 @@ pub struct SimStats {
     pub cycles: u64,
     /// Cycles lost to TCDM bank conflicts.
     pub stall_cycles: u64,
-    /// Executions per block (by block index).
-    pub block_execs: HashMap<u32, u64>,
+    /// Executions per block, indexed by block id — dense, so iteration
+    /// is deterministic by construction (blocks that never ran hold 0).
+    pub block_execs: Vec<u64>,
     /// Per-tile counters.
     pub tiles: Vec<TileStats>,
 }
@@ -85,7 +106,7 @@ mod tests {
         let mut s = SimStats {
             cycles: 10,
             stall_cycles: 0,
-            block_execs: HashMap::new(),
+            block_execs: Vec::new(),
             tiles: vec![TileStats::default(); 2],
         };
         s.tiles[0].alu_ops = 3;

@@ -1,0 +1,230 @@
+//! Golden-equivalence suite for the assemble→simulate back half of the
+//! pipeline: the simulator and the assembler must keep producing
+//! **exactly** the `SimStats`, final memory image and `AsmReport` they
+//! produced before the decoded-program / dense-table optimizations, for
+//! every kernel × golden configuration × flow variant.
+//!
+//! The golden file (`tests/golden/simulator.golden`) was generated
+//! against the pre-optimization code (the per-call `expand_with_fetch`
+//! re-expansion, the per-cycle `Vec` allocations, the `HashMap`-keyed
+//! assembler tables) and is the contract the flat `DecodedProgram`
+//! simulator and the index-keyed assembler must preserve bit-for-bit.
+//!
+//! Regenerate (only when an *intentional* semantic change lands) with:
+//!
+//! ```text
+//! CMAM_REGEN_GOLDEN=1 cargo test -p cmam_sim --test golden_equivalence
+//! ```
+
+use cmam_arch::CgraConfig;
+use cmam_core::{FlowVariant, Mapper};
+use cmam_isa::AsmReport;
+use cmam_sim::{simulate, SimOptions, SimStats};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// FNV-1a, the same construction the engine uses for content hashes
+/// (reimplemented here because `cmam_sim` must not depend on
+/// `cmam_engine`).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+    fn i32(&mut self, v: i32) {
+        self.u64(v as u32 as u64);
+    }
+}
+
+/// Canonical content hash of a whole `SimStats`: every global counter,
+/// the per-block execution counts (non-zero entries, sorted by block
+/// index — representation-independent) and all eleven per-tile counters.
+fn stats_digest(s: &SimStats) -> u64 {
+    let mut h = Fnv::new();
+    h.u64(s.cycles);
+    h.u64(s.stall_cycles);
+    let mut blocks: Vec<(u32, u64)> = s
+        .block_execs
+        .iter()
+        .enumerate()
+        .filter(|&(_, &n)| n > 0)
+        .map(|(b, &n)| (b as u32, n))
+        .collect();
+    blocks.sort_unstable();
+    h.usize(blocks.len());
+    for (b, n) in blocks {
+        h.u64(b as u64);
+        h.u64(n);
+    }
+    h.usize(s.tiles.len());
+    for t in &s.tiles {
+        for v in [
+            t.active_cycles,
+            t.idle_cycles,
+            t.cm_fetches,
+            t.alu_ops,
+            t.moves,
+            t.loads,
+            t.stores,
+            t.rf_reads,
+            t.neighbor_reads,
+            t.crf_reads,
+            t.rf_writes,
+        ] {
+            h.u64(v);
+        }
+    }
+    h.0
+}
+
+/// Content hash of the final data-memory image, word for word.
+fn mem_digest(mem: &[i32]) -> u64 {
+    let mut h = Fnv::new();
+    h.usize(mem.len());
+    for &w in mem {
+        h.i32(w);
+    }
+    h.0
+}
+
+/// Content hash of the assembler's word accounting.
+fn report_digest(r: &AsmReport) -> u64 {
+    let mut h = Fnv::new();
+    h.usize(r.per_tile.len());
+    for &(o, m, p) in &r.per_tile {
+        h.usize(o);
+        h.usize(m);
+        h.usize(p);
+    }
+    h.0
+}
+
+/// The same configuration set the mapper golden suite pins: the smoke
+/// configurations plus the two uniformly tight targets whose constrained
+/// searches exercise the assemble-failure path (memory-unaware flows on
+/// small context memories).
+fn configs() -> Vec<CgraConfig> {
+    vec![
+        CgraConfig::hom64(),
+        CgraConfig::het1(),
+        CgraConfig::het2(),
+        CgraConfig::builder(4, 4)
+            .uniform_cm(16)
+            .name("TIGHT16")
+            .build()
+            .expect("valid config"),
+        CgraConfig::builder(4, 4)
+            .uniform_cm(24)
+            .name("TIGHT24")
+            .build()
+            .expect("valid config"),
+    ]
+}
+
+/// One observed line of the suite:
+///
+/// `<kernel> <variant> <config> ok <cycles> <stats> <mem> <report>`
+/// `<kernel> <variant> <config> maperr|asmerr|simerr <escaped message>`
+fn observe(kernel: &str, variant: FlowVariant, config: &CgraConfig) -> String {
+    let spec = cmam_kernels::all()
+        .into_iter()
+        .find(|s| s.name == kernel)
+        .expect("known kernel");
+    let head = format!("{kernel} {variant} {}", config.name());
+    let esc = |e: String| e.replace(' ', "_");
+    let mapper = Mapper::new(variant.options());
+    let result = match mapper.map(&spec.cdfg, config) {
+        Ok(r) => r,
+        Err(e) => return format!("{head} maperr {}", esc(e.to_string())),
+    };
+    let (binary, report) = match cmam_isa::assemble(&spec.cdfg, &result.mapping, config) {
+        Ok(b) => b,
+        Err(e) => return format!("{head} asmerr {}", esc(e.to_string())),
+    };
+    let mut mem = spec.mem.clone();
+    match simulate(&binary, config, &mut mem, SimOptions::default()) {
+        Ok(stats) => {
+            spec.check(&mem)
+                .unwrap_or_else(|(i, got, want)| panic!("{head}: mem[{i}]={got}, want {want}"));
+            format!(
+                "{head} ok {} {:016x} {:016x} {:016x}",
+                stats.cycles,
+                stats_digest(&stats),
+                mem_digest(&mem),
+                report_digest(&report)
+            )
+        }
+        Err(e) => format!("{head} simerr {}", esc(e.to_string())),
+    }
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("simulator.golden")
+}
+
+fn run_suite() -> String {
+    let kernels: Vec<&'static str> = cmam_kernels::all().iter().map(|s| s.name).collect();
+    let mut out = String::new();
+    for kernel in &kernels {
+        for config in &configs() {
+            for variant in FlowVariant::ALL {
+                let _ = writeln!(out, "{}", observe(kernel, variant, config));
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn simulator_and_assembler_match_golden() {
+    let path = golden_path();
+    let observed = run_suite();
+    if std::env::var_os("CMAM_REGEN_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir");
+        std::fs::write(&path, &observed).expect("write golden");
+        eprintln!("regenerated {}", path.display());
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); generate it with \
+             CMAM_REGEN_GOLDEN=1 cargo test -p cmam_sim --test golden_equivalence",
+            path.display()
+        )
+    });
+    let golden_lines: Vec<&str> = golden.lines().collect();
+    let observed_lines: Vec<&str> = observed.lines().collect();
+    assert_eq!(
+        golden_lines.len(),
+        observed_lines.len(),
+        "suite shape changed: {} golden lines vs {} observed",
+        golden_lines.len(),
+        observed_lines.len()
+    );
+    let mut diffs = Vec::new();
+    for (g, o) in golden_lines.iter().zip(&observed_lines) {
+        if g != o {
+            diffs.push(format!("  golden:   {g}\n  observed: {o}"));
+        }
+    }
+    assert!(
+        diffs.is_empty(),
+        "{} of {} jobs diverged from the golden simulator/assembler:\n{}",
+        diffs.len(),
+        golden_lines.len(),
+        diffs.join("\n")
+    );
+}
