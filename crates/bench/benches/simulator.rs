@@ -19,7 +19,7 @@ fn bench_simulator(c: &mut Criterion) {
         let result = mapper.map(&spec.cdfg, &config).expect("maps");
         let (binary, _) = cmam_isa::assemble(&spec.cdfg, &result.mapping, &config).expect("asm");
         group.bench_with_input(
-            BenchmarkId::new("simulate", spec.name),
+            BenchmarkId::new("simulate", &spec.name),
             &binary,
             |b, binary| {
                 b.iter(|| {
@@ -32,7 +32,7 @@ fn bench_simulator(c: &mut Criterion) {
         // the steady-state cost a sweep pays per simulation.
         let decoded = DecodedProgram::decode(&binary, &config).expect("decodes");
         group.bench_with_input(
-            BenchmarkId::new("simulate_decoded", spec.name),
+            BenchmarkId::new("simulate_decoded", &spec.name),
             &decoded,
             |b, decoded| {
                 b.iter(|| {
@@ -42,7 +42,7 @@ fn bench_simulator(c: &mut Criterion) {
             },
         );
         group.bench_with_input(
-            BenchmarkId::new("simulate_reference", spec.name),
+            BenchmarkId::new("simulate_reference", &spec.name),
             &binary,
             |b, binary| {
                 b.iter(|| {
@@ -57,7 +57,7 @@ fn bench_simulator(c: &mut Criterion) {
             },
         );
         group.bench_with_input(
-            BenchmarkId::new("assemble", spec.name),
+            BenchmarkId::new("assemble", &spec.name),
             &result.mapping,
             |b, mapping| b.iter(|| black_box(cmam_isa::assemble(&spec.cdfg, mapping, &config))),
         );

@@ -14,9 +14,11 @@
 //! Flags: `--quick` (1 iteration instead of 5, the CI setting),
 //! `--iters N` (explicit iteration count), `--threads N` (measure only
 //! one run, at N mapper threads), `--out PATH` (where to write the JSON;
-//! default `BENCH_mapper.json` in the current directory).
+//! default `BENCH_mapper.json` in the current directory), and
+//! `--generated N [--seed S] [--profile P]` (append N generated kernels
+//! to the measured set — workloads the mapper was never tuned on).
 
-use cmam_bench::mapper_bench;
+use cmam_bench::{mapper_bench, GenCli};
 
 /// The default parallel row: every hardware thread, but at least 2 so
 /// the beam-parallel code path is always exercised and tracked.
@@ -53,9 +55,12 @@ fn main() {
                 i += 1;
                 out = args.get(i).expect("--out needs a path").clone();
             }
+            // Parsed by GenCli below; skip their values here.
+            "--generated" | "--seed" | "--profile" => i += 1,
             other => {
                 eprintln!(
-                    "unknown flag {other} (known: --quick, --iters N, --threads N, --out PATH)"
+                    "unknown flag {other} (known: --quick, --iters N, --threads N, --out PATH, \
+                     --generated N, --seed S, --profile P)"
                 );
                 std::process::exit(2);
             }
@@ -63,6 +68,7 @@ fn main() {
         i += 1;
     }
     assert!(iterations > 0, "--iters must be positive");
+    let extra = GenCli::from_args().specs();
 
     let thread_counts: Vec<usize> = match threads {
         Some(n) => vec![n],
@@ -74,7 +80,7 @@ fn main() {
         eprintln!(
             "bench_mapper: {iterations} iteration(s) per job, {t} mapper thread(s), uncached"
         );
-        let report = mapper_bench::run(iterations, t);
+        let report = mapper_bench::run(iterations, t, &extra);
 
         let mut rows = Vec::new();
         for j in &report.jobs {

@@ -11,9 +11,11 @@
 //!
 //! Flags: `--quick` (20 iterations instead of 100, the CI setting),
 //! `--iters N` (explicit iteration count), `--out PATH` (where to write
-//! the JSON; default `BENCH_sim.json` in the current directory).
+//! the JSON; default `BENCH_sim.json` in the current directory), and
+//! `--generated N [--seed S] [--profile P]` (append N generated kernels
+//! to the measured set).
 
-use cmam_bench::sim_bench;
+use cmam_bench::{sim_bench, GenCli};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -34,17 +36,23 @@ fn main() {
                 i += 1;
                 out = args.get(i).expect("--out needs a path").clone();
             }
+            // Parsed by GenCli below; skip their values here.
+            "--generated" | "--seed" | "--profile" => i += 1,
             other => {
-                eprintln!("unknown flag {other} (known: --quick, --iters N, --out PATH)");
+                eprintln!(
+                    "unknown flag {other} (known: --quick, --iters N, --out PATH, \
+                     --generated N, --seed S, --profile P)"
+                );
                 std::process::exit(2);
             }
         }
         i += 1;
     }
     assert!(iterations > 0, "--iters must be positive");
+    let extra = GenCli::from_args().specs();
 
     eprintln!("bench_sim: {iterations} iteration(s) per job, uncached");
-    let report = sim_bench::run(iterations);
+    let report = sim_bench::run(iterations, &extra);
 
     let mut rows = Vec::new();
     for j in &report.jobs {

@@ -8,9 +8,12 @@
 //! submitted as one batch, executed on the work-stealing pool and
 //! memoised under `target/cmam-cache/`, so re-running the sweep after the
 //! first time costs milliseconds. Use `--jobs N` to bound the workers,
-//! `--csv` for machine-readable tables.
+//! `--csv` for machine-readable tables, and
+//! `--generated N [--seed S] [--profile P]` to widen the kernel mix with
+//! N generated kernels — a DSE verdict that holds beyond the seven
+//! hand-written workloads.
 
-use cmam_bench::{cgra_energy_of, emit_table, engine, ratio, JobRequest};
+use cmam_bench::{cgra_energy_of, emit_table, engine, ratio, GenCli, JobRequest};
 use cmam_core::FlowVariant;
 use std::time::Instant;
 
@@ -32,7 +35,8 @@ struct ConfigPoint {
 
 fn main() {
     println!("# DSE: energy/latency Pareto frontier over generated configurations\n");
-    let specs = cmam_kernels::all();
+    let mut specs = cmam_kernels::all();
+    specs.extend(GenCli::from_args().specs());
     let space = cmam_engine::dse::config_space();
     let mut requests = Vec::new();
     for config in &space {

@@ -8,12 +8,19 @@
 //! deliberately free of wall-clock noise: a cached re-run, or a run with a
 //! different `--jobs` count, must produce byte-identical output (CI diffs
 //! two consecutive runs). Timing and engine counters go to stderr.
+//!
+//! `--generated N [--seed S] [--profile P]` appends N generated kernels to
+//! the matrix — the one-command replay path for a failing CI seed:
+//! `smoke --generated 1 --seed 0x<seed>` (see `gen_suite --kernel-seed`
+//! for single-kernel replay at an exact generation seed). Without the
+//! flag, output is byte-identical to before the flag existed.
 
-use cmam_bench::{engine, smoke_matrix, JobRequest};
+use cmam_bench::{engine, smoke_matrix, GenCli, JobRequest};
 use std::time::Instant;
 
 fn main() {
-    let specs = cmam_kernels::all();
+    let mut specs = cmam_kernels::all();
+    specs.extend(GenCli::from_args().specs());
     let matrix = smoke_matrix();
     let mut requests = Vec::new();
     let mut labels = Vec::new();

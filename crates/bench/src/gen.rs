@@ -1,0 +1,171 @@
+//! Shared CLI plumbing for generated workloads.
+//!
+//! Every experiment binary understands `--generated N --seed S` through
+//! [`GenCli::from_args`]: `N` extra kernels are derived from root seed `S`
+//! (profiles cycling through [`GenParams::PROFILES`], per-kernel seeds
+//! from [`cmam_kernels::kernel_seeds`]) and appended to the seven
+//! hand-written kernels. With no flags, [`GenCli::specs`] is empty and
+//! every binary's default output is byte-identical to before the flags
+//! existed (CI relies on that for the smoke-twice diff).
+
+use cmam_cdfg::generate::GenParams;
+use cmam_kernels::{generated_spec, kernel_seeds, KernelSpec};
+
+/// Root seed used when `--generated N` is given without `--seed`. Also the
+/// fixed seed of the CI `gen_suite` block.
+pub const DEFAULT_GEN_SEED: u64 = 0xDA5_2019; // Das et al., DATE 2019
+
+/// Parsed `--generated N [--seed S] [--profile P]` flags.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GenCli {
+    /// Number of generated kernels requested (0 when the flag is absent).
+    pub generated: usize,
+    /// Root seed (decimal or `0x…` hex).
+    pub seed: u64,
+    /// Profile name, or "mixed" to cycle through all profiles.
+    pub profile: String,
+}
+
+impl Default for GenCli {
+    fn default() -> Self {
+        GenCli {
+            generated: 0,
+            seed: DEFAULT_GEN_SEED,
+            profile: "mixed".to_owned(),
+        }
+    }
+}
+
+/// Parses `s` as decimal or `0x…`/`0X…` hexadecimal.
+pub fn parse_u64(s: &str) -> Result<u64, String> {
+    let r = if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16)
+    } else {
+        s.parse()
+    };
+    r.map_err(|_| format!("not a number: {s}"))
+}
+
+impl GenCli {
+    /// Reads the flags from an argument list (typically
+    /// `std::env::args().skip(1)`). Unknown arguments are ignored — each
+    /// binary parses its own flags from the same list.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when a flag is present without a value or with an
+    /// unparsable one.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<GenCli, String> {
+        let mut cli = GenCli::default();
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            let mut take = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+            match a.as_str() {
+                "--generated" => {
+                    cli.generated = take("--generated")?
+                        .parse()
+                        .map_err(|e| format!("--generated: {e}"))?;
+                }
+                "--seed" => cli.seed = parse_u64(&take("--seed")?)?,
+                "--profile" => {
+                    let p = take("--profile")?;
+                    if p != "mixed" && GenParams::profile(&p).is_none() {
+                        return Err(format!(
+                            "unknown profile {p}; known: mixed, {}",
+                            GenParams::PROFILES.join(", ")
+                        ));
+                    }
+                    cli.profile = p;
+                }
+                _ => {}
+            }
+        }
+        Ok(cli)
+    }
+
+    /// [`GenCli::parse`] over the process arguments, exiting with the
+    /// error message on a bad flag.
+    pub fn from_args() -> GenCli {
+        GenCli::parse(std::env::args().skip(1)).unwrap_or_else(|e| {
+            eprintln!("gen: {e}");
+            std::process::exit(2);
+        })
+    }
+
+    /// The parameter profile for the `k`-th kernel of this run.
+    pub fn params_for(&self, k: usize) -> GenParams {
+        if self.profile == "mixed" {
+            let name = GenParams::PROFILES[k % GenParams::PROFILES.len()];
+            GenParams::profile(name).expect("known profile")
+        } else {
+            GenParams::profile(&self.profile).expect("validated at parse time")
+        }
+    }
+
+    /// The generated kernels these flags ask for (empty without
+    /// `--generated`).
+    pub fn specs(&self) -> Vec<KernelSpec> {
+        let seeds = kernel_seeds(self.seed, self.generated);
+        seeds
+            .iter()
+            .enumerate()
+            .map(|(k, &s)| generated_spec(&self.params_for(k), s))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn absent_flags_mean_no_generated_kernels() {
+        let cli = GenCli::parse(argv(&["--jobs", "4", "--csv"])).unwrap();
+        assert_eq!(cli, GenCli::default());
+        assert!(cli.specs().is_empty());
+    }
+
+    #[test]
+    fn flags_parse_decimal_and_hex() {
+        let cli = GenCli::parse(argv(&["--generated", "3", "--seed", "0xBEEF"])).unwrap();
+        assert_eq!(cli.generated, 3);
+        assert_eq!(cli.seed, 0xBEEF);
+        let cli = GenCli::parse(argv(&["--seed", "12345"])).unwrap();
+        assert_eq!(cli.seed, 12345);
+    }
+
+    #[test]
+    fn bad_values_are_rejected() {
+        assert!(GenCli::parse(argv(&["--seed"])).is_err());
+        assert!(GenCli::parse(argv(&["--seed", "zap"])).is_err());
+        assert!(GenCli::parse(argv(&["--generated", "-1"])).is_err());
+        assert!(GenCli::parse(argv(&["--profile", "nope"])).is_err());
+    }
+
+    #[test]
+    fn specs_are_deterministic_and_named_by_seed() {
+        let cli = GenCli::parse(argv(&["--generated", "2", "--seed", "7"])).unwrap();
+        let a = cli.specs();
+        let b = cli.specs();
+        assert_eq!(a.len(), 2);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.cdfg, y.cdfg);
+            assert_eq!(x.mem, y.mem);
+        }
+        assert!(a[0].name.starts_with("gen-default-"));
+        assert!(a[1].name.starts_with("gen-memory_bound-"));
+    }
+
+    #[test]
+    fn fixed_profile_applies_to_every_kernel() {
+        let cli = GenCli::parse(argv(&["--generated", "3", "--profile", "deep"])).unwrap();
+        for spec in cli.specs() {
+            assert!(spec.name.starts_with("gen-deep-"), "{}", spec.name);
+        }
+    }
+}

@@ -22,8 +22,11 @@ use cmam_energy::{cpu_energy, EnergyBreakdown, EnergyParams};
 use cmam_kernels::KernelSpec;
 use std::sync::OnceLock;
 
+pub mod gen;
 pub mod mapper_bench;
 pub mod sim_bench;
+
+pub use gen::GenCli;
 
 pub use cmam_engine::{
     smoke_matrix, Engine, EngineOptions, EngineStats, FailStage, JobRequest, RunFailure, RunOutcome,

@@ -108,11 +108,17 @@ pub fn bench_matrix() -> Vec<(FlowVariant, CgraConfig)> {
 /// Runs the benchmark: maps every kernel × [`bench_matrix`] combination
 /// `iterations` times with `threads` mapper threads (1 = the sequential
 /// hot loop), one job at a time, with no caching, timing only
-/// `Mapper::map`.
-pub fn run(iterations: u32, threads: usize) -> MapperBenchReport {
+/// `Mapper::map`. `extra` kernels (e.g. generated ones via
+/// `--generated N`) are appended after the seven paper kernels.
+pub fn run(
+    iterations: u32,
+    threads: usize,
+    extra: &[cmam_kernels::KernelSpec],
+) -> MapperBenchReport {
     assert!(iterations > 0, "at least one iteration");
     assert!(threads > 0, "at least one thread");
-    let specs = cmam_kernels::all();
+    let mut specs = cmam_kernels::all();
+    specs.extend(extra.iter().cloned());
     let mut jobs = Vec::new();
     for spec in &specs {
         for (variant, config) in bench_matrix() {

@@ -136,10 +136,13 @@ pub fn bench_matrix() -> Vec<(FlowVariant, CgraConfig)> {
 
 /// Runs the benchmark: for every kernel × [`bench_matrix`] combination,
 /// maps once (untimed), then times `iterations` calls of the assembler,
-/// the reference simulator and the decoded simulator.
-pub fn run(iterations: u32) -> SimBenchReport {
+/// the reference simulator and the decoded simulator. `extra` kernels
+/// (e.g. generated ones via `--generated N`) are appended after the seven
+/// paper kernels.
+pub fn run(iterations: u32, extra: &[cmam_kernels::KernelSpec]) -> SimBenchReport {
     assert!(iterations > 0, "at least one iteration");
-    let specs = cmam_kernels::all();
+    let mut specs = cmam_kernels::all();
+    specs.extend(extra.iter().cloned());
     let mut jobs = Vec::new();
     for spec in &specs {
         for (variant, config) in bench_matrix() {

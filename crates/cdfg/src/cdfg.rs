@@ -68,8 +68,10 @@ pub struct BasicBlock {
 /// arenas, symbol variables and memory alias classes.
 ///
 /// Construct with [`crate::CdfgBuilder`]; inspect per-block data flow with
-/// [`Cdfg::dfg`].
-#[derive(Debug, Clone)]
+/// [`Cdfg::dfg`]. Equality is full structural equality (every block, op,
+/// value, symbol and alias class) — the generator-determinism suite relies
+/// on it to pin byte-identical generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Cdfg {
     pub(crate) name: String,
     pub(crate) blocks: Vec<BasicBlock>,

@@ -68,6 +68,7 @@ pub mod builder;
 pub mod cdfg;
 pub mod dfg;
 pub mod dot;
+pub mod generate;
 pub mod interp;
 pub mod op;
 pub mod validate;
@@ -76,6 +77,7 @@ pub mod value;
 pub use builder::CdfgBuilder;
 pub use cdfg::{BasicBlock, BlockId, Cdfg, Terminator};
 pub use dfg::{Dfg, Op, OpId};
+pub use generate::{generate, Fanout, GenParams, GeneratedKernel};
 pub use interp::{InterpError, InterpStats};
 pub use op::Opcode;
 pub use validate::ValidateError;

@@ -1,0 +1,65 @@
+//! Determinism guarantees of the workload generator: the same
+//! `(GenParams, seed)` must yield a byte-identical kernel on every call,
+//! from every thread, in any interleaving. A `HashMap`-iteration order or
+//! ambient-state leak into generation would show up here (the
+//! cross-*process* half of the guarantee lives in the bench crate's
+//! `gen_suite --digest` test).
+
+use cmam_cdfg::generate::{generate, GenParams, GeneratedKernel};
+use std::thread;
+
+fn all_profiles() -> Vec<GenParams> {
+    GenParams::PROFILES
+        .iter()
+        .map(|n| GenParams::profile(n).expect("known profile"))
+        .collect()
+}
+
+#[test]
+fn repeated_generation_is_identical() {
+    for p in all_profiles() {
+        for seed in [0u64, 1, 0xDEAD_BEEF, u64::MAX] {
+            let a = generate(&p, seed);
+            let b = generate(&p, seed);
+            assert_eq!(a, b, "profile {} seed {seed:#x}", p.label);
+        }
+    }
+}
+
+#[test]
+fn generation_is_identical_across_threads() {
+    // Each of 4 threads generates the full profile × seed grid; every
+    // thread must see the exact kernels the main thread sees.
+    let expected: Vec<GeneratedKernel> = all_profiles()
+        .iter()
+        .flat_map(|p| (0..4u64).map(move |s| generate(p, s)))
+        .collect();
+    let workers: Vec<_> = (0..4)
+        .map(|_| {
+            thread::spawn(|| -> Vec<GeneratedKernel> {
+                all_profiles()
+                    .iter()
+                    .flat_map(|p| (0..4u64).map(move |s| generate(p, s)))
+                    .collect()
+            })
+        })
+        .collect();
+    for w in workers {
+        let got = w.join().expect("generator thread panicked");
+        assert_eq!(got, expected);
+    }
+}
+
+#[test]
+fn distinct_seeds_and_profiles_give_distinct_kernels() {
+    let p = GenParams::default();
+    let mut seen: Vec<GeneratedKernel> = Vec::new();
+    for seed in 0..32u64 {
+        let g = generate(&p, seed);
+        assert!(
+            !seen.contains(&g),
+            "seed {seed} duplicates an earlier kernel"
+        );
+        seen.push(g);
+    }
+}

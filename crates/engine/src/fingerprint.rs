@@ -249,7 +249,7 @@ impl Fingerprint for Cdfg {
 
 impl Fingerprint for KernelSpec {
     fn fingerprint(&self, h: &mut Fnv64) {
-        h.feed_str(self.name);
+        h.feed_str(&self.name);
         self.cdfg.fingerprint(h);
         // The memory image and expected outputs are simulation inputs: a
         // kernel re-instanced with different data is a different job.

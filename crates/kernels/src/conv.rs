@@ -136,7 +136,7 @@ pub fn spec() -> KernelSpec {
     mem[..W * W].copy_from_slice(&img);
     let expected = reference(&mem);
     KernelSpec {
-        name: "Convolution",
+        name: "Convolution".to_owned(),
         cdfg: cdfg(),
         mem,
         out: OUT0..OUT0 + OW * OW,

@@ -91,7 +91,7 @@ pub fn spec() -> KernelSpec {
     }
     let expected = reference(&mem);
     KernelSpec {
-        name: "DC Filter",
+        name: "DC Filter".to_owned(),
         cdfg: cdfg(),
         mem,
         out: Y0..Y0 + LEN,

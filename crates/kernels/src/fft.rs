@@ -207,7 +207,7 @@ pub fn spec() -> KernelSpec {
     mem[TW0..TW0 + N].copy_from_slice(&twiddles());
     let expected = reference(&mem);
     KernelSpec {
-        name: "FFT",
+        name: "FFT".to_owned(),
         cdfg: cdfg(),
         mem,
         out: 0..2 * N,

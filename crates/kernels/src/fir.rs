@@ -91,7 +91,7 @@ pub fn spec() -> KernelSpec {
     mem[C0..C0 + TAPS].copy_from_slice(&c);
     let expected = reference(&mem);
     KernelSpec {
-        name: "FIR",
+        name: "FIR".to_owned(),
         cdfg: cdfg(),
         mem,
         out: Y0..Y0 + LEN,

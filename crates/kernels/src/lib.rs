@@ -20,9 +20,11 @@ pub mod data;
 pub mod dc;
 pub mod fft;
 pub mod fir;
+pub mod generated;
 pub mod matm;
 pub mod nonsep;
 pub mod sep;
 pub mod spec;
 
+pub use generated::{generated_spec, kernel_seeds};
 pub use spec::{all, KernelSpec};

@@ -119,7 +119,7 @@ pub fn spec() -> KernelSpec {
     mem[B0..B0 + N * N].copy_from_slice(&bmat);
     let expected = reference(&mem);
     KernelSpec {
-        name: "MatM",
+        name: "MatM".to_owned(),
         cdfg: cdfg(),
         mem,
         out: C0..C0 + N * N,

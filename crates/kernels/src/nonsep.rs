@@ -132,7 +132,7 @@ pub fn spec() -> KernelSpec {
     mem[W0..W0 + 25].copy_from_slice(&WEIGHTS);
     let expected = reference(&mem);
     KernelSpec {
-        name: "NonSepFilter",
+        name: "NonSepFilter".to_owned(),
         cdfg: cdfg(),
         mem,
         out: OUT0..OUT0 + OW * OW,

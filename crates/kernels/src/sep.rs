@@ -193,7 +193,7 @@ pub fn spec() -> KernelSpec {
     mem[..W * W].copy_from_slice(&img);
     let expected = reference(&mem);
     KernelSpec {
-        name: "SepFilter",
+        name: "SepFilter".to_owned(),
         cdfg: cdfg(),
         mem,
         out: OUT0..OUT0 + OW * OW,

@@ -7,8 +7,9 @@ use std::ops::Range;
 /// output (computed by the kernel's plain-Rust reference implementation).
 #[derive(Debug, Clone)]
 pub struct KernelSpec {
-    /// Kernel name as it appears in the paper's tables ("FIR", "MatM", …).
-    pub name: &'static str,
+    /// Kernel name: a paper-table name ("FIR", "MatM", …) for the seven
+    /// hand-written kernels, or `gen-<profile>-<seed>` for generated ones.
+    pub name: String,
     /// The kernel CDFG.
     pub cdfg: Cdfg,
     /// Initial data-memory image.
@@ -57,7 +58,7 @@ mod tests {
     fn all_seven_kernels_build_and_validate() {
         let kernels = all();
         assert_eq!(kernels.len(), 7);
-        let names: Vec<_> = kernels.iter().map(|k| k.name).collect();
+        let names: Vec<_> = kernels.iter().map(|k| k.name.as_str()).collect();
         assert_eq!(
             names,
             vec![

@@ -1,0 +1,106 @@
+//! Edge-shape kernels × bank-count edge cases: the structural corners the
+//! seven paper kernels never produce (single-block, load/store-only,
+//! maximum fan-out, zero-symbol), each run across the interesting
+//! `mem_banks` settings — the normalized `0`, a single bank (maximum
+//! conflicts) and the default `8` — demanding, per combination:
+//!
+//! * decoded fast path == reference simulator (`SimStats` + memory);
+//! * simulated memory == the CDFG interpreter's image (the generated
+//!   spec's `expected`).
+//!
+//! This extends the random straight-line property suite
+//! (`decoded_vs_reference`) to control flow, symbol pressure and
+//! memory-dominated blocks at the edges of the generator's knob space.
+
+use cmam_arch::CgraConfig;
+use cmam_cdfg::generate::GenParams;
+use cmam_core::{FlowVariant, Mapper};
+use cmam_isa::assemble;
+use cmam_kernels::generated_spec;
+use cmam_sim::{simulate_reference, DecodedProgram, SimOptions};
+
+const EDGE_PROFILES: [&str; 4] = [
+    "single_block",
+    "load_store_only",
+    "max_fanout",
+    "zero_symbol",
+];
+
+#[test]
+fn edge_shapes_agree_across_simulators_and_bank_counts() {
+    for profile in EDGE_PROFILES {
+        let params = GenParams::profile(profile).expect("known profile");
+        for seed in 0..6u64 {
+            let spec = generated_spec(&params, seed);
+            let config = CgraConfig::hom64();
+            let result = Mapper::new(FlowVariant::Basic.options())
+                .map(&spec.cdfg, &config)
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+            let (binary, _) = assemble(&spec.cdfg, &result.mapping, &config)
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+            let decoded = DecodedProgram::decode(&binary, &config)
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+
+            for banks in [0usize, 1, 8] {
+                let options = SimOptions {
+                    mem_banks: banks,
+                    max_cycles: 10_000_000,
+                };
+                let mut mem_ref = spec.mem.clone();
+                let stats_ref = simulate_reference(&binary, &config, &mut mem_ref, options)
+                    .unwrap_or_else(|e| panic!("{} banks={banks}: {e}", spec.name));
+                let mut mem_fast = spec.mem.clone();
+                let stats_fast = decoded
+                    .simulate(&mut mem_fast, options)
+                    .unwrap_or_else(|e| panic!("{} banks={banks}: {e}", spec.name));
+
+                assert_eq!(
+                    stats_fast, stats_ref,
+                    "{} banks={banks}: SimStats diverge",
+                    spec.name
+                );
+                assert_eq!(
+                    mem_fast, mem_ref,
+                    "{} banks={banks}: memory diverges",
+                    spec.name
+                );
+                spec.check(&mem_ref).unwrap_or_else(|(i, got, want)| {
+                    panic!(
+                        "{} banks={banks}: mem[{i}] = {got}, want {want} (interp)",
+                        spec.name
+                    )
+                });
+            }
+        }
+    }
+}
+
+#[test]
+fn zero_banks_normalizes_to_one_bank_on_generated_kernels() {
+    // `mem_banks = 0` must behave exactly like `1` (the documented
+    // normalization), not like "no banking" — pinned on a memory-heavy
+    // generated kernel where conflicts actually occur.
+    let params = GenParams::profile("load_store_only").expect("known profile");
+    let spec = generated_spec(&params, 11);
+    let config = CgraConfig::hom64();
+    let result = Mapper::new(FlowVariant::Basic.options())
+        .map(&spec.cdfg, &config)
+        .expect("maps");
+    let (binary, _) = assemble(&spec.cdfg, &result.mapping, &config).expect("assembles");
+    let decoded = DecodedProgram::decode(&binary, &config).expect("decodes");
+
+    let run = |banks: usize| {
+        let mut mem = spec.mem.clone();
+        let stats = decoded
+            .simulate(
+                &mut mem,
+                SimOptions {
+                    mem_banks: banks,
+                    max_cycles: 10_000_000,
+                },
+            )
+            .expect("simulates");
+        (stats, mem)
+    };
+    assert_eq!(run(0), run(1));
+}

@@ -176,7 +176,7 @@ fn golden_path() -> PathBuf {
 }
 
 fn run_suite() -> String {
-    let kernels: Vec<&'static str> = cmam_kernels::all().iter().map(|s| s.name).collect();
+    let kernels: Vec<String> = cmam_kernels::all().iter().map(|s| s.name.clone()).collect();
     let mut out = String::new();
     for kernel in &kernels {
         for config in &configs() {

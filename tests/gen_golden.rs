@@ -1,0 +1,140 @@
+//! Pinned corpus of generated kernels: a small, committed golden file
+//! over one fixed kernel per generator profile, so a regression anywhere
+//! in generate → map → assemble → simulate is caught by `cargo test`
+//! without re-running the full `gen_suite` sweep.
+//!
+//! Each line digests the *observable pipeline output* for one
+//! (kernel, flow, config) job: cycle count, the assembled program's
+//! context listing, the final memory image and the headline simulator
+//! counters. The digests are plain FNV-1a — deliberately **not** the
+//! engine's salted content hash, which changes whenever toolchain source
+//! changes (that salt exists to invalidate caches, exactly what a
+//! committed golden must not do).
+//!
+//! Regenerate (only when an *intentional* generator or pipeline change
+//! lands) with:
+//!
+//! ```text
+//! CMAM_REGEN_GOLDEN=1 cargo test --test gen_golden
+//! ```
+
+use cmam::arch::CgraConfig;
+use cmam::cdfg::generate::GenParams;
+use cmam::core::{FlowVariant, Mapper};
+use cmam::isa::assemble;
+use cmam::kernels::{generated_spec, kernel_seeds};
+use cmam::sim::{simulate, SimOptions};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// Root seed of the pinned corpus (one derived seed per profile).
+const CORPUS_SEED: u64 = 0x601D;
+
+/// Plain FNV-1a (same construction as the mapper/simulator goldens).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+}
+
+/// One observed golden line:
+///
+/// `<kernel> <variant> <config> ok <cycles> <listing> <mem> <stats>`
+/// `<kernel> <variant> <config> maperr <message with spaces escaped>`
+fn observe(params: &GenParams, seed: u64, variant: FlowVariant, config: &CgraConfig) -> String {
+    let spec = generated_spec(params, seed);
+    let head = format!("{} {variant} {}", spec.name, config.name());
+    let result = match Mapper::new(variant.options()).map(&spec.cdfg, config) {
+        Ok(r) => r,
+        Err(e) => return format!("{head} maperr {}", e.to_string().replace(' ', "_")),
+    };
+    let (binary, _) = assemble(&spec.cdfg, &result.mapping, config).expect("assembles");
+
+    let mut mem = spec.mem.clone();
+    let stats = simulate(&binary, config, &mut mem, SimOptions::default()).expect("simulates");
+    spec.check(&mem)
+        .unwrap_or_else(|(i, got, want)| panic!("{head}: mem[{i}] = {got}, want {want}"));
+
+    let mut listing = Fnv::new();
+    listing.bytes(cmam::isa::listing::context_listing(&binary).as_bytes());
+    let mut memh = Fnv::new();
+    for &w in &mem {
+        memh.u64(w as u32 as u64);
+    }
+    let mut stat = Fnv::new();
+    stat.u64(stats.cycles);
+    stat.u64(stats.stall_cycles);
+    stat.u64(stats.total_instructions());
+    for &e in &stats.block_execs {
+        stat.u64(e);
+    }
+    format!(
+        "{head} ok {} {:016x} {:016x} {:016x}",
+        stats.cycles, listing.0, memh.0, stat.0
+    )
+}
+
+fn run_suite() -> String {
+    let seeds = kernel_seeds(CORPUS_SEED, GenParams::PROFILES.len());
+    let matrix = [
+        (FlowVariant::Basic, CgraConfig::hom64()),
+        (FlowVariant::Cab, CgraConfig::het1()),
+    ];
+    let mut out = String::new();
+    for (i, name) in GenParams::PROFILES.iter().enumerate() {
+        let params = GenParams::profile(name).expect("known profile");
+        for (variant, config) in &matrix {
+            let _ = writeln!(out, "{}", observe(&params, seeds[i], *variant, config));
+        }
+    }
+    out
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("generated.golden")
+}
+
+#[test]
+fn generated_corpus_matches_golden() {
+    let path = golden_path();
+    let observed = run_suite();
+    if std::env::var_os("CMAM_REGEN_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir");
+        std::fs::write(&path, &observed).expect("write golden");
+        eprintln!("regenerated {}", path.display());
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); generate it with \
+             CMAM_REGEN_GOLDEN=1 cargo test --test gen_golden",
+            path.display()
+        )
+    });
+    let golden_lines: Vec<&str> = golden.lines().collect();
+    let observed_lines: Vec<&str> = observed.lines().collect();
+    assert_eq!(
+        golden_lines.len(),
+        observed_lines.len(),
+        "golden file has {} lines, suite produced {}",
+        golden_lines.len(),
+        observed_lines.len()
+    );
+    for (g, o) in golden_lines.iter().zip(&observed_lines) {
+        assert_eq!(g, o, "generated-corpus divergence");
+    }
+}
