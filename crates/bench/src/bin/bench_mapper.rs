@@ -14,9 +14,13 @@
 //! Flags: `--quick` (1 iteration instead of 5, the CI setting),
 //! `--iters N` (explicit iteration count), `--threads N` (measure only
 //! one run, at N mapper threads), `--out PATH` (where to write the JSON;
-//! default `BENCH_mapper.json` in the current directory), and
+//! default `BENCH_mapper.json` in the current directory),
 //! `--generated N [--seed S] [--profile P]` (append N generated kernels
-//! to the measured set — workloads the mapper was never tuned on).
+//! to the measured set — workloads the mapper was never tuned on), and
+//! `--check BASELINE [--min-ratio R]` — the CI observability-overhead
+//! gate: after writing the JSON, compare this run's sequential
+//! throughput against the committed baseline and exit nonzero when it
+//! fell below `R` (default 0.5) of the baseline.
 
 use cmam_bench::{mapper_bench, GenCli};
 
@@ -27,10 +31,13 @@ fn parallel_threads() -> usize {
 }
 
 fn main() {
+    let _obs = cmam_bench::obs_session("bench_mapper");
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut iterations: u32 = 5;
     let mut out = "BENCH_mapper.json".to_owned();
     let mut threads: Option<usize> = None;
+    let mut check: Option<String> = None;
+    let mut min_ratio = 0.5f64;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -55,12 +62,29 @@ fn main() {
                 i += 1;
                 out = args.get(i).expect("--out needs a path").clone();
             }
+            "--check" => {
+                i += 1;
+                check = Some(args.get(i).expect("--check needs a baseline path").clone());
+            }
+            "--min-ratio" => {
+                i += 1;
+                min_ratio = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|r: &f64| r.is_finite() && *r > 0.0)
+                    .expect("--min-ratio needs a positive number");
+            }
             // Parsed by GenCli below; skip their values here.
             "--generated" | "--seed" | "--profile" => i += 1,
+            // Parsed by the obs session above; skip its value here.
+            "--trace-out" => i += 1,
+            "--metrics" => {}
+            o if o.starts_with("--trace-out=") => {}
             other => {
                 eprintln!(
                     "unknown flag {other} (known: --quick, --iters N, --threads N, --out PATH, \
-                     --generated N, --seed S, --profile P)"
+                     --check BASELINE, --min-ratio R, --generated N, --seed S, --profile P, \
+                     --trace-out FILE, --metrics)"
                 );
                 std::process::exit(2);
             }
@@ -124,4 +148,16 @@ fn main() {
     let json = mapper_bench::render_json(&reports);
     std::fs::write(&out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
     eprintln!("wrote {out}");
+
+    if let Some(baseline_path) = check {
+        let baseline = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("reading {baseline_path}: {e}"));
+        match mapper_bench::check_against_baseline(&json, &baseline, min_ratio) {
+            Ok(verdict) => eprintln!("bench_mapper: {verdict}"),
+            Err(e) => {
+                eprintln!("bench_mapper: regression gate FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 }

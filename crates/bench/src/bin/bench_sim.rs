@@ -18,6 +18,7 @@
 use cmam_bench::{sim_bench, GenCli};
 
 fn main() {
+    let _obs = cmam_bench::obs_session("bench_sim");
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut iterations: u32 = 100;
     let mut out = "BENCH_sim.json".to_owned();
@@ -38,10 +39,14 @@ fn main() {
             }
             // Parsed by GenCli below; skip their values here.
             "--generated" | "--seed" | "--profile" => i += 1,
+            // Parsed by the obs session above; skip its value here.
+            "--trace-out" => i += 1,
+            "--metrics" => {}
+            o if o.starts_with("--trace-out=") => {}
             other => {
                 eprintln!(
                     "unknown flag {other} (known: --quick, --iters N, --out PATH, \
-                     --generated N, --seed S, --profile P)"
+                     --generated N, --seed S, --profile P, --trace-out FILE, --metrics)"
                 );
                 std::process::exit(2);
             }

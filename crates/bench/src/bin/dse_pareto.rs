@@ -34,6 +34,7 @@ struct ConfigPoint {
 }
 
 fn main() {
+    let _obs = cmam_bench::obs_session("dse").with_metrics();
     println!("# DSE: energy/latency Pareto frontier over generated configurations\n");
     let mut specs = cmam_kernels::all();
     specs.extend(GenCli::from_args().specs());
@@ -182,15 +183,11 @@ fn main() {
         space.len(),
         frontier.len()
     );
-    let stats = engine().stats();
+    // Wall-clock to stderr; the cache outcome line and METRICS block
+    // follow from the obs session drop.
     eprintln!(
-        "dse: {} jobs in {elapsed:?} on {} workers \
-         (executed {}, memory hits {}, disk hits {}, deduped {})",
-        stats.submitted,
+        "dse: {} jobs in {elapsed:?} on {} workers",
+        requests.len(),
         engine().workers(),
-        stats.executed,
-        stats.memory_hits,
-        stats.disk_hits,
-        stats.deduped,
     );
 }

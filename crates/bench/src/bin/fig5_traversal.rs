@@ -8,6 +8,7 @@ use cmam_bench::{emit_table, engine, run_flow, JobRequest};
 use cmam_core::FlowVariant;
 
 fn main() {
+    let _obs = cmam_bench::obs_session("fig5_traversal");
     println!("# Fig 5: weighted traversal vs forward traversal (pnops, moves)\n");
     let config = CgraConfig::unconstrained_4x4();
     // Warm the engine in one parallel batch; the per-row lookups below

@@ -1,6 +1,7 @@
 //! Fig 6: latency with basic + ACMAP on the constrained configurations.
 
 fn main() {
+    let _obs = cmam_bench::obs_session("fig6_acmap");
     cmam_bench::latency_sweep(
         "Fig 6: latency, basic + ACMAP",
         cmam_core::FlowVariant::Acmap,

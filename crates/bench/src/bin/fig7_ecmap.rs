@@ -1,6 +1,7 @@
 //! Fig 7: latency with basic + ACMAP + ECMAP.
 
 fn main() {
+    let _obs = cmam_bench::obs_session("fig7_ecmap");
     cmam_bench::latency_sweep(
         "Fig 7: latency, basic + ACMAP + ECMAP",
         cmam_core::FlowVariant::Ecmap,

@@ -1,6 +1,7 @@
 //! Fig 8: latency with the full flow (basic + ACMAP + ECMAP + CAB).
 
 fn main() {
+    let _obs = cmam_bench::obs_session("fig8_cab");
     cmam_bench::latency_sweep(
         "Fig 8: latency, basic + ACMAP + ECMAP + CAB",
         cmam_core::FlowVariant::Cab,

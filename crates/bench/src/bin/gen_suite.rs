@@ -216,6 +216,7 @@ fn repro_line(profile: &str, kernel_seed: u64) -> String {
 }
 
 fn main() -> ExitCode {
+    let _obs = cmam_bench::obs_session("gen_suite").with_metrics();
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {

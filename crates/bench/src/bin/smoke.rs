@@ -19,6 +19,7 @@ use cmam_bench::{engine, smoke_matrix, GenCli, JobRequest};
 use std::time::Instant;
 
 fn main() {
+    let _obs = cmam_bench::obs_session("smoke").with_metrics();
     let mut specs = cmam_kernels::all();
     specs.extend(GenCli::from_args().specs());
     let matrix = smoke_matrix();
@@ -53,15 +54,11 @@ fn main() {
             ),
         }
     }
-    let stats = engine().stats();
+    // Wall-clock to stderr (stdout stays deterministic); the cache
+    // outcome line and METRICS block follow from the obs session drop.
     eprintln!(
-        "smoke: {} jobs in {elapsed:?} on {} workers \
-         (executed {}, memory hits {}, disk hits {}, deduped {})",
-        stats.submitted,
+        "smoke: {} jobs in {elapsed:?} on {} workers",
+        requests.len(),
         engine().workers(),
-        stats.executed,
-        stats.memory_hits,
-        stats.disk_hits,
-        stats.deduped,
     );
 }

@@ -24,9 +24,11 @@ use std::sync::OnceLock;
 
 pub mod gen;
 pub mod mapper_bench;
+pub mod obs_session;
 pub mod sim_bench;
 
 pub use gen::GenCli;
+pub use obs_session::{obs_session, ObsSession};
 
 pub use cmam_engine::{
     smoke_matrix, Engine, EngineOptions, EngineStats, FailStage, JobRequest, RunFailure, RunOutcome,
@@ -40,8 +42,17 @@ pub use cmam_engine::{
 /// compile exactly once per process, and once per *cache lifetime* across
 /// processes.
 pub fn engine() -> &'static Engine {
-    static ENGINE: OnceLock<Engine> = OnceLock::new();
     ENGINE.get_or_init(|| Engine::new(EngineOptions::from_args()))
+}
+
+static ENGINE: OnceLock<Engine> = OnceLock::new();
+
+/// The shared engine if some code path already constructed it — used by
+/// the [`obs_session()`] end-of-run summary, which must not *create* an
+/// engine (and its cache directory) in binaries that never compiled
+/// anything.
+pub fn engine_if_started() -> Option<&'static Engine> {
+    ENGINE.get()
 }
 
 /// Warms the shared engine with one parallel batch over the canonical

@@ -262,211 +262,54 @@ pub fn render_json(reports: &[MapperBenchReport]) -> String {
     s
 }
 
-/// A minimal JSON reader, just big enough to unit-test the emitted
-/// schema (and to let CI scripts diff benchmark numbers without pulling
-/// a JSON dependency into the offline workspace).
-pub mod json {
-    /// A parsed JSON value.
-    #[derive(Debug, Clone, PartialEq)]
-    pub enum Value {
-        /// `null`
-        Null,
-        /// `true` / `false`
-        Bool(bool),
-        /// Any number (parsed as `f64`).
-        Num(f64),
-        /// A string literal.
-        Str(String),
-        /// An array.
-        Arr(Vec<Value>),
-        /// An object, in source order.
-        Obj(Vec<(String, Value)>),
+/// The minimal JSON reader the schema unit tests (and CI scripts) use.
+/// It now lives in `cmam_obs` — shared with the Chrome-trace validator —
+/// and is re-exported here under its long-standing path.
+pub use cmam_obs::json;
+
+/// Compares a freshly rendered `BENCH_mapper.json` against a committed
+/// baseline document: the `threads = 1` run's `totals.ops_mapped_per_sec`
+/// must be at least `min_ratio` of the baseline's. This is CI's
+/// tracing-overhead gate — instrumentation that taxed the mapper hot
+/// loop would show up here before anywhere else. Returns a human-readable
+/// verdict line on success.
+pub fn check_against_baseline(
+    current: &str,
+    baseline: &str,
+    min_ratio: f64,
+) -> Result<String, String> {
+    fn sequential_ops_per_sec(doc: &str, what: &str) -> Result<f64, String> {
+        let doc = json::parse(doc).map_err(|e| format!("{what}: not valid JSON: {e}"))?;
+        let schema = doc.get("schema").and_then(json::Value::as_str);
+        if schema != Some(SCHEMA) {
+            return Err(format!("{what}: schema {schema:?}, want {SCHEMA:?}"));
+        }
+        doc.get("runs")
+            .and_then(json::Value::as_arr)
+            .and_then(|runs| {
+                runs.iter()
+                    .find(|r| r.get("threads").and_then(json::Value::as_f64) == Some(1.0))
+            })
+            .and_then(|run| run.get("totals"))
+            .and_then(|t| t.get("ops_mapped_per_sec"))
+            .and_then(json::Value::as_f64)
+            .ok_or_else(|| format!("{what}: no threads=1 run with totals.ops_mapped_per_sec"))
     }
-
-    impl Value {
-        /// Looks up a key of an object value.
-        pub fn get(&self, key: &str) -> Option<&Value> {
-            match self {
-                Value::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-                _ => None,
-            }
-        }
-
-        /// The numeric payload, if this is a number.
-        pub fn as_f64(&self) -> Option<f64> {
-            match self {
-                Value::Num(n) => Some(*n),
-                _ => None,
-            }
-        }
-
-        /// The string payload, if this is a string.
-        pub fn as_str(&self) -> Option<&str> {
-            match self {
-                Value::Str(s) => Some(s),
-                _ => None,
-            }
-        }
-
-        /// The elements, if this is an array.
-        pub fn as_arr(&self) -> Option<&[Value]> {
-            match self {
-                Value::Arr(v) => Some(v),
-                _ => None,
-            }
-        }
+    let cur = sequential_ops_per_sec(current, "current")?;
+    let base = sequential_ops_per_sec(baseline, "baseline")?;
+    if base <= 0.0 {
+        return Err(format!("baseline ops_mapped_per_sec is {base}"));
     }
-
-    /// Parses a complete JSON document (trailing garbage is an error).
-    pub fn parse(text: &str) -> Result<Value, String> {
-        let bytes = text.as_bytes();
-        let mut pos = 0usize;
-        let v = parse_value(bytes, &mut pos)?;
-        skip_ws(bytes, &mut pos);
-        if pos != bytes.len() {
-            return Err(format!("trailing data at byte {pos}"));
-        }
-        Ok(v)
+    let ratio = cur / base;
+    if ratio < min_ratio {
+        return Err(format!(
+            "sequential throughput regressed: {cur:.0} ops/s vs baseline {base:.0} \
+             (ratio {ratio:.3} < required {min_ratio})"
+        ));
     }
-
-    fn skip_ws(b: &[u8], pos: &mut usize) {
-        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
-            *pos += 1;
-        }
-    }
-
-    fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
-        skip_ws(b, pos);
-        if *pos < b.len() && b[*pos] == c {
-            *pos += 1;
-            Ok(())
-        } else {
-            Err(format!("expected '{}' at byte {}", c as char, *pos))
-        }
-    }
-
-    fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
-        skip_ws(b, pos);
-        match b.get(*pos) {
-            Some(b'{') => parse_obj(b, pos),
-            Some(b'[') => parse_arr(b, pos),
-            Some(b'"') => Ok(Value::Str(parse_str(b, pos)?)),
-            Some(b't') => parse_lit(b, pos, "true", Value::Bool(true)),
-            Some(b'f') => parse_lit(b, pos, "false", Value::Bool(false)),
-            Some(b'n') => parse_lit(b, pos, "null", Value::Null),
-            Some(_) => parse_num(b, pos),
-            None => Err("unexpected end of input".into()),
-        }
-    }
-
-    fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Value) -> Result<Value, String> {
-        if b[*pos..].starts_with(lit.as_bytes()) {
-            *pos += lit.len();
-            Ok(v)
-        } else {
-            Err(format!("bad literal at byte {}", *pos))
-        }
-    }
-
-    fn parse_num(b: &[u8], pos: &mut usize) -> Result<Value, String> {
-        let start = *pos;
-        while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
-            *pos += 1;
-        }
-        std::str::from_utf8(&b[start..*pos])
-            .ok()
-            .and_then(|s| s.parse().ok())
-            .map(Value::Num)
-            .ok_or_else(|| format!("bad number at byte {start}"))
-    }
-
-    fn parse_str(b: &[u8], pos: &mut usize) -> Result<String, String> {
-        expect(b, pos, b'"')?;
-        let mut out = String::new();
-        loop {
-            match b.get(*pos) {
-                None => return Err("unterminated string".into()),
-                Some(b'"') => {
-                    *pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    *pos += 1;
-                    match b.get(*pos) {
-                        Some(b'n') => out.push('\n'),
-                        Some(b't') => out.push('\t'),
-                        Some(b'u') => {
-                            let hex = b
-                                .get(*pos + 1..*pos + 5)
-                                .and_then(|h| std::str::from_utf8(h).ok())
-                                .ok_or("bad \\u escape")?;
-                            let code = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
-                            out.push(char::from_u32(code).ok_or("bad codepoint")?);
-                            *pos += 4;
-                        }
-                        Some(&c) => out.push(c as char),
-                        None => return Err("unterminated escape".into()),
-                    }
-                    *pos += 1;
-                }
-                Some(_) => {
-                    // Multi-byte UTF-8 sequences pass through unchanged.
-                    let s = std::str::from_utf8(&b[*pos..]).map_err(|e| e.to_string())?;
-                    let c = s.chars().next().expect("non-empty");
-                    out.push(c);
-                    *pos += c.len_utf8();
-                }
-            }
-        }
-    }
-
-    fn parse_arr(b: &[u8], pos: &mut usize) -> Result<Value, String> {
-        expect(b, pos, b'[')?;
-        let mut out = Vec::new();
-        skip_ws(b, pos);
-        if b.get(*pos) == Some(&b']') {
-            *pos += 1;
-            return Ok(Value::Arr(out));
-        }
-        loop {
-            out.push(parse_value(b, pos)?);
-            skip_ws(b, pos);
-            match b.get(*pos) {
-                Some(b',') => *pos += 1,
-                Some(b']') => {
-                    *pos += 1;
-                    return Ok(Value::Arr(out));
-                }
-                _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
-            }
-        }
-    }
-
-    fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Value, String> {
-        expect(b, pos, b'{')?;
-        let mut out = Vec::new();
-        skip_ws(b, pos);
-        if b.get(*pos) == Some(&b'}') {
-            *pos += 1;
-            return Ok(Value::Obj(out));
-        }
-        loop {
-            skip_ws(b, pos);
-            let key = parse_str(b, pos)?;
-            expect(b, pos, b':')?;
-            let val = parse_value(b, pos)?;
-            out.push((key, val));
-            skip_ws(b, pos);
-            match b.get(*pos) {
-                Some(b',') => *pos += 1,
-                Some(b'}') => {
-                    *pos += 1;
-                    return Ok(Value::Obj(out));
-                }
-                _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
-            }
-        }
-    }
+    Ok(format!(
+        "ok: {cur:.0} ops/s vs baseline {base:.0} (ratio {ratio:.3} >= {min_ratio})"
+    ))
 }
 
 #[cfg(test)]
@@ -573,6 +416,26 @@ mod tests {
             jobs[0].get("kernel").and_then(json::Value::as_str),
             Some("we\"ird\nname")
         );
+    }
+
+    #[test]
+    fn baseline_gate_compares_sequential_totals() {
+        let mut fast = sample();
+        fast.threads = 1;
+        let mut parallel = sample();
+        parallel.threads = 8;
+        let current = render_json(&[fast.clone(), parallel.clone()]);
+        // Same document as its own baseline: ratio exactly 1.
+        assert!(check_against_baseline(&current, &current, 0.9).is_ok());
+        // A baseline 4x faster fails the 0.9 gate but passes 0.2.
+        let mut quick = fast.clone();
+        quick.jobs[0].wall_ms = 2.5;
+        let baseline = render_json(&[quick, parallel]);
+        assert!(check_against_baseline(&current, &baseline, 0.9).is_err());
+        assert!(check_against_baseline(&current, &baseline, 0.2).is_ok());
+        // Garbage inputs fail loudly instead of passing silently.
+        assert!(check_against_baseline("{}", &current, 0.5).is_err());
+        assert!(check_against_baseline(&current, "not json", 0.5).is_err());
     }
 
     #[test]

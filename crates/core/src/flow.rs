@@ -115,6 +115,29 @@ pub struct MapStats {
     pub rollbacks: u64,
 }
 
+impl MapStats {
+    /// Flushes this run's aggregated statistics into the global
+    /// `mapper.*` metrics — called once per [`Mapper::map`], so the
+    /// search loops themselves carry no metrics instructions. The totals
+    /// are deterministic across thread counts because `MapStats` itself
+    /// is (pinned by the golden-equivalence suite).
+    pub fn flush_metrics(&self, failed: bool) {
+        cmam_obs::counter!("mapper.maps").add(1);
+        if failed {
+            cmam_obs::counter!("mapper.map_failures").add(1);
+        }
+        cmam_obs::counter!("mapper.candidates").add(self.candidates);
+        cmam_obs::counter!("mapper.attempts").add(self.attempts);
+        cmam_obs::counter!("mapper.acmap_pruned").add(self.acmap_pruned);
+        cmam_obs::counter!("mapper.ecmap_pruned").add(self.ecmap_pruned);
+        cmam_obs::counter!("mapper.stochastic_pruned").add(self.stochastic_pruned);
+        cmam_obs::counter!("mapper.finalize_failures").add(self.finalize_failures);
+        cmam_obs::counter!("mapper.escalations").add(self.escalations);
+        cmam_obs::counter!("mapper.rollbacks").add(self.rollbacks);
+        cmam_obs::gauge!("mapper.peak_population").raise(self.peak_population as i64);
+    }
+}
+
 /// A successful mapping plus its statistics.
 #[derive(Debug, Clone)]
 pub struct MapResult {
@@ -382,6 +405,19 @@ impl Mapper {
     /// when the context-memory constraints cannot be met (memory-aware
     /// flows only).
     pub fn map(&self, cdfg: &Cdfg, config: &CgraConfig) -> Result<MapResult, MapError> {
+        let _span = cmam_obs::span!("map", blocks = cdfg.num_blocks() as u64);
+        let mut stats = MapStats::default();
+        let result = self.map_impl(cdfg, config, &mut stats);
+        stats.flush_metrics(result.is_err());
+        result.map(|mapping| MapResult { mapping, stats })
+    }
+
+    fn map_impl(
+        &self,
+        cdfg: &Cdfg,
+        config: &CgraConfig,
+        stats: &mut MapStats,
+    ) -> Result<KernelMapping, MapError> {
         cdfg.validate()?;
         let order = match self.options.traversal {
             Traversal::Forward => forward_order(cdfg),
@@ -401,7 +437,6 @@ impl Mapper {
         });
         let mut state = FlowState::new(ntiles);
         let mut rng = StdRng::seed_from_u64(self.options.seed);
-        let mut stats = MapStats::default();
         let mut blocks: Vec<Option<cmam_isa::BlockMapping>> = vec![None; cdfg.num_blocks()];
         // Retired partials whose allocations the survivor materialisation
         // reuses (see `map_block`); shared across blocks because every
@@ -423,7 +458,7 @@ impl Mapper {
                 block,
                 &mut state,
                 &mut rng,
-                &mut stats,
+                stats,
                 &mut pool_mem,
                 beam.as_ref(),
             )?;
@@ -437,7 +472,7 @@ impl Mapper {
                 .collect(),
             symbol_homes: state.homes.clone(),
         };
-        Ok(MapResult { mapping, stats })
+        Ok(mapping)
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -454,6 +489,11 @@ impl Mapper {
         let dfg = ctx.cdfg.dfg(block);
         let deps = Arc::new(DepGraph::build(&dfg));
         let order = priority_order(&dfg, &deps);
+        let _span = cmam_obs::span!(
+            "map_block",
+            block = block.0 as u64,
+            ops = order.len() as u64
+        );
         let tiles: Arc<Vec<TileId>> = Arc::new(ctx.config.geometry().tiles().collect());
 
         let mut population = vec![Partial::new(state, ctx)];

@@ -180,6 +180,32 @@ fn run_suite() -> String {
     out
 }
 
+/// The observability layer's zero-interference contract: running the
+/// whole 175-job suite with span recording force-enabled must produce
+/// byte-identical results to the golden file. Recording happens purely
+/// at phase boundaries, so the search — every candidate, every counter —
+/// cannot be perturbed by it. (This test shares the process with
+/// `mapper_output_matches_golden`, which therefore may also run with
+/// tracing on; both compare against the same golden bytes, so tracing
+/// on/off equivalence is exactly what the pair pins.)
+#[test]
+fn mapper_output_matches_golden_with_tracing_enabled() {
+    if std::env::var_os("CMAM_REGEN_GOLDEN").is_some() {
+        return; // the plain test regenerates; nothing to compare yet
+    }
+    cmam_obs::enable_tracing();
+    let golden = std::fs::read_to_string(golden_path()).expect("golden file present");
+    let observed = run_suite();
+    assert!(
+        cmam_obs::trace::events_recorded() > 0,
+        "tracing was supposed to be recording during this run"
+    );
+    assert_eq!(
+        golden, observed,
+        "suite output changed when span recording was enabled"
+    );
+}
+
 #[test]
 fn mapper_output_matches_golden() {
     let path = golden_path();

@@ -38,6 +38,9 @@ const MAGIC: &[u8; 8] = b"cmamrunb";
 pub struct DiskCache {
     dir: Option<PathBuf>,
     counter: AtomicU64,
+    /// Artifact bytes persisted by this process (feeds the
+    /// `engine.disk_evictable_bytes` gauge).
+    bytes_written: AtomicU64,
 }
 
 impl DiskCache {
@@ -48,6 +51,7 @@ impl DiskCache {
         DiskCache {
             dir,
             counter: AtomicU64::new(0),
+            bytes_written: AtomicU64::new(0),
         }
     }
 
@@ -80,13 +84,22 @@ impl DiskCache {
             std::process::id(),
             self.counter.fetch_add(1, Ordering::Relaxed)
         ));
-        let stored = std::fs::write(&tmp, serialize_result(result)).is_ok()
-            && std::fs::rename(&tmp, &path).is_ok();
+        let bytes = serialize_result(result);
+        let nbytes = bytes.len() as u64;
+        let stored = std::fs::write(&tmp, bytes).is_ok() && std::fs::rename(&tmp, &path).is_ok();
         if !stored {
             // Clean up whether the write or the rename failed — a partial
             // write (disk full) must not leave orphan temp files behind.
             let _ = std::fs::remove_file(&tmp);
+            return;
         }
+        // Everything in the store is evictable by definition (any entry
+        // can be deleted and recomputed); the gauge tracks the bytes this
+        // process has contributed.
+        cmam_obs::counter!("engine.disk_writes").add(1);
+        cmam_obs::counter!("engine.disk_bytes_written").add(nbytes);
+        let total = self.bytes_written.fetch_add(nbytes, Ordering::Relaxed) + nbytes;
+        cmam_obs::gauge!("engine.disk_evictable_bytes").raise(total as i64);
     }
 }
 

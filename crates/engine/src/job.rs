@@ -196,10 +196,14 @@ impl<'a> JobRequest<'a> {
 /// [`MapperOptions::seed`]), which is what makes parallel execution and
 /// content-addressed memoisation sound.
 pub fn execute(req: &JobRequest<'_>) -> JobResult {
+    let _span = cmam_obs::span!("job");
     let mapper = Mapper::new(req.options.clone());
     let t0 = Instant::now();
     let map_result = mapper.map(&req.spec.cdfg, req.config);
     let compile_time = t0.elapsed();
+    // Per-phase latency histograms, fed from the wall times this function
+    // already measures (so tracing on/off changes nothing here).
+    cmam_obs::histogram!("phase.map_us").record(compile_time.as_micros() as u64);
     let fail = |stage, message: String| RunFailure {
         stage,
         message,
@@ -213,11 +217,13 @@ pub fn execute(req: &JobRequest<'_>) -> JobResult {
     let (binary, report) = cmam_isa::assemble(&req.spec.cdfg, &result.mapping, req.config)
         .map_err(|e| fail(FailStage::Assemble, e.to_string()))?;
     let assemble_time = t1.elapsed();
+    cmam_obs::histogram!("phase.assemble_us").record(assemble_time.as_micros() as u64);
     let mut mem = req.spec.mem.clone();
     let t2 = Instant::now();
     let sim = simulate(&binary, req.config, &mut mem, SimOptions::default())
         .map_err(|e| fail(FailStage::Execution, e.to_string()))?;
     let sim_time = t2.elapsed();
+    cmam_obs::histogram!("phase.sim_us").record(sim_time.as_micros() as u64);
     req.spec.check(&mem).map_err(|(i, got, want)| {
         fail(
             FailStage::Execution,

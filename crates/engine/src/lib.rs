@@ -98,18 +98,13 @@ impl EngineOptions {
             } else if args[i] == "--jobs" {
                 // Only consume the next token when it actually is the
                 // count — `--jobs --no-cache` must not swallow the flag.
-                if let Some(n) = args.get(i + 1).and_then(|v| v.parse().ok()) {
+                if let Some(n) = parse_jobs(args.get(i + 1).map(String::as_str)) {
                     jobs = n;
                     i += 1;
-                } else {
-                    eprintln!("warning: --jobs expects a number; using all cores");
                 }
             } else if let Some(v) = args[i].strip_prefix("--jobs=") {
-                match v.parse() {
-                    Ok(n) => jobs = n,
-                    Err(_) => {
-                        eprintln!("warning: --jobs expects a number; using all cores");
-                    }
+                if let Some(n) = parse_jobs(Some(v)) {
+                    jobs = n;
                 }
             }
             i += 1;
@@ -119,6 +114,18 @@ impl EngineOptions {
             cache_dir: cache.then(EngineOptions::default_cache_dir),
         }
     }
+}
+
+/// The one parser both `--jobs` spellings share: a missing or malformed
+/// count warns through the [`cmam_obs::warn!`] funnel (counted in the
+/// `obs.warnings` metric) and returns `None` so the caller keeps the
+/// all-cores default.
+fn parse_jobs(value: Option<&str>) -> Option<usize> {
+    let parsed = value.and_then(|v| v.parse().ok());
+    if parsed.is_none() {
+        cmam_obs::warn!("--jobs expects a number; using all cores");
+    }
+    parsed
 }
 
 impl Default for EngineOptions {
@@ -237,6 +244,8 @@ impl Engine {
     /// result vector is a pure function of the requests — thread count and
     /// cache state never change it, only how fast it arrives.
     pub fn run_batch(&self, requests: &[JobRequest<'_>]) -> Vec<JobResult> {
+        let _span = cmam_obs::span!("run_batch", submitted = requests.len() as u64);
+        let batch_start = std::time::Instant::now();
         let keys: Vec<u64> = requests.iter().map(JobRequest::key).collect();
         let mut batch_stats = EngineStats {
             submitted: requests.len() as u64,
@@ -337,6 +346,15 @@ impl Engine {
             stats.disk_hits += batch_stats.disk_hits;
             stats.executed += batch_stats.executed;
         }
+        // Flush this batch's cache outcome to the global metrics — once
+        // per batch, at the same merge point as the lifetime counters.
+        cmam_obs::counter!("engine.batches").add(1);
+        cmam_obs::counter!("engine.submitted").add(batch_stats.submitted);
+        cmam_obs::counter!("engine.deduped").add(batch_stats.deduped);
+        cmam_obs::counter!("engine.memory_hits").add(batch_stats.memory_hits);
+        cmam_obs::counter!("engine.disk_hits").add(batch_stats.disk_hits);
+        cmam_obs::counter!("engine.executed").add(batch_stats.executed);
+        cmam_obs::histogram!("batch.wall_us").record(batch_start.elapsed().as_micros() as u64);
         keys.iter()
             .map(|k| {
                 self.memo_shard(*k)

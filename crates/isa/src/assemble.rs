@@ -251,6 +251,7 @@ pub fn assemble(
     mapping: &KernelMapping,
     config: &CgraConfig,
 ) -> Result<(CgraBinary, AsmReport), AssembleError> {
+    let _span = cmam_obs::span!("assemble", blocks = mapping.blocks.len() as u64);
     let geom = config.geometry();
     let ntiles = geom.num_tiles();
 

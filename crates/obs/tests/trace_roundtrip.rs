@@ -1,0 +1,120 @@
+//! Round trip: record nested spans on several threads, export the
+//! Chrome-trace JSON, parse it back with [`cmam_obs::json`] and check it
+//! against [`cmam_obs::validate_chrome_trace`] — the exact pipeline
+//! `profile_flow` and the CI trace check run in production.
+
+use cmam_obs::json::{self, Value};
+use cmam_obs::span;
+
+/// Records a small, deterministic span tree on the calling thread.
+fn record_tree(depth_marker: u64) {
+    let _outer = span!("outer", marker = depth_marker);
+    for i in 0..3u64 {
+        let _mid = span!("mid", index = i);
+        let _inner = span!("inner");
+    }
+}
+
+#[test]
+fn export_parses_validates_and_preserves_structure() {
+    cmam_obs::enable_tracing();
+    cmam_obs::reset_trace();
+    cmam_obs::set_thread_label("roundtrip-main");
+    record_tree(7);
+    let worker = std::thread::spawn(|| {
+        cmam_obs::set_thread_label("roundtrip-worker");
+        record_tree(8);
+    });
+    worker.join().expect("worker thread");
+
+    let text = cmam_obs::chrome_trace_json();
+
+    // The validator accepts its own exporter's output.
+    let n = cmam_obs::validate_chrome_trace(&text).expect("own export validates");
+    // 2 threads x (1 outer + 3 mid + 3 inner) spans, plus metadata.
+    assert!(n >= 14, "expected at least 14 events, validator saw {n}");
+
+    // Parse back and check the pieces the validator doesn't pin.
+    let doc = json::parse(&text).expect("export parses");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_arr)
+        .expect("traceEvents");
+
+    let thread_names: Vec<&str> = events
+        .iter()
+        .filter(|e| e.get("name").and_then(Value::as_str) == Some("thread_name"))
+        .filter_map(|e| e.get("args")?.get("name")?.as_str())
+        .collect();
+    assert!(
+        thread_names.contains(&"roundtrip-main"),
+        "main thread label missing: {thread_names:?}"
+    );
+    assert!(
+        thread_names.contains(&"roundtrip-worker"),
+        "worker thread label missing: {thread_names:?}"
+    );
+
+    let spans: Vec<&Value> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(Value::as_str) == Some("X"))
+        .collect();
+    assert_eq!(spans.len(), 14, "2 threads x 7 spans");
+
+    // Arguments survive the trip with their values.
+    let outer_markers: Vec<f64> = spans
+        .iter()
+        .filter(|e| e.get("name").and_then(Value::as_str) == Some("outer"))
+        .filter_map(|e| e.get("args")?.get("marker")?.as_f64())
+        .collect();
+    let mut sorted = outer_markers.clone();
+    sorted.sort_by(f64::total_cmp);
+    assert_eq!(sorted, vec![7.0, 8.0], "outer span args: {outer_markers:?}");
+
+    // Each thread's outer span must contain all six of its children —
+    // re-derive the containment the validator checks, but strictly for
+    // the known shape: per tid, the longest span is `outer`.
+    for tid_name in ["roundtrip-main", "roundtrip-worker"] {
+        let tid = events
+            .iter()
+            .filter(|e| e.get("name").and_then(Value::as_str) == Some("thread_name"))
+            .find(|e| {
+                e.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Value::as_str)
+                    == Some(tid_name)
+            })
+            .and_then(|e| e.get("tid"))
+            .and_then(Value::as_f64)
+            .expect("labelled thread has a tid");
+        let mine: Vec<&&Value> = spans
+            .iter()
+            .filter(|e| e.get("tid").and_then(Value::as_f64) == Some(tid))
+            .collect();
+        assert_eq!(mine.len(), 7, "{tid_name}: 7 spans");
+        let outer = mine
+            .iter()
+            .find(|e| e.get("name").and_then(Value::as_str) == Some("outer"))
+            .expect("outer span present");
+        let start = outer.get("ts").and_then(Value::as_f64).expect("ts");
+        let end = start + outer.get("dur").and_then(Value::as_f64).expect("dur");
+        for child in mine.iter().filter(|e| !std::ptr::eq(***e, **outer)) {
+            let cts = child.get("ts").and_then(Value::as_f64).expect("child ts");
+            let cdur = child.get("dur").and_then(Value::as_f64).expect("child dur");
+            assert!(
+                cts >= start - 1e-6 && cts + cdur <= end + 1e-6,
+                "{tid_name}: child span escapes its outer span"
+            );
+        }
+    }
+}
+
+#[test]
+fn disabled_spans_record_nothing() {
+    // This test must not race the roundtrip test's recording: spawn a
+    // dedicated thread, whose thread-local buffer we can observe... but
+    // the recorder is process-global, so instead check the cheap
+    // invariant only: a disabled guard is inert and droppable.
+    let guard = cmam_obs::SpanGuard::disabled();
+    drop(guard);
+}

@@ -87,13 +87,18 @@ impl<T: Send, F: Fn(usize) -> T + Send + Sync> Batch<T, F> {
     }
 
     /// Claims and runs chunks until the cursor is exhausted. Called by the
-    /// submitter and by any helper that picked this batch off the queue.
-    fn drain_chunks(&self) {
+    /// submitter (`stolen = false`) and by any helper that picked this
+    /// batch off the queue (`stolen = true`). Chunk counts are kept in a
+    /// local and flushed to the metrics registry once per drain, so the
+    /// claiming loop itself carries no instrumentation.
+    fn drain_chunks(&self, stolen: bool) {
+        let mut chunks = 0u64;
         loop {
             let start = self.cursor.fetch_add(self.chunk, Ordering::Relaxed);
             if start >= self.n {
-                return;
+                break;
             }
+            chunks += 1;
             let end = (start + self.chunk).min(self.n);
             for i in start..end {
                 // A panicking job must not take the whole (persistent)
@@ -116,6 +121,10 @@ impl<T: Send, F: Fn(usize) -> T + Send + Sync> Batch<T, F> {
                 }
             }
         }
+        cmam_obs::counter!("pool.chunks").add(chunks);
+        if stolen {
+            cmam_obs::counter!("pool.chunks_stolen").add(chunks);
+        }
     }
 
     /// Blocks until every index reported, then takes the results (and
@@ -132,7 +141,7 @@ impl<T: Send, F: Fn(usize) -> T + Send + Sync> Batch<T, F> {
 
 impl<T: Send, F: Fn(usize) -> T + Send + Sync> Task for Batch<T, F> {
     fn drain(&self) {
-        self.drain_chunks();
+        self.drain_chunks(true);
     }
 }
 
@@ -188,7 +197,7 @@ impl ThreadPool {
                     let inner = Arc::clone(&self.inner);
                     std::thread::Builder::new()
                         .name(format!("cmam-pool-{cur}"))
-                        .spawn(move || worker_loop(&inner))
+                        .spawn(move || worker_loop(&inner, cur))
                         .expect("spawning a pool worker");
                     cur += 1;
                 }
@@ -234,7 +243,8 @@ impl ThreadPool {
             }
         }
         self.inner.work_ready.notify_all();
-        batch.drain_chunks();
+        cmam_obs::counter!("pool.batches").add(1);
+        batch.drain_chunks(false);
         let (slots, panic) = batch.wait();
         if let Some(payload) = panic {
             std::panic::resume_unwind(payload);
@@ -246,7 +256,11 @@ impl ThreadPool {
     }
 }
 
-fn worker_loop(inner: &Inner) {
+fn worker_loop(inner: &Inner, worker_id: usize) {
+    // Label this worker's trace track by its stable pool id, so traces
+    // show `cmam-pool-N` lanes regardless of when tracing was enabled.
+    cmam_obs::set_thread_label(&format!("cmam-pool-{worker_id}"));
+    cmam_obs::gauge!("pool.workers_spawned").raise(worker_id as i64 + 1);
     loop {
         let task = {
             let mut q = inner.queue.lock().expect("pool queue poisoned");

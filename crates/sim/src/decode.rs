@@ -138,6 +138,7 @@ impl DecodedProgram {
     /// an instruction carries more than three operands (the maximum
     /// opcode arity) — all assembler invariants.
     pub fn decode(binary: &CgraBinary, config: &CgraConfig) -> Result<Self, SimError> {
+        let _span = cmam_obs::span!("decode", blocks = binary.block_lengths.len() as u64);
         let geom = config.geometry();
         let ntiles = binary.num_tiles();
         assert_eq!(
@@ -309,6 +310,7 @@ impl DecodedProgram {
     /// operand-fetch errors were already ruled out at decode time. On
     /// error the memory may be partially updated.
     pub fn simulate(&self, mem: &mut [i32], options: SimOptions) -> Result<SimStats, SimError> {
+        let _span = cmam_obs::span!("simulate");
         let options = options.normalized();
         let ntiles = self.ntiles;
         let mut rf = vec![0i32; self.rf_words];
@@ -328,9 +330,12 @@ impl DecodedProgram {
         let op_ends = &self.op_ends[..];
         let idle_skip = &self.idle_skip[..];
         let max_cycles = options.max_cycles;
-        // Cycle and stall counters stay in locals through the hot loop.
+        // Cycle and stall counters stay in locals through the hot loop
+        // (as does the idle-window count, flushed to the metrics registry
+        // once per call on the success path).
         let mut cycles = 0u64;
         let mut stall_cycles = 0u64;
+        let mut idle_windows = 0u64;
 
         let mut block = self.entry;
         'blocks: loop {
@@ -357,6 +362,7 @@ impl DecodedProgram {
                     // per-cycle reference check would reach, and idle
                     // cycles touch no machine state.
                     let run = idle_skip[g] as u64;
+                    idle_windows += 1;
                     cycles += run;
                     if cycles > max_cycles {
                         return Err(SimError::MaxCycles(max_cycles));
@@ -489,6 +495,10 @@ impl DecodedProgram {
         }
         stats.cycles = cycles;
         stats.stall_cycles = stall_cycles;
+        cmam_obs::counter!("sim.runs").add(1);
+        cmam_obs::counter!("sim.cycles").add(cycles);
+        cmam_obs::counter!("sim.stall_cycles").add(stall_cycles);
+        cmam_obs::counter!("sim.idle_windows_skipped").add(idle_windows);
         // Reconstruct the per-tile activity from each block's static
         // per-execution delta and its execution count (see the module
         // docs: errors discard stats, so doing this only on the success
