@@ -11,9 +11,11 @@
 //!
 //! Flags: `--quick` (20 iterations instead of 100, the CI setting),
 //! `--iters N` (explicit iteration count), `--out PATH` (where to write
-//! the JSON; default `BENCH_sim.json` in the current directory), and
+//! the JSON; default `BENCH_sim.json` in the current directory),
 //! `--generated N [--seed S] [--profile P]` (append N generated kernels
-//! to the measured set).
+//! to the measured set), and `--check BASELINE [--min-ratio R]` (exit 1
+//! unless the solo and batched throughput totals are both at least `R`
+//! of the baseline document's; default ratio 0.5).
 
 use cmam_bench::{sim_bench, GenCli};
 
@@ -22,6 +24,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut iterations: u32 = 100;
     let mut out = "BENCH_sim.json".to_owned();
+    let mut check: Option<String> = None;
+    let mut min_ratio: f64 = 0.5;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -37,6 +41,17 @@ fn main() {
                 i += 1;
                 out = args.get(i).expect("--out needs a path").clone();
             }
+            "--check" => {
+                i += 1;
+                check = Some(args.get(i).expect("--check needs a baseline path").clone());
+            }
+            "--min-ratio" => {
+                i += 1;
+                min_ratio = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .expect("--min-ratio needs a number");
+            }
             // Parsed by GenCli below; skip their values here.
             "--generated" | "--seed" | "--profile" => i += 1,
             // Parsed by the obs session above; skip its value here.
@@ -46,7 +61,8 @@ fn main() {
             other => {
                 eprintln!(
                     "unknown flag {other} (known: --quick, --iters N, --out PATH, \
-                     --generated N, --seed S, --profile P, --trace-out FILE, --metrics)"
+                     --check BASELINE, --min-ratio R, --generated N, --seed S, \
+                     --profile P, --trace-out FILE, --metrics)"
                 );
                 std::process::exit(2);
             }
@@ -71,6 +87,8 @@ fn main() {
             format!("{:.0}", j.reference_cycles_per_sec / 1e3),
             format!("{:.1}x", j.speedup),
             format!("{:.0}", j.asm_blocks_per_sec),
+            format!("{:.0}", j.batch_agg_cycles_per_sec / 1e3),
+            format!("{:.1}x", j.batch_speedup),
         ]);
     }
     cmam_bench::emit_table(
@@ -84,19 +102,36 @@ fn main() {
             "kcyc/s ref",
             "speedup",
             "blocks/s asm",
+            "kcyc/s batch",
+            "batch x",
         ],
         &rows,
     );
     println!(
         "totals: {:.0} cycles/s decoded vs {:.0} cycles/s reference ({:.1}x), \
-         {:.0} assembled blocks/s",
+         {:.0} assembled blocks/s, {:.0} aggregate cycles/s batched x{} ({:.1}x solo)",
         report.total_decoded_cycles_per_sec(),
         report.total_reference_cycles_per_sec(),
         report.total_speedup(),
-        report.total_asm_blocks_per_sec()
+        report.total_asm_blocks_per_sec(),
+        report.total_batch_agg_cycles_per_sec(),
+        sim_bench::BATCH_LANES,
+        report.total_batch_speedup()
     );
 
     let json = sim_bench::render_json(&report);
     std::fs::write(&out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
     eprintln!("wrote {out}");
+
+    if let Some(baseline_path) = check {
+        let baseline = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("reading {baseline_path}: {e}"));
+        match sim_bench::check_against_baseline(&json, &baseline, min_ratio) {
+            Ok(verdict) => eprintln!("bench_sim: {verdict}"),
+            Err(e) => {
+                eprintln!("bench_sim: regression gate FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 }

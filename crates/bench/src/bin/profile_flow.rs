@@ -13,12 +13,16 @@
 //! ```text
 //! profile_flow [--kernel conv] [--config het2] [--flow cab]
 //!              [--trace-out profile_flow.trace.json] [--jobs N]
+//!              [--batch-lanes N]
 //! profile_flow --validate-trace FILE
 //! ```
 //!
 //! * `--kernel N`   kernel name (default `conv`; one of the seven)
 //! * `--config N`   `hom64 | hom32 | het1 | het2 | u4x4` (default `het2`)
 //! * `--flow N`     `basic | weighted | acmap | ecmap | cab` (default `cab`)
+//! * `--batch-lanes N`  lanes of the batched input sweep run after the
+//!   solo job, so the trace also carries the `batch_sim` /
+//!   `simulate_batch` phases (default 64; `0` skips the sweep)
 //! * `--trace-out F`  where to write the trace (default
 //!   `profile_flow.trace.json`; `-` skips the file)
 //! * `--validate-trace F`  don't profile: parse and validate an existing
@@ -26,9 +30,9 @@
 //!   check behind `smoke --trace-out`.
 
 use cmam_arch::CgraConfig;
-use cmam_bench::{emit_table, JobRequest};
+use cmam_bench::{emit_table, sim_bench, JobRequest};
 use cmam_core::FlowVariant;
-use cmam_engine::{Engine, EngineOptions};
+use cmam_engine::{BatchSimRequest, Engine, EngineOptions};
 use cmam_obs::json::{self, Value};
 use std::collections::BTreeMap;
 
@@ -37,7 +41,7 @@ fn usage_error(msg: &str) -> ! {
     eprintln!(
         "usage: profile_flow [--kernel NAME] [--config hom64|hom32|het1|het2|u4x4] \
          [--flow basic|weighted|acmap|ecmap|cab] [--trace-out FILE] [--jobs N] \
-         | --validate-trace FILE"
+         [--batch-lanes N] | --validate-trace FILE"
     );
     std::process::exit(2);
 }
@@ -97,6 +101,7 @@ fn main() {
     let mut config_name = "het2".to_owned();
     let mut flow_name = "cab".to_owned();
     let mut trace_out = "profile_flow.trace.json".to_owned();
+    let mut batch_lanes: usize = 64;
     let mut i = 0;
     let value = |args: &[String], i: &mut usize, flag: &str| -> String {
         *i += 1;
@@ -110,6 +115,11 @@ fn main() {
             "--config" => config_name = value(&args, &mut i, "--config"),
             "--flow" => flow_name = value(&args, &mut i, "--flow"),
             "--trace-out" => trace_out = value(&args, &mut i, "--trace-out"),
+            "--batch-lanes" => {
+                batch_lanes = value(&args, &mut i, "--batch-lanes")
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--batch-lanes expects an integer"));
+            }
             "--validate-trace" => {
                 let path = value(&args, &mut i, "--validate-trace");
                 validate_file(&path);
@@ -175,6 +185,24 @@ fn main() {
         Err(e) => println!("result: FAIL — {e}\n"),
     }
 
+    // A batched input sweep of the same job, so the per-phase table
+    // breaks down the batch path too (`batch_sim` wraps the job;
+    // `simulate_batch` is the simulator's own span).
+    if batch_lanes > 0 && outcome[0].is_ok() {
+        let sweep = BatchSimRequest::flow(spec, flow, &config, sim_bench::BATCH_SEED, batch_lanes);
+        let swept = engine.run_batch_sim(&sweep).expect("solo job compiled");
+        println!(
+            "batch sweep: {}/{} lanes ok, {} aggregate cycles{}\n",
+            swept.ok_lanes(),
+            batch_lanes,
+            swept.agg_cycles,
+            swept
+                .agg_cycles_per_sec()
+                .map(|r| format!(" ({:.1}M cycles/s)", r / 1e6))
+                .unwrap_or_default(),
+        );
+    }
+
     // Everything below is read back out of the Chrome trace itself.
     let text = cmam_obs::chrome_trace_json();
     let doc = json::parse(&text).expect("own trace parses");
@@ -208,7 +236,7 @@ fn main() {
 
     // Phase table in pipeline order; anything unanticipated follows
     // alphabetically so new spans can't silently vanish from the report.
-    const ORDER: [&str; 7] = [
+    const ORDER: [&str; 9] = [
         "run_batch",
         "job",
         "map",
@@ -216,6 +244,8 @@ fn main() {
         "assemble",
         "decode",
         "simulate",
+        "batch_sim",
+        "simulate_batch",
     ];
     let mut names: Vec<&String> = phases.keys().collect();
     names.sort_by_key(|n| ORDER.iter().position(|o| o == n).unwrap_or(ORDER.len()));

@@ -14,19 +14,30 @@
 //!   speedup column compares two numbers from the *same* machine and
 //!   build, never a stale baseline;
 //! * the **assembler**: `cmam_isa::assemble` per iteration (assembled
-//!   blocks/sec).
+//!   blocks/sec);
+//! * the **batched sweep**: [`BATCH_LANES`] seeded input images through
+//!   `DecodedProgram::simulate_batch` (aggregate simulated cycles/sec —
+//!   the throughput the input-sweep experiment runs at).
 //!
 //! The JSON is written by hand (the workspace is offline, no serde);
 //! [`crate::mapper_bench::json`] parses it back in the schema tests.
 
 use cmam_arch::CgraConfig;
 use cmam_core::{FlowVariant, Mapper};
-use cmam_sim::{simulate_reference, DecodedProgram, SimOptions};
+use cmam_sim::{simulate_reference, DecodedProgram, LaneState, SimOptions};
 use std::fmt::Write as _;
 use std::time::Instant;
 
 /// Schema tag of the emitted JSON; bump on any shape change.
-pub const SCHEMA: &str = "cmam-bench-sim-v1";
+pub const SCHEMA: &str = "cmam-bench-sim-v2";
+
+/// Lanes per batched sweep — the smallest batch the >100M aggregate
+/// cycles/s target is stated at.
+pub const BATCH_LANES: usize = 256;
+
+/// Root seed of the benchmark's input sets (lane `l` of kernel `k`
+/// simulates `input_image(BATCH_SEED, l, ..)`).
+pub const BATCH_SEED: u64 = 0xBA7C_5EED;
 
 /// One measured (kernel, flow, config) combination.
 #[derive(Debug, Clone)]
@@ -59,6 +70,17 @@ pub struct SimBenchJob {
     pub asm_wall_ms: f64,
     /// Basic blocks assembled per second.
     pub asm_blocks_per_sec: f64,
+    /// Lanes per batched sweep ([`BATCH_LANES`] for jobs that ran).
+    pub batch_lanes: u64,
+    /// Aggregate simulated cycles of one sweep (all successful lanes).
+    pub batch_agg_cycles: u64,
+    /// Wall-clock of one batched sweep, averaged, in ms.
+    pub batch_wall_ms: f64,
+    /// Aggregate simulated cycles per second of the batched sweep.
+    pub batch_agg_cycles_per_sec: f64,
+    /// `batch_agg_cycles_per_sec / decoded_cycles_per_sec` — what
+    /// batching buys over solo fast-path calls on the same build.
+    pub batch_speedup: f64,
 }
 
 /// One whole benchmark run.
@@ -66,6 +88,9 @@ pub struct SimBenchJob {
 pub struct SimBenchReport {
     /// Simulation calls per combination (assembly runs the same count).
     pub iterations: u32,
+    /// Batched-sweep calls per combination (each sweep simulates
+    /// [`BATCH_LANES`] lanes, so this is kept smaller than `iterations`).
+    pub batch_iterations: u32,
     /// Per-combination measurements.
     pub jobs: Vec<SimBenchJob>,
 }
@@ -107,6 +132,33 @@ impl SimBenchReport {
         }
     }
 
+    /// Total aggregate cycles/sec of the batched sweeps (one sweep of
+    /// every successful job).
+    pub fn total_batch_agg_cycles_per_sec(&self) -> f64 {
+        let (cycles, secs) = self
+            .jobs
+            .iter()
+            .filter(|j| j.ok)
+            .fold((0u64, 0f64), |(c, s), j| {
+                (c + j.batch_agg_cycles, s + j.batch_wall_ms / 1e3)
+            });
+        if secs > 0.0 {
+            cycles as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Whole-suite speedup of batched sweeps over solo decoded calls.
+    pub fn total_batch_speedup(&self) -> f64 {
+        let solo = self.total_decoded_cycles_per_sec();
+        if solo > 0.0 {
+            self.total_batch_agg_cycles_per_sec() / solo
+        } else {
+            0.0
+        }
+    }
+
     /// Total assembled blocks/sec over all successful jobs.
     pub fn total_asm_blocks_per_sec(&self) -> f64 {
         let (blocks, secs) = self
@@ -141,6 +193,9 @@ pub fn bench_matrix() -> Vec<(FlowVariant, CgraConfig)> {
 /// paper kernels.
 pub fn run(iterations: u32, extra: &[cmam_kernels::KernelSpec]) -> SimBenchReport {
     assert!(iterations > 0, "at least one iteration");
+    // Each batched sweep simulates BATCH_LANES whole kernel executions,
+    // so fewer sweep iterations give the same measurement weight.
+    let batch_iterations = (iterations / 10).max(2);
     let mut specs = cmam_kernels::all();
     specs.extend(extra.iter().cloned());
     let mut jobs = Vec::new();
@@ -161,6 +216,11 @@ pub fn run(iterations: u32, extra: &[cmam_kernels::KernelSpec]) -> SimBenchRepor
                 speedup: 0.0,
                 asm_wall_ms: 0.0,
                 asm_blocks_per_sec: 0.0,
+                batch_lanes: 0,
+                batch_agg_cycles: 0,
+                batch_wall_ms: 0.0,
+                batch_agg_cycles_per_sec: 0.0,
+                batch_speedup: 0.0,
             };
             let mapper = Mapper::new(variant.options());
             let Ok(result) = mapper.map(&spec.cdfg, &config) else {
@@ -238,10 +298,47 @@ pub fn run(iterations: u32, extra: &[cmam_kernels::KernelSpec]) -> SimBenchRepor
             } else {
                 0.0
             };
+
+            // The batched sweep: BATCH_LANES seeded images through one
+            // simulate_batch call. Lane memories are reset (not
+            // reallocated) between iterations, mirroring the solo loop.
+            let images = cmam_kernels::lane_images(spec, BATCH_SEED, BATCH_LANES);
+            let mut lanes: Vec<LaneState> =
+                images.iter().map(|m| LaneState::new(m.clone())).collect();
+            let mut batch_agg_cycles = 0u64;
+            let t0 = Instant::now();
+            for _ in 0..batch_iterations {
+                for (lane, image) in lanes.iter_mut().zip(&images) {
+                    lane.mem.copy_from_slice(image);
+                }
+                let results = decoded.simulate_batch(&mut lanes, options);
+                batch_agg_cycles = results
+                    .iter()
+                    .filter_map(|r| r.as_ref().ok().map(|s| s.cycles))
+                    .sum();
+            }
+            let batch_wall_s = t0.elapsed().as_secs_f64() / batch_iterations as f64;
+            job.batch_lanes = BATCH_LANES as u64;
+            job.batch_agg_cycles = batch_agg_cycles;
+            job.batch_wall_ms = batch_wall_s * 1e3;
+            job.batch_agg_cycles_per_sec = if batch_wall_s > 0.0 {
+                batch_agg_cycles as f64 / batch_wall_s
+            } else {
+                0.0
+            };
+            job.batch_speedup = if job.decoded_cycles_per_sec > 0.0 {
+                job.batch_agg_cycles_per_sec / job.decoded_cycles_per_sec
+            } else {
+                0.0
+            };
             jobs.push(job);
         }
     }
-    SimBenchReport { iterations, jobs }
+    SimBenchReport {
+        iterations,
+        batch_iterations,
+        jobs,
+    }
 }
 
 fn json_f64(v: f64) -> String {
@@ -277,6 +374,7 @@ pub fn render_json(report: &SimBenchReport) -> String {
     s.push_str("{\n");
     let _ = writeln!(s, "  \"schema\": {},", json_str(SCHEMA));
     let _ = writeln!(s, "  \"iterations\": {},", report.iterations);
+    let _ = writeln!(s, "  \"batch_iterations\": {},", report.batch_iterations);
     s.push_str("  \"jobs\": [\n");
     for (i, j) in report.jobs.iter().enumerate() {
         let _ = write!(
@@ -285,7 +383,9 @@ pub fn render_json(report: &SimBenchReport) -> String {
              \"sim_cycles\": {}, \"blocks\": {}, \"decode_ms\": {}, \
              \"decoded_wall_ms\": {}, \"reference_wall_ms\": {}, \
              \"decoded_cycles_per_sec\": {}, \"reference_cycles_per_sec\": {}, \
-             \"speedup\": {}, \"asm_wall_ms\": {}, \"asm_blocks_per_sec\": {}}}",
+             \"speedup\": {}, \"asm_wall_ms\": {}, \"asm_blocks_per_sec\": {}, \
+             \"batch_lanes\": {}, \"batch_agg_cycles\": {}, \"batch_wall_ms\": {}, \
+             \"batch_agg_cycles_per_sec\": {}, \"batch_speedup\": {}}}",
             json_str(&j.kernel),
             json_str(&j.variant),
             json_str(&j.config),
@@ -300,6 +400,11 @@ pub fn render_json(report: &SimBenchReport) -> String {
             json_f64(j.speedup),
             json_f64(j.asm_wall_ms),
             json_f64(j.asm_blocks_per_sec),
+            j.batch_lanes,
+            j.batch_agg_cycles,
+            json_f64(j.batch_wall_ms),
+            json_f64(j.batch_agg_cycles_per_sec),
+            json_f64(j.batch_speedup),
         );
         s.push_str(if i + 1 < report.jobs.len() {
             ",\n"
@@ -322,12 +427,63 @@ pub fn render_json(report: &SimBenchReport) -> String {
     let _ = writeln!(s, "    \"speedup\": {},", json_f64(report.total_speedup()));
     let _ = writeln!(
         s,
-        "    \"asm_blocks_per_sec\": {}",
+        "    \"asm_blocks_per_sec\": {},",
         json_f64(report.total_asm_blocks_per_sec())
+    );
+    let _ = writeln!(
+        s,
+        "    \"batch_agg_cycles_per_sec\": {},",
+        json_f64(report.total_batch_agg_cycles_per_sec())
+    );
+    let _ = writeln!(
+        s,
+        "    \"batch_speedup\": {}",
+        json_f64(report.total_batch_speedup())
     );
     s.push_str("  }\n");
     s.push_str("}\n");
     s
+}
+
+/// Compares a freshly rendered `BENCH_sim.json` against a committed
+/// baseline document: both `totals.decoded_cycles_per_sec` (solo fast
+/// path) and `totals.batch_agg_cycles_per_sec` (batched sweeps) must be
+/// at least `min_ratio` of the baseline's. This is CI's simulator
+/// regression gate. Returns a human-readable verdict line on success.
+pub fn check_against_baseline(
+    current: &str,
+    baseline: &str,
+    min_ratio: f64,
+) -> Result<String, String> {
+    use crate::mapper_bench::json;
+    fn total(doc: &str, what: &str, key: &str) -> Result<f64, String> {
+        let doc = json::parse(doc).map_err(|e| format!("{what}: not valid JSON: {e}"))?;
+        let schema = doc.get("schema").and_then(json::Value::as_str);
+        if schema != Some(SCHEMA) {
+            return Err(format!("{what}: schema {schema:?}, want {SCHEMA:?}"));
+        }
+        doc.get("totals")
+            .and_then(|t| t.get(key))
+            .and_then(json::Value::as_f64)
+            .ok_or_else(|| format!("{what}: no totals.{key}"))
+    }
+    let mut verdicts = Vec::new();
+    for key in ["decoded_cycles_per_sec", "batch_agg_cycles_per_sec"] {
+        let cur = total(current, "current", key)?;
+        let base = total(baseline, "baseline", key)?;
+        if base <= 0.0 {
+            return Err(format!("baseline {key} is {base}"));
+        }
+        let ratio = cur / base;
+        if ratio < min_ratio {
+            return Err(format!(
+                "{key} regressed: {cur:.0} cycles/s vs baseline {base:.0} \
+                 (ratio {ratio:.3} < required {min_ratio})"
+            ));
+        }
+        verdicts.push(format!("{key} ratio {ratio:.3}"));
+    }
+    Ok(format!("ok: {} (>= {min_ratio})", verdicts.join(", ")))
 }
 
 #[cfg(test)]
@@ -338,6 +494,7 @@ mod tests {
     fn sample() -> SimBenchReport {
         SimBenchReport {
             iterations: 3,
+            batch_iterations: 2,
             jobs: vec![
                 SimBenchJob {
                     kernel: "fir".into(),
@@ -354,6 +511,13 @@ mod tests {
                     speedup: 10.0,
                     asm_wall_ms: 0.5,
                     asm_blocks_per_sec: 6000.0,
+                    batch_lanes: 64,
+                    // 64 lanes x 1000 cycles in 2 ms -> 32M agg/s, 3.2x
+                    // the solo decoded rate.
+                    batch_agg_cycles: 64_000,
+                    batch_wall_ms: 2.0,
+                    batch_agg_cycles_per_sec: 32_000_000.0,
+                    batch_speedup: 3.2,
                 },
                 SimBenchJob {
                     kernel: "fft".into(),
@@ -370,6 +534,11 @@ mod tests {
                     speedup: 0.0,
                     asm_wall_ms: 0.0,
                     asm_blocks_per_sec: 0.0,
+                    batch_lanes: 0,
+                    batch_agg_cycles: 0,
+                    batch_wall_ms: 0.0,
+                    batch_agg_cycles_per_sec: 0.0,
+                    batch_speedup: 0.0,
                 },
             ],
         }
@@ -404,6 +573,11 @@ mod tests {
                 "speedup",
                 "asm_wall_ms",
                 "asm_blocks_per_sec",
+                "batch_lanes",
+                "batch_agg_cycles",
+                "batch_wall_ms",
+                "batch_agg_cycles_per_sec",
+                "batch_speedup",
             ] {
                 assert!(job.get(key).is_some(), "job missing {key}");
             }
@@ -414,9 +588,15 @@ mod tests {
             "reference_cycles_per_sec",
             "speedup",
             "asm_blocks_per_sec",
+            "batch_agg_cycles_per_sec",
+            "batch_speedup",
         ] {
             assert!(totals.get(key).is_some(), "totals missing {key}");
         }
+        assert_eq!(
+            doc.get("batch_iterations").and_then(json::Value::as_f64),
+            Some(2.0)
+        );
     }
 
     #[test]
@@ -429,6 +609,30 @@ mod tests {
         assert!((r.total_reference_cycles_per_sec() - 1_000_000.0).abs() < 1.0);
         assert!((r.total_speedup() - 10.0).abs() < 1e-9);
         assert!((r.total_asm_blocks_per_sec() - 6000.0).abs() < 1.0);
+        // 64k aggregate cycles in 2 ms -> 32M agg/s, 3.2x the solo rate.
+        assert!((r.total_batch_agg_cycles_per_sec() - 32_000_000.0).abs() < 1.0);
+        assert!((r.total_batch_speedup() - 3.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn baseline_gate_compares_solo_and_batch_rates() {
+        let current = render_json(&sample());
+        assert!(check_against_baseline(&current, &current, 0.9).is_ok());
+        // A faster baseline in either rate trips the gate at the same
+        // min-ratio; a permissive ratio lets it pass.
+        let mut fast = sample();
+        fast.jobs[0].decoded_wall_ms /= 3.0;
+        let baseline = render_json(&fast);
+        assert!(check_against_baseline(&current, &baseline, 0.9).is_err());
+        assert!(check_against_baseline(&current, &baseline, 0.2).is_ok());
+        let mut fast_batch = sample();
+        fast_batch.jobs[0].batch_wall_ms /= 3.0;
+        let baseline = render_json(&fast_batch);
+        assert!(check_against_baseline(&current, &baseline, 0.9).is_err());
+        assert!(check_against_baseline(&current, &baseline, 0.2).is_ok());
+        // Malformed documents are errors, not passes.
+        assert!(check_against_baseline("{}", &current, 0.5).is_err());
+        assert!(check_against_baseline(&current, "not json", 0.5).is_err());
     }
 
     #[test]

@@ -269,6 +269,19 @@ impl Rng {
     }
 }
 
+/// A deterministic input memory image for lane `lane` of an input sweep:
+/// `len` words uniform in `-range..=range`, from the same splitmix64
+/// stream family as [`generate`] (platform-stable, dependency-free).
+/// `(seed, lane)` fully determines the image, so sweeps, benches and
+/// property tests can all regenerate the exact same inputs from two
+/// integers.
+pub fn input_image(seed: u64, lane: u64, len: usize, range: i32) -> Vec<i32> {
+    // Mix the lane into the seed with an odd multiplier so consecutive
+    // lanes land on unrelated streams.
+    let mut rng = Rng::new(seed ^ lane.wrapping_mul(0xa076_1d64_78bd_642f));
+    (0..len).map(|_| rng.imm(range)).collect()
+}
+
 /// The weighted ALU-op mix (repetition = weight): arithmetic-heavy like
 /// the paper kernels, with compares, `select` and `mov` sprinkled in.
 const ALU_MIX: [Opcode; 24] = [

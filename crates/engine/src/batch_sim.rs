@@ -1,0 +1,261 @@
+//! Batched-simulate jobs: one compiled mapping swept over N seeded
+//! input memory images through [`cmam_sim::DecodedProgram::simulate_batch`].
+//!
+//! A batch-sim job reuses the regular compile pipeline (and its caches)
+//! to obtain the binary, decodes it once, regenerates the lane images
+//! from `(input_seed, lane)` via [`cmam_kernels::lane_images`], and runs
+//! the whole set through the batched simulator. The job key fingerprints
+//! everything the result depends on — kernel, configuration, mapper
+//! options, simulator options, lane count and a digest of the *actual
+//! generated input set* — so a change to the image generator invalidates
+//! cached sweeps even at an unchanged seed.
+
+use crate::fingerprint::{Fingerprint, Fnv64};
+use crate::job::{JobRequest, RunFailure, RunOutcome};
+use cmam_arch::CgraConfig;
+use cmam_core::{FlowVariant, MapperOptions};
+use cmam_kernels::KernelSpec;
+use cmam_sim::{DecodedProgram, LaneState, SimError, SimOptions, SimStats};
+use std::time::{Duration, Instant};
+
+/// One input-sweep job: a compile job plus the simulated input set.
+#[derive(Debug, Clone)]
+pub struct BatchSimRequest<'a> {
+    /// The kernel to compile and sweep.
+    pub spec: &'a KernelSpec,
+    /// The target CGRA instance.
+    pub config: &'a CgraConfig,
+    /// All mapper knobs (a [`FlowVariant`] resolves to these).
+    pub options: MapperOptions,
+    /// Simulator options applied to every lane.
+    pub sim: SimOptions,
+    /// Root seed of the input set; lane `l` simulates the image
+    /// `input_image(input_seed, l, spec.mem.len(), ..)`.
+    pub input_seed: u64,
+    /// Number of input images to sweep.
+    pub lanes: usize,
+}
+
+impl<'a> BatchSimRequest<'a> {
+    /// A sweep job for one of the paper's cumulative flow variants with
+    /// default simulator options.
+    pub fn flow(
+        spec: &'a KernelSpec,
+        variant: FlowVariant,
+        config: &'a CgraConfig,
+        input_seed: u64,
+        lanes: usize,
+    ) -> Self {
+        BatchSimRequest {
+            spec,
+            config,
+            options: variant.options(),
+            sim: SimOptions::default(),
+            input_seed,
+            lanes,
+        }
+    }
+
+    /// The compile half of the job (what [`crate::Engine::run_one`]
+    /// resolves, with all its dedup and caching).
+    pub fn compile_request(&self) -> JobRequest<'a> {
+        JobRequest {
+            spec: self.spec,
+            config: self.config,
+            options: self.options.clone(),
+        }
+    }
+
+    /// The lane input images, regenerated deterministically from
+    /// `(input_seed, lane)`.
+    pub fn images(&self) -> Vec<Vec<i32>> {
+        cmam_kernels::lane_images(self.spec, self.input_seed, self.lanes)
+    }
+
+    /// The content hash keying this job, given its (already generated)
+    /// input images. The digest covers the image *contents*, not just
+    /// the seed.
+    pub fn key_for(&self, images: &[Vec<i32>]) -> u64 {
+        let mut h = Fnv64::new();
+        h.feed_str("batch-sim");
+        self.spec.fingerprint(&mut h);
+        self.config.fingerprint(&mut h);
+        self.options.fingerprint(&mut h);
+        h.feed_usize(self.sim.mem_banks);
+        h.feed_u64(self.sim.max_cycles);
+        h.feed_u64(self.input_seed);
+        h.feed_usize(self.lanes);
+        h.feed_usize(images.len());
+        for image in images {
+            h.feed_usize(image.len());
+            for &w in image {
+                h.feed_u64(w as u32 as u64);
+            }
+        }
+        h.finish()
+    }
+
+    /// The content hash keying this job in the cache.
+    pub fn key(&self) -> u64 {
+        self.key_for(&self.images())
+    }
+
+    /// A short human-readable label (for logs and engine stats).
+    pub fn label(&self) -> String {
+        format!("{}@{}x{}", self.spec.name, self.config.name(), self.lanes)
+    }
+}
+
+/// What a batch-sim job produced: per-lane results plus sweep-level
+/// accounting. Per-lane final memories are not retained (they can be
+/// arbitrarily large across thousands of lanes); their digests are.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchSimOutcome {
+    /// Per-lane simulation results, in lane order. Errors are rendered
+    /// (they round-trip through the artifact store).
+    pub lanes: Vec<Result<SimStats, String>>,
+    /// FNV-1a digest of each lane's final memory image (partial images
+    /// for failed lanes, exactly as the simulator left them).
+    pub mem_digests: Vec<u64>,
+    /// Sum of executed cycles over all successful lanes.
+    pub agg_cycles: u64,
+    /// Wall-clock decode time (cache-hit caveat as `RunOutcome` times).
+    pub decode_time: Duration,
+    /// Wall-clock batched-simulation time (same caveat).
+    pub sim_time: Duration,
+}
+
+impl BatchSimOutcome {
+    /// Number of lanes that retired successfully.
+    pub fn ok_lanes(&self) -> usize {
+        self.lanes.iter().filter(|r| r.is_ok()).count()
+    }
+
+    /// Aggregate simulated cycles per wall-clock second of the batched
+    /// run (the sweep throughput the bench gates on), or `None` for a
+    /// zero-duration measurement.
+    pub fn agg_cycles_per_sec(&self) -> Option<f64> {
+        let secs = self.sim_time.as_secs_f64();
+        (secs > 0.0).then(|| self.agg_cycles as f64 / secs)
+    }
+
+    /// Hash of every deterministic field (everything except wall-clock
+    /// noise), for determinism tests.
+    pub fn content_digest(&self) -> u64 {
+        let mut h = Fnv64::new();
+        h.feed_usize(self.lanes.len());
+        for lane in &self.lanes {
+            match lane {
+                Ok(s) => {
+                    h.feed_u64(1);
+                    h.feed_u64(s.cycles);
+                    h.feed_u64(s.stall_cycles);
+                    h.feed_usize(s.block_execs.len());
+                    for &n in &s.block_execs {
+                        h.feed_u64(n);
+                    }
+                    for t in &s.tiles {
+                        for v in [
+                            t.active_cycles,
+                            t.idle_cycles,
+                            t.cm_fetches,
+                            t.alu_ops,
+                            t.moves,
+                            t.loads,
+                            t.stores,
+                            t.rf_reads,
+                            t.neighbor_reads,
+                            t.crf_reads,
+                            t.rf_writes,
+                        ] {
+                            h.feed_u64(v);
+                        }
+                    }
+                }
+                Err(e) => {
+                    h.feed_u64(0);
+                    h.feed_str(e);
+                }
+            }
+        }
+        for &d in &self.mem_digests {
+            h.feed_u64(d);
+        }
+        h.feed_u64(self.agg_cycles);
+        h.finish()
+    }
+}
+
+/// What a batch-sim job evaluates to: a sweep outcome, or the compile
+/// pipeline's failure (a lane-level simulation error is *data*, carried
+/// inside the outcome, not a job failure).
+pub type BatchSimResult = Result<BatchSimOutcome, RunFailure>;
+
+/// Digest of one final memory image (FNV-1a over length and words).
+fn mem_digest(mem: &[i32]) -> u64 {
+    let mut h = Fnv64::new();
+    h.feed_usize(mem.len());
+    for &w in mem {
+        h.feed_u64(w as u32 as u64);
+    }
+    h.finish()
+}
+
+/// Decodes the compiled binary and sweeps the lane images through the
+/// batched simulator. Pure over `(outcome.binary, images, sim options)`.
+pub fn execute_batch_sim(
+    req: &BatchSimRequest<'_>,
+    compiled: &RunOutcome,
+    images: Vec<Vec<i32>>,
+) -> BatchSimOutcome {
+    let t0 = Instant::now();
+    let decoded = DecodedProgram::decode(&compiled.binary, req.config)
+        .expect("a binary that simulated solo decodes");
+    let decode_time = t0.elapsed();
+    cmam_obs::histogram!("phase.decode_us").record(decode_time.as_micros() as u64);
+    let mut lanes: Vec<LaneState> = images.into_iter().map(LaneState::new).collect();
+    let t1 = Instant::now();
+    let results: Vec<Result<SimStats, SimError>> = decoded.simulate_batch(&mut lanes, req.sim);
+    let sim_time = t1.elapsed();
+    cmam_obs::histogram!("phase.batch_sim_us").record(sim_time.as_micros() as u64);
+    let mem_digests: Vec<u64> = lanes.iter().map(|l| mem_digest(&l.mem)).collect();
+    let agg_cycles = results
+        .iter()
+        .filter_map(|r| r.as_ref().ok().map(|s| s.cycles))
+        .sum();
+    BatchSimOutcome {
+        lanes: results
+            .into_iter()
+            .map(|r| r.map_err(|e| e.to_string()))
+            .collect(),
+        mem_digests,
+        agg_cycles,
+        decode_time,
+        sim_time,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_separate_input_sets_and_job_kinds() {
+        let spec = cmam_kernels::dc::spec();
+        let config = CgraConfig::hom64();
+        let a = BatchSimRequest::flow(&spec, FlowVariant::Basic, &config, 1, 8);
+        let b = BatchSimRequest::flow(&spec, FlowVariant::Basic, &config, 1, 8);
+        assert_eq!(a.key(), b.key());
+        let more_lanes = BatchSimRequest::flow(&spec, FlowVariant::Basic, &config, 1, 9);
+        let other_seed = BatchSimRequest::flow(&spec, FlowVariant::Basic, &config, 2, 8);
+        assert_ne!(a.key(), more_lanes.key());
+        assert_ne!(a.key(), other_seed.key());
+        // The batch-sim key space never collides with the compile key
+        // space for the same inputs.
+        assert_ne!(a.key(), a.compile_request().key());
+        // The key covers image *contents*: same request, doctored images.
+        let mut images = a.images();
+        images[0][0] ^= 1;
+        assert_ne!(a.key(), a.key_for(&images));
+    }
+}

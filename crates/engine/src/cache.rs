@@ -16,6 +16,7 @@
 //! truncated file, out-of-range tag — is treated as a clean cache miss
 //! and the entry is rewritten.
 
+use crate::batch_sim::BatchSimOutcome;
 use crate::fingerprint::FORMAT_VERSION;
 use crate::job::{FailStage, JobResult, RunFailure, RunOutcome};
 use cmam_arch::Direction;
@@ -30,6 +31,10 @@ use std::time::Duration;
 /// Leading bytes of every artifact; anything else is a foreign file (for
 /// example a text artifact from a pre-v3 toolchain) and therefore a miss.
 const MAGIC: &[u8; 8] = b"cmamrunb";
+
+/// Leading bytes of a batched-simulation artifact (`.bsim` files carry a
+/// different payload shape, so they get their own magic).
+const BATCH_MAGIC: &[u8; 8] = b"cmambsim";
 
 /// On-disk artifact store. Construction never fails: if the directory
 /// cannot be created the store silently degrades to a no-op (a cache must
@@ -64,10 +69,32 @@ impl DiskCache {
         self.dir.as_ref().map(|d| d.join(format!("{key:016x}.run")))
     }
 
+    fn batch_path_for(&self, key: u64) -> Option<PathBuf> {
+        self.dir
+            .as_ref()
+            .map(|d| d.join(format!("{key:016x}.bsim")))
+    }
+
     /// Loads the artifact for `key`, or `None` on miss/corruption.
     pub fn load(&self, key: u64) -> Option<JobResult> {
         let bytes = std::fs::read(self.path_for(key)?).ok()?;
         parse_result(&bytes)
+    }
+
+    /// Loads the batched-simulation artifact for `key`, or `None` on
+    /// miss/corruption.
+    pub fn load_batch(&self, key: u64) -> Option<BatchSimOutcome> {
+        let bytes = std::fs::read(self.batch_path_for(key)?).ok()?;
+        parse_batch_outcome(&bytes)
+    }
+
+    /// Persists the batched-simulation artifact for `key`, with the same
+    /// best-effort write-then-rename discipline as [`DiskCache::store`].
+    pub fn store_batch(&self, key: u64, outcome: &BatchSimOutcome) {
+        let Some(path) = self.batch_path_for(key) else {
+            return;
+        };
+        self.store_bytes(path, serialize_batch_outcome(outcome));
     }
 
     /// Persists the artifact for `key`. Best-effort: write errors are
@@ -76,6 +103,10 @@ impl DiskCache {
         let Some(path) = self.path_for(key) else {
             return;
         };
+        self.store_bytes(path, serialize_result(result));
+    }
+
+    fn store_bytes(&self, path: PathBuf, bytes: Vec<u8>) {
         let Some(dir) = path.parent() else { return };
         // Write-then-rename so concurrent engines never observe a torn
         // artifact; the counter keeps temp names unique within a process.
@@ -84,7 +115,6 @@ impl DiskCache {
             std::process::id(),
             self.counter.fetch_add(1, Ordering::Relaxed)
         ));
-        let bytes = serialize_result(result);
         let nbytes = bytes.len() as u64;
         let stored = std::fs::write(&tmp, bytes).is_ok() && std::fs::rename(&tmp, &path).is_ok();
         if !stored {
@@ -547,6 +577,128 @@ pub fn parse_result(bytes: &[u8]) -> Option<JobResult> {
     r.at_end().then_some(result)
 }
 
+fn write_stats(w: &mut Writer, s: &SimStats) {
+    w.u64(s.cycles);
+    w.u64(s.stall_cycles);
+    w.len(s.block_execs.len());
+    for &n in &s.block_execs {
+        w.u64(n);
+    }
+    w.len(s.tiles.len());
+    for t in &s.tiles {
+        for v in [
+            t.active_cycles,
+            t.idle_cycles,
+            t.cm_fetches,
+            t.alu_ops,
+            t.moves,
+            t.loads,
+            t.stores,
+            t.rf_reads,
+            t.neighbor_reads,
+            t.crf_reads,
+            t.rf_writes,
+        ] {
+            w.u64(v);
+        }
+    }
+}
+
+fn read_stats(r: &mut Reader<'_>) -> Option<SimStats> {
+    let cycles = r.u64()?;
+    let stall_cycles = r.u64()?;
+    let nblocks = r.len()?;
+    let mut block_execs = Vec::with_capacity(nblocks.min(1024));
+    for _ in 0..nblocks {
+        block_execs.push(r.u64()?);
+    }
+    let ntiles = r.len()?;
+    let mut tiles = Vec::with_capacity(ntiles.min(1024));
+    for _ in 0..ntiles {
+        tiles.push(TileStats {
+            active_cycles: r.u64()?,
+            idle_cycles: r.u64()?,
+            cm_fetches: r.u64()?,
+            alu_ops: r.u64()?,
+            moves: r.u64()?,
+            loads: r.u64()?,
+            stores: r.u64()?,
+            rf_reads: r.u64()?,
+            neighbor_reads: r.u64()?,
+            crf_reads: r.u64()?,
+            rf_writes: r.u64()?,
+        });
+    }
+    Some(SimStats {
+        cycles,
+        stall_cycles,
+        block_execs,
+        tiles,
+    })
+}
+
+/// Renders a batched-simulation outcome as the on-disk `.bsim` artifact.
+pub fn serialize_batch_outcome(o: &BatchSimOutcome) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.buf.extend_from_slice(BATCH_MAGIC);
+    w.u32(FORMAT_VERSION);
+    w.duration(o.decode_time);
+    w.duration(o.sim_time);
+    w.u64(o.agg_cycles);
+    w.len(o.lanes.len());
+    for lane in &o.lanes {
+        match lane {
+            Err(e) => {
+                w.u8(0);
+                w.str(e);
+            }
+            Ok(s) => {
+                w.u8(1);
+                write_stats(&mut w, s);
+            }
+        }
+    }
+    w.len(o.mem_digests.len());
+    for &d in &o.mem_digests {
+        w.u64(d);
+    }
+    w.buf
+}
+
+/// Parses a `.bsim` artifact. `None` on any malformed, truncated or
+/// version-mismatched input (treated as a cache miss).
+pub fn parse_batch_outcome(bytes: &[u8]) -> Option<BatchSimOutcome> {
+    let mut r = Reader::new(bytes);
+    if r.take(BATCH_MAGIC.len())? != BATCH_MAGIC || r.u32()? != FORMAT_VERSION {
+        return None;
+    }
+    let decode_time = r.duration()?;
+    let sim_time = r.duration()?;
+    let agg_cycles = r.u64()?;
+    let nlanes = r.len()?;
+    let mut lanes = Vec::with_capacity(nlanes.min(65_536));
+    for _ in 0..nlanes {
+        lanes.push(match r.u8()? {
+            0 => Err(r.str()?),
+            1 => Ok(read_stats(&mut r)?),
+            _ => return None,
+        });
+    }
+    let ndigests = r.len()?;
+    let mut mem_digests = Vec::with_capacity(ndigests.min(65_536));
+    for _ in 0..ndigests {
+        mem_digests.push(r.u64()?);
+    }
+    let outcome = BatchSimOutcome {
+        lanes,
+        mem_digests,
+        agg_cycles,
+        decode_time,
+        sim_time,
+    };
+    r.at_end().then_some(outcome)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -648,6 +800,37 @@ mod tests {
             assert_eq!(read_instr(&mut r).as_ref(), Some(i));
             assert!(r.at_end());
         }
+    }
+
+    #[test]
+    fn batch_outcome_round_trips_through_binary() {
+        let outcome = BatchSimOutcome {
+            lanes: vec![
+                Ok(SimStats {
+                    cycles: 123,
+                    stall_cycles: 4,
+                    block_execs: vec![1, 7, 0],
+                    tiles: vec![TileStats {
+                        active_cycles: 9,
+                        ..TileStats::default()
+                    }],
+                }),
+                Err("address -3 out of bounds".into()),
+            ],
+            mem_digests: vec![0xDEAD, 0xBEEF],
+            agg_cycles: 123,
+            decode_time: Duration::from_nanos(5_000),
+            sim_time: Duration::from_nanos(987_654_321),
+        };
+        let bytes = serialize_batch_outcome(&outcome);
+        let back = parse_batch_outcome(&bytes).expect("parses");
+        assert_eq!(back, outcome);
+        assert_eq!(back.content_digest(), outcome.content_digest());
+        // Truncations and a run-artifact magic are clean misses.
+        for cut in [bytes.len() - 1, bytes.len() / 2, 4] {
+            assert!(parse_batch_outcome(&bytes[..cut]).is_none(), "cut at {cut}");
+        }
+        assert!(parse_batch_outcome(b"cmamrunb").is_none());
     }
 
     #[test]

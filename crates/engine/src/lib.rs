@@ -31,11 +31,13 @@
 //! binaries therefore accept `--jobs N` and `--no-cache` without any
 //! change in output.
 
+pub mod batch_sim;
 pub mod cache;
 pub mod dse;
 pub mod fingerprint;
 pub mod job;
 
+pub use batch_sim::{BatchSimOutcome, BatchSimRequest, BatchSimResult};
 pub use fingerprint::{Fingerprint, Fnv64, FORMAT_VERSION};
 pub use job::{execute, smoke_matrix, FailStage, JobRequest, JobResult, RunFailure, RunOutcome};
 
@@ -175,6 +177,10 @@ pub struct Engine {
     options: EngineOptions,
     disk: Arc<DiskCache>,
     memo: Vec<Mutex<HashMap<u64, JobResult>>>,
+    /// Memo table for batched-simulation outcomes. Batch-sim jobs are
+    /// coarse (one per sweep, not one per kernel-config pair), so a
+    /// single unsharded map is enough.
+    batch_memo: Mutex<HashMap<u64, BatchSimOutcome>>,
     stats: Mutex<EngineStats>,
 }
 
@@ -188,6 +194,7 @@ impl Engine {
             memo: (0..MEMO_SHARDS)
                 .map(|_| Mutex::new(HashMap::new()))
                 .collect(),
+            batch_memo: Mutex::new(HashMap::new()),
             stats: Mutex::new(EngineStats::default()),
         }
     }
@@ -372,6 +379,50 @@ impl Engine {
         self.run_batch(std::slice::from_ref(request))
             .pop()
             .expect("one request yields one result")
+    }
+
+    /// Runs one batched-simulate job: compiles the mapping through the
+    /// regular (deduped, memoised) pipeline, then sweeps the request's
+    /// seeded input set through the batched simulator. The sweep outcome
+    /// is memoised in memory and persisted as a `.bsim` artifact under
+    /// the same cache directory, keyed by a fingerprint that covers the
+    /// generated input-set digest.
+    ///
+    /// # Errors
+    ///
+    /// The compile pipeline's [`RunFailure`] (no mapping, does not fit).
+    /// Per-lane simulation errors are data, carried inside the outcome.
+    pub fn run_batch_sim(&self, request: &BatchSimRequest<'_>) -> BatchSimResult {
+        let _span = cmam_obs::span!("batch_sim", lanes = request.lanes as u64);
+        cmam_obs::counter!("engine.batch_sim.submitted").add(1);
+        let images = request.images();
+        let key = request.key_for(&images);
+        if let Some(hit) = self
+            .batch_memo
+            .lock()
+            .expect("batch memo poisoned")
+            .get(&key)
+        {
+            cmam_obs::counter!("engine.batch_sim.memory_hits").add(1);
+            return Ok(hit.clone());
+        }
+        if let Some(outcome) = self.disk.load_batch(key) {
+            cmam_obs::counter!("engine.batch_sim.disk_hits").add(1);
+            self.batch_memo
+                .lock()
+                .expect("batch memo poisoned")
+                .insert(key, outcome.clone());
+            return Ok(outcome);
+        }
+        let compiled = self.run_one(&request.compile_request())?;
+        let outcome = batch_sim::execute_batch_sim(request, &compiled, images);
+        cmam_obs::counter!("engine.batch_sim.executed").add(1);
+        self.disk.store_batch(key, &outcome);
+        self.batch_memo
+            .lock()
+            .expect("batch memo poisoned")
+            .insert(key, outcome.clone());
+        Ok(outcome)
     }
 }
 

@@ -1,0 +1,106 @@
+//! The batched-simulate job kind: per-lane results must match solo
+//! simulation of the same images, outcomes must be bit-identical across
+//! cache states, and `.bsim` artifacts must answer a second engine.
+
+use cmam_arch::CgraConfig;
+use cmam_core::FlowVariant;
+use cmam_engine::{BatchSimRequest, Engine, EngineOptions};
+use cmam_sim::{DecodedProgram, SimOptions};
+use std::path::PathBuf;
+
+fn temp_cache_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cmam-batchsim-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn engine_batch_sim_matches_solo_simulation_per_lane() {
+    let engine = Engine::new(EngineOptions {
+        jobs: 1,
+        cache_dir: None,
+    });
+    let spec = cmam_kernels::fir::spec();
+    let config = CgraConfig::hom64();
+    let req = BatchSimRequest::flow(&spec, FlowVariant::Basic, &config, 0xFEED, 16);
+    let outcome = engine.run_batch_sim(&req).expect("FIR maps on HOM64");
+    assert_eq!(outcome.lanes.len(), 16);
+    assert_eq!(outcome.ok_lanes(), 16);
+
+    let compiled = engine.run_one(&req.compile_request()).expect("FIR maps");
+    let decoded = DecodedProgram::decode(&compiled.binary, &config).expect("decodes");
+    let mut agg = 0u64;
+    for (l, image) in req.images().iter().enumerate() {
+        let mut mem = image.clone();
+        let solo = decoded
+            .simulate(&mut mem, SimOptions::default())
+            .expect("simulates");
+        agg += solo.cycles;
+        assert_eq!(
+            outcome.lanes[l].as_ref().expect("lane ok"),
+            &solo,
+            "lane {l}"
+        );
+    }
+    assert_eq!(outcome.agg_cycles, agg);
+}
+
+#[test]
+fn batch_sim_outcomes_persist_and_round_trip_across_engines() {
+    let dir = temp_cache_dir("persist");
+    let spec = cmam_kernels::dc::spec();
+    let config = CgraConfig::hom64();
+    let req = BatchSimRequest::flow(&spec, FlowVariant::Basic, &config, 7, 8);
+
+    let first = Engine::new(EngineOptions {
+        jobs: 1,
+        cache_dir: Some(dir.clone()),
+    });
+    let a = first.run_batch_sim(&req).expect("DC maps");
+    // The sweep artifact is on disk under its own extension.
+    let bsim_files = std::fs::read_dir(&dir)
+        .expect("cache dir exists")
+        .filter(|e| {
+            e.as_ref()
+                .ok()
+                .map(|e| e.path().extension() == Some(std::ffi::OsStr::new("bsim")))
+                .unwrap_or(false)
+        })
+        .count();
+    assert_eq!(bsim_files, 1, "one .bsim artifact per sweep");
+
+    // A fresh engine answers from disk, bit-identically (including the
+    // originally measured wall times).
+    let second = Engine::new(EngineOptions {
+        jobs: 1,
+        cache_dir: Some(dir.clone()),
+    });
+    let b = second.run_batch_sim(&req).expect("DC maps");
+    assert_eq!(a, b);
+    assert_eq!(a.content_digest(), b.content_digest());
+    assert_eq!(second.stats().executed, 0, "nothing recompiled");
+
+    // And the in-memory memo answers a repeat on the same engine.
+    let c = second.run_batch_sim(&req).expect("DC maps");
+    assert_eq!(a.content_digest(), c.content_digest());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn compile_failures_surface_as_job_failures() {
+    let engine = Engine::new(EngineOptions {
+        jobs: 1,
+        cache_dir: None,
+    });
+    // The FIR does not fit the tiny uniform 16-word context memories
+    // with a memory-unaware flow (T1 needs 17 context words).
+    let spec = cmam_kernels::fir::spec();
+    let tight = CgraConfig::builder(4, 4)
+        .uniform_cm(16)
+        .name("TIGHT16")
+        .build()
+        .expect("valid config");
+    let req = BatchSimRequest::flow(&spec, FlowVariant::Basic, &tight, 1, 4);
+    assert!(engine.run_batch_sim(&req).is_err());
+}

@@ -37,6 +37,22 @@ impl KernelSpec {
     }
 }
 
+/// Value range of swept input images: small enough that long multiply
+/// chains stay interesting, matching the generated kernels' own fill.
+const INPUT_RANGE: i32 = 64;
+
+/// `n` deterministic input memory images for `spec`, one per lane,
+/// derived from `(seed, lane)` via [`cmam_cdfg::input_image`]. Input
+/// sweeps, the batch bench and the batch property tests all regenerate
+/// identical images from the same two integers. Each image has the
+/// spec's own memory size, so every in-bounds kernel stays in bounds on
+/// every lane.
+pub fn lane_images(spec: &KernelSpec, seed: u64, n: usize) -> Vec<Vec<i32>> {
+    (0..n)
+        .map(|lane| cmam_cdfg::input_image(seed, lane as u64, spec.mem.len(), INPUT_RANGE))
+        .collect()
+}
+
 /// The paper-sized instances of all seven kernels, in Table II order.
 pub fn all() -> Vec<KernelSpec> {
     vec![

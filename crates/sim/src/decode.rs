@@ -37,12 +37,12 @@ use cmam_isa::program::BinTerminator;
 use cmam_isa::{CgraBinary, Instr, Operand};
 
 /// Sentinel for "no destination register" in a [`Slot`].
-const NO_DST: u32 = u32::MAX;
+pub(crate) const NO_DST: u32 = u32::MAX;
 
 /// What an active slot does, pre-classified so the cycle loop dispatches
 /// on one byte instead of re-matching the opcode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum SlotKind {
+pub(crate) enum SlotKind {
     /// Pure ALU operation (everything except the cases below).
     Alu,
     /// Register move.
@@ -59,7 +59,7 @@ enum SlotKind {
 /// `Neighbor` carry the flat register-file index of the already-resolved
 /// register; they are distinguished only for decode-time accounting.
 #[derive(Debug, Clone, Copy)]
-enum Arg {
+pub(crate) enum Arg {
     /// CRF constant, inlined at decode time.
     Const(i32),
     /// Register-file read (own or neighbour RF — resolved to a flat
@@ -69,13 +69,13 @@ enum Arg {
 
 /// One executing micro-op of a `(block, cycle)` row.
 #[derive(Debug, Clone, Copy)]
-struct Slot {
-    kind: SlotKind,
-    opcode: Opcode,
-    nargs: u8,
+pub(crate) struct Slot {
+    pub(crate) kind: SlotKind,
+    pub(crate) opcode: Opcode,
+    pub(crate) nargs: u8,
     /// Flat RF index of the destination, or [`NO_DST`].
-    dst: u32,
-    args: [Arg; 3],
+    pub(crate) dst: u32,
+    pub(crate) args: [Arg; 3],
 }
 
 /// A queued TCDM access of the current cycle.
@@ -93,31 +93,31 @@ struct MemOp {
 /// times — [`DecodedProgram::simulate`] is pure over `(mem, options)`.
 #[derive(Debug, Clone)]
 pub struct DecodedProgram {
-    ntiles: usize,
-    entry: usize,
-    block_lengths: Vec<usize>,
-    terminators: Vec<BinTerminator>,
+    pub(crate) ntiles: usize,
+    pub(crate) entry: usize,
+    pub(crate) block_lengths: Vec<usize>,
+    pub(crate) terminators: Vec<BinTerminator>,
     /// Active micro-ops, grouped by `(block, cycle)` in block order,
     /// tiles of one cycle contiguous and in tile order.
-    ops: Vec<Slot>,
+    pub(crate) ops: Vec<Slot>,
     /// End index into [`DecodedProgram::ops`] per `(block, cycle)`,
     /// flattened in block order; the row of global cycle `g` is
     /// `ops[op_ends[g - 1]..op_ends[g]]` (`0` for `g == 0`). Monotone by
     /// construction, so starts need not be stored.
-    op_ends: Vec<u32>,
+    pub(crate) op_ends: Vec<u32>,
     /// Index of each block's cycle 0 in [`DecodedProgram::op_ends`].
-    block_cycle_base: Vec<usize>,
+    pub(crate) block_cycle_base: Vec<usize>,
     /// For a fully idle `(block, cycle)`: the length of the maximal run
     /// of fully idle cycles starting there (not crossing the block end),
     /// so the cycle loop advances over a whole pnop window in one step.
     /// `0` for cycles with at least one active op.
-    idle_skip: Vec<u32>,
+    pub(crate) idle_skip: Vec<u32>,
     /// Statically-known per-tile activity of one execution of each
     /// block, flattened `block * ntiles + tile`.
-    stats_delta: Vec<TileStats>,
+    pub(crate) stats_delta: Vec<TileStats>,
     /// Total RF words over all tiles (tile offsets are resolved into the
     /// slots at decode time, so only the flat extent is kept).
-    rf_words: usize,
+    pub(crate) rf_words: usize,
 }
 
 impl DecodedProgram {

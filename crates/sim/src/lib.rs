@@ -26,13 +26,18 @@
 //! validated), and the cycle loop executes it without allocating. The
 //! original naive interpretation survives in [`mod@reference`] as the
 //! executable specification — the golden and property suites pin the
-//! two bit-for-bit against each other.
+//! two bit-for-bit against each other. For input sweeps, [`batch`] runs
+//! many independent memory images through one decoded program at once
+//! (structure-of-arrays state, block-keyed cohorts), each lane
+//! bit-identical to a solo run.
 
+pub mod batch;
 pub mod decode;
 pub mod machine;
 pub mod reference;
 pub mod stats;
 
+pub use batch::LaneState;
 pub use decode::DecodedProgram;
 pub use machine::{simulate, SimError, SimOptions};
 pub use reference::simulate_reference;

@@ -1,0 +1,122 @@
+//! Digest helpers and the golden configuration set shared by the
+//! simulator golden suites (`golden_equivalence`, `golden_batch`).
+
+use cmam_arch::CgraConfig;
+use cmam_isa::AsmReport;
+use cmam_sim::SimStats;
+
+/// FNV-1a, the same construction the engine uses for content hashes
+/// (reimplemented here because `cmam_sim` must not depend on
+/// `cmam_engine`).
+pub struct Fnv(pub u64);
+
+#[allow(dead_code)] // not every golden suite hashes every shape
+impl Fnv {
+    pub fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    pub fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+    pub fn i32(&mut self, v: i32) {
+        self.u64(v as u32 as u64);
+    }
+    pub fn str(&mut self, s: &str) {
+        self.usize(s.len());
+        for b in s.bytes() {
+            self.u64(b as u64);
+        }
+    }
+}
+
+/// Canonical content hash of a whole `SimStats`: every global counter,
+/// the per-block execution counts (non-zero entries, sorted by block
+/// index — representation-independent) and all eleven per-tile counters.
+pub fn stats_digest(s: &SimStats) -> u64 {
+    let mut h = Fnv::new();
+    h.u64(s.cycles);
+    h.u64(s.stall_cycles);
+    let mut blocks: Vec<(u32, u64)> = s
+        .block_execs
+        .iter()
+        .enumerate()
+        .filter(|&(_, &n)| n > 0)
+        .map(|(b, &n)| (b as u32, n))
+        .collect();
+    blocks.sort_unstable();
+    h.usize(blocks.len());
+    for (b, n) in blocks {
+        h.u64(b as u64);
+        h.u64(n);
+    }
+    h.usize(s.tiles.len());
+    for t in &s.tiles {
+        for v in [
+            t.active_cycles,
+            t.idle_cycles,
+            t.cm_fetches,
+            t.alu_ops,
+            t.moves,
+            t.loads,
+            t.stores,
+            t.rf_reads,
+            t.neighbor_reads,
+            t.crf_reads,
+            t.rf_writes,
+        ] {
+            h.u64(v);
+        }
+    }
+    h.0
+}
+
+/// Content hash of the final data-memory image, word for word.
+pub fn mem_digest(mem: &[i32]) -> u64 {
+    let mut h = Fnv::new();
+    h.usize(mem.len());
+    for &w in mem {
+        h.i32(w);
+    }
+    h.0
+}
+
+/// Content hash of the assembler's word accounting.
+#[allow(dead_code)]
+pub fn report_digest(r: &AsmReport) -> u64 {
+    let mut h = Fnv::new();
+    h.usize(r.per_tile.len());
+    for &(o, m, p) in &r.per_tile {
+        h.usize(o);
+        h.usize(m);
+        h.usize(p);
+    }
+    h.0
+}
+
+/// The same configuration set the mapper golden suite pins: the smoke
+/// configurations plus the two uniformly tight targets whose constrained
+/// searches exercise the assemble-failure path (memory-unaware flows on
+/// small context memories).
+pub fn configs() -> Vec<CgraConfig> {
+    vec![
+        CgraConfig::hom64(),
+        CgraConfig::het1(),
+        CgraConfig::het2(),
+        CgraConfig::builder(4, 4)
+            .uniform_cm(16)
+            .name("TIGHT16")
+            .build()
+            .expect("valid config"),
+        CgraConfig::builder(4, 4)
+            .uniform_cm(24)
+            .name("TIGHT24")
+            .build()
+            .expect("valid config"),
+    ]
+}
