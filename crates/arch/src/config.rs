@@ -26,6 +26,12 @@ pub enum ConfigError {
     NoLoadStoreTile,
     /// A tile has a zero-sized context memory.
     EmptyContextMemory(TileId),
+    /// A tile has a zero-sized register file (no operand can ever be
+    /// produced or routed through it).
+    EmptyRegisterFile(TileId),
+    /// A tile has a zero-sized constant register file (no immediate can
+    /// be materialised on it).
+    EmptyConstantRegisterFile(TileId),
 }
 
 impl fmt::Display for ConfigError {
@@ -38,6 +44,12 @@ impl fmt::Display for ConfigError {
             ConfigError::NoLoadStoreTile => f.write_str("configuration has no load/store tile"),
             ConfigError::EmptyContextMemory(t) => {
                 write!(f, "tile {t} has an empty context memory")
+            }
+            ConfigError::EmptyRegisterFile(t) => {
+                write!(f, "tile {t} has an empty register file")
+            }
+            ConfigError::EmptyConstantRegisterFile(t) => {
+                write!(f, "tile {t} has an empty constant register file")
             }
         }
     }
@@ -85,6 +97,12 @@ impl CgraConfig {
         }
         if let Some(i) = tiles.iter().position(|t| t.cm_words == 0) {
             return Err(ConfigError::EmptyContextMemory(TileId(i)));
+        }
+        if let Some(i) = tiles.iter().position(|t| t.rf_words == 0) {
+            return Err(ConfigError::EmptyRegisterFile(TileId(i)));
+        }
+        if let Some(i) = tiles.iter().position(|t| t.crf_words == 0) {
+            return Err(ConfigError::EmptyConstantRegisterFile(TileId(i)));
         }
         Ok(CgraConfig {
             name: name.into(),
@@ -374,6 +392,14 @@ mod tests {
             .build()
             .unwrap_err();
         assert_eq!(err, ConfigError::EmptyContextMemory(TileId(3)));
+    }
+
+    #[test]
+    fn builder_validation_catches_empty_register_files() {
+        let err = CgraConfig::builder(2, 2).rf_words(0).build().unwrap_err();
+        assert_eq!(err, ConfigError::EmptyRegisterFile(TileId(0)));
+        let err = CgraConfig::builder(2, 2).crf_words(0).build().unwrap_err();
+        assert_eq!(err, ConfigError::EmptyConstantRegisterFile(TileId(0)));
     }
 
     #[test]

@@ -36,6 +36,7 @@ fn main() {
     let engine = Engine::new(EngineOptions {
         jobs: 1,
         cache_dir: None,
+        cache_bytes: None,
     });
     let results = engine.run_batch(&requests);
     let mut rows = Vec::new();

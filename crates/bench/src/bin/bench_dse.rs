@@ -1,0 +1,177 @@
+//! The tracked DSE benchmark: searches a generated provisioning-aware
+//! configuration space, validates the frontier against an exhaustive
+//! sweep of the legacy 24-configuration space, exercises kill/resume
+//! over the artifact store, and writes `BENCH_dse.json` (see
+//! [`cmam_bench::dse_bench`] for the schema and phases).
+//!
+//! Flags: `--space N` (generated-space size, default 1000 — the CI
+//! setting and the scale the evaluations-budget headline is claimed
+//! at), `--seed S` (generator seed, decimal or 0x-hex), `--quick` (a
+//! 120-config smoke space for local runs; the per-shape completions
+//! dominate a space that small, so don't pair it with `--check`),
+//! `--jobs N` (engine workers), `--out PATH` (default
+//! `BENCH_dse.json`), and `--check BASELINE [--min-ratio R]` — the CI
+//! gate: exactness (frontier match, recall 1.0, evaluations budget,
+//! resume without re-execution) is enforced unconditionally, and this
+//! run's configs/s must reach `R` (default 0.5) of the baseline's.
+
+use cmam_bench::dse_bench::{self, DseBenchParams};
+use cmam_bench::gen::parse_u64;
+
+fn main() {
+    let _obs = cmam_bench::obs_session("bench_dse");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut params = DseBenchParams::default();
+    let mut out = "BENCH_dse.json".to_owned();
+    let mut check: Option<String> = None;
+    let mut min_ratio = 0.5f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => params.space = 120,
+            "--space" => {
+                i += 1;
+                params.space = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &usize| n > 0)
+                    .expect("--space needs a positive integer");
+            }
+            "--seed" => {
+                i += 1;
+                params.seed = args
+                    .get(i)
+                    .map(|v| parse_u64(v).expect("--seed needs an integer"))
+                    .expect("--seed needs a value");
+            }
+            "--jobs" => {
+                i += 1;
+                params.jobs = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .expect("--jobs needs an integer");
+            }
+            "--out" => {
+                i += 1;
+                out = args.get(i).expect("--out needs a path").clone();
+            }
+            "--check" => {
+                i += 1;
+                check = Some(args.get(i).expect("--check needs a baseline path").clone());
+            }
+            "--min-ratio" => {
+                i += 1;
+                min_ratio = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|r: &f64| r.is_finite() && *r > 0.0)
+                    .expect("--min-ratio needs a positive number");
+            }
+            // Parsed by the obs session above; skip its value here.
+            "--trace-out" => i += 1,
+            "--metrics" => {}
+            o if o.starts_with("--trace-out=") => {}
+            other => {
+                eprintln!(
+                    "unknown flag {other} (known: --quick, --space N, --seed S, --jobs N, \
+                     --out PATH, --check BASELINE, --min-ratio R, --trace-out FILE, --metrics)"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    eprintln!(
+        "bench_dse: searching a {}-config space (seed {:#x})",
+        params.space, params.seed
+    );
+    let report = dse_bench::run(&params);
+
+    println!("# DSE search benchmark\n");
+    cmam_bench::emit_table(
+        &["Metric", "Value"],
+        &[
+            vec![
+                "space (generated/target)".into(),
+                format!("{}/{}", report.space_generated, report.space_target),
+            ],
+            vec!["kernels".into(), report.kernels.to_string()],
+            vec![
+                "search wall".into(),
+                format!("{:.1} ms", report.search_wall_ms),
+            ],
+            vec!["configs/s".into(), format!("{:.1}", report.configs_per_sec)],
+            vec!["jobs scheduled".into(), report.jobs_scheduled.to_string()],
+            vec!["jobs executed".into(), report.executed.to_string()],
+            vec![
+                "evals vs exhaustive".into(),
+                format!(
+                    "{:.1}% (saved {:.1}%)",
+                    report.evals_ratio * 100.0,
+                    (1.0 - report.evals_ratio) * 100.0
+                ),
+            ],
+            vec![
+                "completed/dominated/raced/infeasible".into(),
+                format!(
+                    "{}/{}/{}/{}",
+                    report.completed, report.dominated, report.raced, report.infeasible
+                ),
+            ],
+            vec!["frontier size".into(), report.frontier_size.to_string()],
+            vec![
+                "validation recall".into(),
+                format!(
+                    "{:.3} ({})",
+                    report.recall,
+                    if report.frontier_match {
+                        "exact match"
+                    } else {
+                        "MISMATCH"
+                    }
+                ),
+            ],
+            vec![
+                "hypervolume (search/exhaustive)".into(),
+                format!(
+                    "{:.4}/{:.4}",
+                    report.hypervolume_search, report.hypervolume_exhaustive
+                ),
+            ],
+            vec![
+                "cache hit ratio".into(),
+                format!("{:.3}", report.cache_hit_ratio),
+            ],
+            vec![
+                "resume".into(),
+                format!(
+                    "{} killed-run jobs, {} disk hits on restart ({})",
+                    report.resume_killed_executed,
+                    report.resume_disk_hits,
+                    if report.resume_ok {
+                        "ok"
+                    } else {
+                        "RE-EXECUTED"
+                    }
+                ),
+            ],
+        ],
+    );
+
+    let json = dse_bench::render_json(&report);
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    eprintln!("wrote {out}");
+
+    if let Some(baseline_path) = check {
+        let baseline = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("reading {baseline_path}: {e}"));
+        match dse_bench::check_against_baseline(&json, &baseline, min_ratio) {
+            Ok(verdict) => eprintln!("bench_dse: {verdict}"),
+            Err(e) => {
+                eprintln!("bench_dse: regression gate FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

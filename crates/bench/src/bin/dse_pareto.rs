@@ -1,47 +1,123 @@
-//! Design-space exploration (beyond the paper): sweep a generated space
-//! of CGRA configurations — context-memory depth x heterogeneity x
-//! geometry, see [`cmam_engine::dse::config_space`] — over all seven
-//! kernels with the full context-aware flow, and print the energy/latency
-//! Pareto frontier.
+//! Design-space exploration (beyond the paper): explore a space of CGRA
+//! configurations over the kernel mix with the full context-aware flow
+//! and report the energy/latency Pareto frontier.
 //!
-//! This is exactly the workload the engine exists for: ~170 jobs,
-//! submitted as one batch, executed on the work-stealing pool and
-//! memoised under `target/cmam-cache/`, so re-running the sweep after the
-//! first time costs milliseconds. Use `--jobs N` to bound the workers,
-//! `--csv` for machine-readable tables, and
-//! `--generated N [--seed S] [--profile P]` to widen the kernel mix with
-//! N generated kernels — a DSE verdict that holds beyond the seven
-//! hand-written workloads.
+//! Two spaces: the legacy 24-configuration validation space (default,
+//! see [`cmam_engine::dse::validation_space`]) and the seeded
+//! provisioning-aware generated space (`--space N [--space-seed S]`,
+//! see [`cmam_engine::dse::generate_space`]) that scales to thousands
+//! of configurations. Two modes: `--search` (default) runs the
+//! successive-halving scheduler — exact frontier at a fraction of the
+//! evaluations — and `--exhaustive` sweeps every (config, kernel) job.
+//!
+//! Sweeps are resumable: jobs are memoised under `target/cmam-cache/`,
+//! so a killed run (`--max-jobs N` simulates one) restarted with the
+//! same flags replays its schedule from the artifact store without
+//! re-executing finished jobs; `--resume` prints the recovery counters.
+//! `--verify` runs the search *and* the exhaustive sweep and exits
+//! nonzero unless the frontiers agree member-for-member (the CI smoke).
+//! `--csv` re-emits every table machine-readable, including per-config
+//! provisioning fields and frontier membership.
 
-use cmam_bench::{cgra_energy_of, emit_table, engine, ratio, GenCli, JobRequest};
+use cmam_bench::{cgra_energy_of, emit_table, engine, GenCli, JobRequest, RunOutcome};
 use cmam_core::FlowVariant;
+use cmam_engine::dse::{generate_space, validation_space, SpaceParams};
+use cmam_engine::search::{pareto_frontier, run_search, ConfigStatus, SearchOptions};
+use cmam_engine::Engine;
+use cmam_kernels::KernelSpec;
 use std::time::Instant;
 
-/// Per-configuration aggregate over the whole kernel mix.
-struct ConfigPoint {
-    name: String,
-    shape: String,
-    cm_words: usize,
-    mapped: usize,
-    energy_uj: f64,
-    cycles: u64,
-    /// Mapper search effort over the mix: candidate bindings generated —
-    /// a compile-cost measure free of wall-clock noise (cache hits and
-    /// parallel contention would corrupt a timing column here).
-    candidates: u64,
-    /// Peak candidate-pool size over the mix's mapping runs.
-    peak_population: u64,
+struct Cli {
+    exhaustive: bool,
+    space: Option<usize>,
+    space_seed: u64,
+    verify: bool,
+    resume: bool,
+    max_jobs: Option<usize>,
 }
 
-fn main() {
-    let _obs = cmam_bench::obs_session("dse").with_metrics();
-    println!("# DSE: energy/latency Pareto frontier over generated configurations\n");
-    let mut specs = cmam_kernels::all();
-    specs.extend(GenCli::from_args().specs());
-    let space = cmam_engine::dse::config_space();
+fn parse_cli() -> Cli {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cli = Cli {
+        exhaustive: false,
+        space: None,
+        space_seed: cmam_engine::dse::DEFAULT_SPACE_SEED,
+        verify: false,
+        resume: false,
+        max_jobs: None,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--search" => cli.exhaustive = false,
+            "--exhaustive" => cli.exhaustive = true,
+            "--space" => {
+                i += 1;
+                cli.space = Some(
+                    args.get(i)
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n: &usize| n > 0)
+                        .expect("--space needs a positive integer"),
+                );
+            }
+            "--space-seed" => {
+                i += 1;
+                cli.space_seed = args
+                    .get(i)
+                    .map(|v| cmam_bench::gen::parse_u64(v).expect("--space-seed needs an integer"))
+                    .expect("--space-seed needs a value");
+            }
+            "--verify" => cli.verify = true,
+            "--resume" => cli.resume = true,
+            "--max-jobs" => {
+                i += 1;
+                cli.max_jobs = Some(
+                    args.get(i)
+                        .and_then(|v| v.parse().ok())
+                        .expect("--max-jobs needs an integer"),
+                );
+            }
+            // Parsed elsewhere: engine (--jobs/--no-cache), tables
+            // (--csv), generated kernels (GenCli), obs session.
+            "--jobs" | "--generated" | "--seed" | "--profile" | "--trace-out" => i += 1,
+            "--csv" | "--no-cache" | "--metrics" => {}
+            o if o.starts_with("--trace-out=") => {}
+            other => {
+                eprintln!(
+                    "unknown flag {other} (known: --search, --exhaustive, --space N, \
+                     --space-seed S, --verify, --resume, --max-jobs N, --csv, --jobs N, \
+                     --no-cache, --generated N, --seed S, --profile P, --trace-out FILE, \
+                     --metrics)"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    cli
+}
+
+/// Provisioning columns shared by every per-config table.
+fn config_fields(config: &cmam_arch::CgraConfig) -> Vec<String> {
+    let (_, tile0) = config.tiles().next().expect("non-empty array");
+    vec![
+        config.name().to_owned(),
+        format!("{}x{}", config.geometry().rows(), config.geometry().cols()),
+        config.total_cm_words().to_string(),
+        config.lsu_tiles().len().to_string(),
+        tile0.rf_words.to_string(),
+        tile0.crf_words.to_string(),
+    ]
+}
+
+const CONFIG_HEADERS: [&str; 6] = ["Config", "Shape", "CM words", "LSUs", "RF", "CRF"];
+
+/// Exhaustive sweep: every (config, kernel) job in one batch; the
+/// legacy dse_pareto behaviour, now over either space.
+fn run_exhaustive(engine: &Engine, specs: &[KernelSpec], space: &[cmam_arch::CgraConfig]) {
     let mut requests = Vec::new();
-    for config in &space {
-        for spec in &specs {
+    for config in space {
+        for spec in specs {
             requests.push(JobRequest::flow(spec, FlowVariant::Cab, config));
         }
     }
@@ -53,141 +129,310 @@ fn main() {
         FlowVariant::Cab
     );
     let t0 = Instant::now();
-    let results = engine().run_batch(&requests);
+    let results = engine.run_batch(&requests);
     let elapsed = t0.elapsed();
 
-    let mut points: Vec<ConfigPoint> = Vec::new();
-    for (c, config) in space.iter().enumerate() {
-        let mut point = ConfigPoint {
-            name: config.name().to_owned(),
-            shape: format!("{}x{}", config.geometry().rows(), config.geometry().cols()),
-            cm_words: config.total_cm_words(),
-            mapped: 0,
-            energy_uj: 0.0,
-            cycles: 0,
-            candidates: 0,
-            peak_population: 0,
-        };
-        for (k, spec) in specs.iter().enumerate() {
-            if let Ok(out) = &results[c * specs.len() + k] {
-                point.mapped += 1;
-                point.energy_uj += cgra_energy_of(spec, config, out).total();
-                point.cycles += out.cycles;
-                point.candidates += out.map_stats.candidates;
-                point.peak_population = point.peak_population.max(out.map_stats.peak_population);
-            }
-        }
-        points.push(point);
+    struct Point {
+        mapped: usize,
+        energy: f64,
+        cycles: u64,
+        candidates: u64,
     }
-
-    // A configuration is feasible when the full kernel mix maps; only
-    // feasible points compete for the frontier (an infeasible config has
-    // no meaningful mix energy).
-    let feasible: Vec<usize> = (0..points.len())
-        .filter(|&i| points[i].mapped == specs.len())
-        .collect();
-    // Pareto dominance: strictly better in at least one of
-    // (energy, latency), no worse in the other.
-    let dominated = |i: usize| {
-        feasible.iter().any(|&j| {
-            j != i
-                && points[j].energy_uj <= points[i].energy_uj
-                && points[j].cycles <= points[i].cycles
-                && (points[j].energy_uj < points[i].energy_uj
-                    || points[j].cycles < points[i].cycles)
-        })
-    };
-    let frontier: Vec<usize> = feasible
-        .iter()
-        .copied()
-        .filter(|&i| !dominated(i))
-        .collect();
-
-    let reference = feasible
-        .iter()
-        .find(|&&i| points[i].name == "U64-L2")
-        .copied();
-    let rows: Vec<Vec<String>> = points
+    let points: Vec<Point> = space
         .iter()
         .enumerate()
-        .map(|(i, p)| {
-            let feasible_here = p.mapped == specs.len();
-            vec![
-                p.name.clone(),
-                p.shape.clone(),
-                p.cm_words.to_string(),
+        .map(|(c, config)| {
+            let mut p = Point {
+                mapped: 0,
+                energy: 0.0,
+                cycles: 0,
+                candidates: 0,
+            };
+            for (k, spec) in specs.iter().enumerate() {
+                if let Ok(out) = &results[c * specs.len() + k] {
+                    p.mapped += 1;
+                    p.energy += cgra_energy_of(spec, config, out).total();
+                    p.cycles += out.cycles;
+                    p.candidates += out.map_stats.candidates;
+                }
+            }
+            p
+        })
+        .collect();
+
+    let feasible: Vec<(usize, f64, u64)> = points
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.mapped == specs.len())
+        .map(|(i, p)| (i, p.energy, p.cycles))
+        .collect();
+    let frontier = pareto_frontier(&feasible);
+
+    let rows: Vec<Vec<String>> = space
+        .iter()
+        .zip(&points)
+        .enumerate()
+        .map(|(i, (config, p))| {
+            let ok = p.mapped == specs.len();
+            let mut row = config_fields(config);
+            row.extend([
                 format!("{}/{}", p.mapped, specs.len()),
-                if feasible_here {
-                    format!("{:.4}", p.energy_uj)
+                if ok {
+                    format!("{:.4}", p.energy)
                 } else {
                     "-".to_owned()
                 },
-                if feasible_here {
+                if ok {
                     p.cycles.to_string()
                 } else {
                     "-".to_owned()
                 },
-                match reference {
-                    Some(r) if feasible_here => ratio(Some(points[r].energy_uj / p.energy_uj)),
-                    _ => "-".to_owned(),
-                },
                 p.candidates.to_string(),
-                p.peak_population.to_string(),
                 if frontier.contains(&i) { "*" } else { "" }.to_owned(),
-            ]
+            ]);
+            row
         })
         .collect();
-    emit_table(
-        &[
-            "Config",
-            "Shape",
-            "CM words",
-            "Mapped",
-            "Mix energy µJ",
-            "Mix cycles",
-            "vs U64-L2",
-            "candidates",
-            "peak pop",
-            "Pareto",
-        ],
-        &rows,
-    );
+    let mut headers: Vec<&str> = CONFIG_HEADERS.to_vec();
+    headers.extend([
+        "Mapped",
+        "Mix energy µJ",
+        "Mix cycles",
+        "candidates",
+        "Pareto",
+    ]);
+    emit_table(&headers, &rows);
 
-    println!("\n## Pareto frontier (energy- and latency-minimal mixes)\n");
-    let mut frontier_sorted = frontier.clone();
-    frontier_sorted.sort_by(|&a, &b| {
-        points[a]
-            .energy_uj
-            .partial_cmp(&points[b].energy_uj)
-            .expect("frontier energies are finite")
-    });
-    let frontier_rows: Vec<Vec<String>> = frontier_sorted
-        .iter()
-        .map(|&i| {
-            let p = &points[i];
-            vec![
-                p.name.clone(),
-                p.cm_words.to_string(),
-                format!("{:.4}", p.energy_uj),
-                p.cycles.to_string(),
-            ]
-        })
-        .collect();
-    emit_table(
-        &["Config", "CM words", "Mix energy µJ", "Mix cycles"],
-        &frontier_rows,
-    );
+    print_frontier(space, &frontier, |i| (points[i].energy, points[i].cycles));
     println!(
         "\n{} of {} configurations feasible for the full mix; {} on the frontier",
         feasible.len(),
         space.len(),
         frontier.len()
     );
-    // Wall-clock to stderr; the cache outcome line and METRICS block
-    // follow from the obs session drop.
     eprintln!(
-        "dse: {} jobs in {elapsed:?} on {} workers",
+        "dse (exhaustive): {} jobs in {elapsed:?} on {} workers",
         requests.len(),
-        engine().workers(),
+        engine.workers(),
     );
+}
+
+fn print_frontier(
+    space: &[cmam_arch::CgraConfig],
+    frontier: &[usize],
+    point: impl Fn(usize) -> (f64, u64),
+) {
+    println!("\n## Pareto frontier (energy- and latency-minimal mixes)\n");
+    let mut sorted = frontier.to_vec();
+    sorted.sort_by(|&a, &b| {
+        point(a)
+            .0
+            .partial_cmp(&point(b).0)
+            .expect("frontier energies are finite")
+    });
+    let rows: Vec<Vec<String>> = sorted
+        .iter()
+        .map(|&i| {
+            let (e, c) = point(i);
+            let mut row = config_fields(&space[i]);
+            row.extend([format!("{e:.4}"), c.to_string()]);
+            row
+        })
+        .collect();
+    let mut headers: Vec<&str> = CONFIG_HEADERS.to_vec();
+    headers.extend(["Mix energy µJ", "Mix cycles"]);
+    emit_table(&headers, &rows);
+}
+
+/// Search mode: the successive-halving scheduler; exact frontier at a
+/// fraction of the evaluations.
+fn run_search_mode(
+    engine: &Engine,
+    specs: &[KernelSpec],
+    space: &[cmam_arch::CgraConfig],
+    cli: &Cli,
+) {
+    println!(
+        "searching {} configurations x {} kernels (successive halving, full flow: {})\n",
+        space.len(),
+        specs.len(),
+        FlowVariant::Cab
+    );
+    let energy = |ci: usize, ki: usize, out: &RunOutcome| {
+        cgra_energy_of(&specs[ki], &space[ci], out).total()
+    };
+    let t0 = Instant::now();
+    let result = run_search(
+        engine,
+        specs,
+        space,
+        FlowVariant::Cab,
+        &energy,
+        &SearchOptions {
+            max_jobs: cli.max_jobs,
+            ..SearchOptions::default()
+        },
+    );
+    let elapsed = t0.elapsed();
+
+    let rows: Vec<Vec<String>> = space
+        .iter()
+        .zip(&result.evaluated)
+        .enumerate()
+        .map(|(i, (config, eval))| {
+            let mut row = config_fields(config);
+            let (status, show_sums) = match eval.status {
+                ConfigStatus::Completed => ("completed".to_owned(), true),
+                ConfigStatus::Pending => ("pending".to_owned(), false),
+                ConfigStatus::Dominated(k) => (format!("dominated@{k}"), false),
+                ConfigStatus::Raced(k) => (format!("raced@{k}"), false),
+                ConfigStatus::Infeasible(k) => (format!("infeasible:{}", specs[k].name), false),
+            };
+            row.extend([
+                status,
+                format!("{}/{}", eval.kernels_evaluated, specs.len()),
+                if show_sums {
+                    format!("{:.4}", eval.energy)
+                } else {
+                    "-".to_owned()
+                },
+                if show_sums {
+                    eval.cycles.to_string()
+                } else {
+                    "-".to_owned()
+                },
+                if result.frontier.contains(&i) {
+                    "*"
+                } else {
+                    ""
+                }
+                .to_owned(),
+            ]);
+            row
+        })
+        .collect();
+    let mut headers: Vec<&str> = CONFIG_HEADERS.to_vec();
+    headers.extend([
+        "Status",
+        "Evaluated",
+        "Mix energy µJ",
+        "Mix cycles",
+        "Pareto",
+    ]);
+    emit_table(&headers, &rows);
+
+    if result.aborted {
+        println!(
+            "\nsearch aborted after {} scheduled jobs (--max-jobs); rerun with the same \
+             flags to resume from the artifact store",
+            result.stats.jobs_scheduled
+        );
+    } else {
+        print_frontier(space, &result.frontier, |i| {
+            let e = &result.evaluated[i];
+            (e.energy, e.cycles)
+        });
+    }
+
+    let s = &result.stats;
+    let exhaustive_jobs = space.len() * specs.len();
+    println!(
+        "\nsearch: {} of {} exhaustive evaluations executed ({:.1}% saved), \
+         {} completed / {} dominated / {} raced / {} infeasible, {} on the frontier",
+        s.engine.executed,
+        exhaustive_jobs,
+        (1.0 - s.engine.executed as f64 / exhaustive_jobs as f64) * 100.0,
+        space.len() - s.dominated - s.raced - s.infeasible,
+        s.dominated,
+        s.raced,
+        s.infeasible,
+        result.frontier.len()
+    );
+    if cli.resume || cli.max_jobs.is_some() {
+        println!(
+            "resume: {} of {} scheduled jobs answered from cache ({} from the artifact \
+             store), {} executed",
+            s.engine.memory_hits + s.engine.disk_hits,
+            s.jobs_scheduled,
+            s.engine.disk_hits,
+            s.engine.executed
+        );
+    }
+    eprintln!(
+        "dse (search): {} jobs in {elapsed:?} on {} workers",
+        s.jobs_scheduled,
+        engine.workers(),
+    );
+
+    // --verify: the exhaustive sweep must agree. Search results stay
+    // warm in the cache, so the sweep only pays for eliminated configs'
+    // unevaluated kernels.
+    if cli.verify && !result.aborted {
+        let mut requests = Vec::new();
+        for config in space {
+            for spec in specs {
+                requests.push(JobRequest::flow(spec, FlowVariant::Cab, config));
+            }
+        }
+        let results = engine.run_batch(&requests);
+        let mut feasible: Vec<(usize, f64, u64)> = Vec::new();
+        for (ci, config) in space.iter().enumerate() {
+            let mut energy = 0.0;
+            let mut cycles = 0u64;
+            let mut ok = true;
+            for (ki, spec) in specs.iter().enumerate() {
+                match &results[ci * specs.len() + ki] {
+                    Ok(out) => {
+                        energy += cgra_energy_of(spec, config, out).total();
+                        cycles += out.cycles;
+                    }
+                    Err(_) => ok = false,
+                }
+            }
+            if ok {
+                feasible.push((ci, energy, cycles));
+            }
+        }
+        let want = pareto_frontier(&feasible);
+        if want == result.frontier {
+            println!(
+                "\nverify: search frontier matches the exhaustive frontier ({} members)",
+                want.len()
+            );
+        } else {
+            let names = |f: &[usize]| {
+                f.iter()
+                    .map(|&i| space[i].name().to_owned())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            };
+            eprintln!(
+                "verify FAILED:\n  search:     [{}]\n  exhaustive: [{}]",
+                names(&result.frontier),
+                names(&want)
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    let _obs = cmam_bench::obs_session("dse").with_metrics();
+    let cli = parse_cli();
+    println!("# DSE: energy/latency Pareto frontier over generated configurations\n");
+    let mut specs = cmam_kernels::all();
+    specs.extend(GenCli::from_args().specs());
+    let space = match cli.space {
+        Some(target) => generate_space(&SpaceParams {
+            target,
+            seed: cli.space_seed,
+        }),
+        None => validation_space(),
+    };
+    let engine = engine();
+    if cli.exhaustive {
+        run_exhaustive(engine, &specs, &space);
+    } else {
+        run_search_mode(engine, &specs, &space, &cli);
+    }
 }

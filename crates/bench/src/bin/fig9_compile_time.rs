@@ -70,6 +70,7 @@ fn main() {
     let engine = Engine::new(EngineOptions {
         jobs: 1,
         cache_dir: None,
+        cache_bytes: None,
     });
     // The aware variants compile for HET1 (a constrained target); the
     // basic flow compiles for HOM64, as in the paper's setup.

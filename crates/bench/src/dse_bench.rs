@@ -1,0 +1,715 @@
+//! The tracked DSE benchmark behind the `bench_dse` binary.
+//!
+//! Three phases, all through one private engine with its own artifact
+//! store so runs are isolated and reproducible:
+//!
+//! 1. **Scale** — the successive-halving search over a generated
+//!   provisioning-aware space (default 1000 configurations × the seven
+//!   paper kernels), measuring configurations/s and the fraction of
+//!   exhaustive evaluations actually executed.
+//! 2. **Validation** — exhaustive sweep and search over the legacy
+//!   24-configuration space with the real energy model; the search must
+//!   recover the exhaustive Pareto frontier exactly (recall 1.0, equal
+//!   hypervolume). The search runs second, so its jobs are answered
+//!   from the cache — the warm-reuse the scheduler is designed around.
+//! 3. **Resume** — a search killed partway (`max_jobs`) and restarted
+//!   over the same store; every pre-kill job must come back as a disk
+//!   hit.
+//!
+//! Rendered as `BENCH_dse.json` (hand-written JSON, offline workspace);
+//! [`check_against_baseline`] is CI's gate: exactness is a hard
+//! requirement, throughput is compared against the committed baseline.
+
+use crate::cgra_energy_of;
+use cmam_arch::CgraConfig;
+use cmam_core::FlowVariant;
+use cmam_engine::dse::{generate_space, validation_space, SpaceParams};
+use cmam_engine::search::{pareto_frontier, run_search, SearchOptions};
+use cmam_engine::{Engine, EngineOptions, JobRequest, RunOutcome};
+use cmam_kernels::KernelSpec;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Schema tag of the emitted JSON; bump on any shape change.
+pub const SCHEMA: &str = "cmam-bench-dse-v1";
+
+/// The search may execute at most this fraction of the exhaustive
+/// (configs × kernels) evaluations on the generated space — the
+/// headline claim `check_against_baseline` enforces.
+pub const MAX_EVALS_RATIO: f64 = 0.35;
+
+/// Benchmark inputs.
+#[derive(Debug, Clone)]
+pub struct DseBenchParams {
+    /// Generated-space size for the scale phase.
+    pub space: usize,
+    /// Generator seed.
+    pub seed: u64,
+    /// Engine worker threads (`0` = one per core).
+    pub jobs: usize,
+}
+
+impl Default for DseBenchParams {
+    fn default() -> Self {
+        DseBenchParams {
+            space: 1000,
+            seed: cmam_engine::dse::DEFAULT_SPACE_SEED,
+            jobs: 0,
+        }
+    }
+}
+
+/// Everything the benchmark measured; field names mirror the JSON.
+#[derive(Debug, Clone)]
+pub struct DseBenchReport {
+    /// Scale phase: requested space size.
+    pub space_target: usize,
+    /// Scale phase: configurations actually generated (post-dedup).
+    pub space_generated: usize,
+    /// Generator seed.
+    pub seed: u64,
+    /// Kernels in the mix.
+    pub kernels: usize,
+    /// Scale-phase search wall-clock in milliseconds.
+    pub search_wall_ms: f64,
+    /// Configurations decided (completed or eliminated) per second.
+    pub configs_per_sec: f64,
+    /// (config, kernel) jobs the scheduler submitted.
+    pub jobs_scheduled: usize,
+    /// Jobs actually executed (the rest were cache hits).
+    pub executed: u64,
+    /// Executed / (configs × kernels) — the evaluations-saved headline.
+    pub evals_ratio: f64,
+    /// Scale-phase scheduler counters.
+    pub probed: usize,
+    /// Configurations promoted to full evaluation mid-search.
+    pub promoted: usize,
+    /// Configurations eliminated by lower-bound domination.
+    pub dominated: usize,
+    /// Configurations eliminated by racing (prefix dominance).
+    pub raced: usize,
+    /// Configurations that failed some kernel.
+    pub infeasible: usize,
+    /// Configurations evaluated to completion.
+    pub completed: usize,
+    /// Frontier size on the generated space.
+    pub frontier_size: usize,
+    /// Validation phase: configurations in the legacy space.
+    pub validation_configs: usize,
+    /// Exhaustive frontier (config names, ascending index).
+    pub exhaustive_frontier: Vec<String>,
+    /// Search frontier on the same space.
+    pub search_frontier: Vec<String>,
+    /// Searched frontier == exhaustive frontier, member for member.
+    pub frontier_match: bool,
+    /// Fraction of exhaustive frontier points the search recovered.
+    pub recall: f64,
+    /// Normalized 2-D hypervolume of the exhaustive frontier.
+    pub hypervolume_exhaustive: f64,
+    /// Normalized 2-D hypervolume of the searched frontier.
+    pub hypervolume_search: f64,
+    /// Engine-lifetime cache counters (all phases).
+    pub cache_submitted: u64,
+    /// In-memory memo answers.
+    pub cache_memory_hits: u64,
+    /// On-disk artifact answers.
+    pub cache_disk_hits: u64,
+    /// (memory + disk hits) / submitted.
+    pub cache_hit_ratio: f64,
+    /// Resume phase: jobs executed before the simulated kill.
+    pub resume_killed_executed: u64,
+    /// Resume phase: pre-kill jobs answered from the store on restart.
+    pub resume_disk_hits: u64,
+    /// Every pre-kill job came back as a disk hit (no re-execution).
+    pub resume_ok: bool,
+}
+
+/// Normalized 2-D hypervolume (minimization) of a frontier, with the
+/// reference point at `1.05 ×` the component-wise maxima of
+/// `reference_points` — pass the exhaustive feasible set so searched
+/// and exhaustive frontiers are measured in the same box.
+pub fn hypervolume(frontier: &[(f64, u64)], reference_points: &[(f64, u64)]) -> f64 {
+    if frontier.is_empty() || reference_points.is_empty() {
+        return 0.0;
+    }
+    let ref_e = reference_points.iter().map(|p| p.0).fold(0.0, f64::max) * 1.05;
+    let ref_c = reference_points.iter().map(|p| p.1).max().unwrap_or(0) as f64 * 1.05;
+    if ref_e <= 0.0 || ref_c <= 0.0 {
+        return 0.0;
+    }
+    let mut pts: Vec<(f64, f64)> = frontier
+        .iter()
+        .map(|&(e, c)| (e / ref_e, c as f64 / ref_c))
+        .filter(|&(e, c)| e < 1.0 && c < 1.0)
+        .collect();
+    pts.sort_by(|a, b| a.partial_cmp(b).expect("finite objectives"));
+    // Non-dominated staircase: ascending energy, strictly descending
+    // cycles.
+    let mut stairs: Vec<(f64, f64)> = Vec::new();
+    let mut best_c = 1.0f64;
+    for (e, c) in pts {
+        if c < best_c {
+            stairs.push((e, c));
+            best_c = c;
+        }
+    }
+    // In the energy strip [e_i, e_{i+1}) the deepest covering rectangle
+    // is point i's, with height (1 - c_i); the last strip runs to the
+    // reference at 1.
+    let mut hv = 0.0;
+    for (i, &(e, c)) in stairs.iter().enumerate() {
+        let next_e = stairs.get(i + 1).map(|p| p.0).unwrap_or(1.0);
+        hv += (next_e - e) * (1.0 - c);
+    }
+    hv
+}
+
+/// Full sums of an exhaustive sweep over `(specs × configs)`:
+/// `Some((energy, cycles))` for feasible configurations.
+fn exhaustive_totals(
+    engine: &Engine,
+    specs: &[KernelSpec],
+    configs: &[CgraConfig],
+) -> Vec<Option<(f64, u64)>> {
+    let requests: Vec<JobRequest<'_>> = configs
+        .iter()
+        .flat_map(|config| {
+            specs
+                .iter()
+                .map(move |spec| JobRequest::flow(spec, FlowVariant::Cab, config))
+        })
+        .collect();
+    let results = engine.run_batch(&requests);
+    configs
+        .iter()
+        .enumerate()
+        .map(|(ci, config)| {
+            let mut energy = 0.0;
+            let mut cycles = 0u64;
+            for (ki, spec) in specs.iter().enumerate() {
+                match &results[ci * specs.len() + ki] {
+                    Ok(out) => {
+                        energy += cgra_energy_of(spec, config, out).total();
+                        cycles += out.cycles;
+                    }
+                    Err(_) => return None,
+                }
+            }
+            Some((energy, cycles))
+        })
+        .collect()
+}
+
+/// The paper's energy model as a search scorer.
+fn energy_fn<'a>(
+    specs: &'a [KernelSpec],
+    configs: &'a [CgraConfig],
+) -> impl Fn(usize, usize, &RunOutcome) -> f64 + 'a {
+    |ci, ki, out| cgra_energy_of(&specs[ki], &configs[ci], out).total()
+}
+
+/// A scratch artifact-store directory unique to this process.
+fn scratch_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("cmam-bench-dse-{tag}-{}", std::process::id()))
+}
+
+/// Runs all three phases. See the module docs.
+pub fn run(params: &DseBenchParams) -> DseBenchReport {
+    let specs = cmam_kernels::all();
+    let nk = specs.len();
+
+    // One engine + store for the scale and validation phases.
+    let dir = scratch_dir("main");
+    let _ = std::fs::remove_dir_all(&dir);
+    let engine = Engine::new(EngineOptions {
+        jobs: params.jobs,
+        cache_dir: Some(dir.clone()),
+        cache_bytes: None,
+    });
+
+    // Phase 1: scale — search the generated space cold.
+    let space = generate_space(&SpaceParams {
+        target: params.space,
+        seed: params.seed,
+    });
+    let energy = energy_fn(&specs, &space);
+    let t0 = Instant::now();
+    let result = run_search(
+        &engine,
+        &specs,
+        &space,
+        FlowVariant::Cab,
+        &energy,
+        &SearchOptions::default(),
+    );
+    let wall = t0.elapsed();
+    let exhaustive_jobs = space.len() * nk;
+    let executed = result.stats.engine.executed;
+
+    // Phase 2: validation — exhaustive then search on the legacy space.
+    let vspace = validation_space();
+    let venergy = energy_fn(&specs, &vspace);
+    let totals = exhaustive_totals(&engine, &specs, &vspace);
+    let vpoints: Vec<(usize, f64, u64)> = totals
+        .iter()
+        .enumerate()
+        .filter_map(|(ci, t)| t.map(|(e, c)| (ci, e, c)))
+        .collect();
+    let exhaustive_frontier = pareto_frontier(&vpoints);
+    let vsearch = run_search(
+        &engine,
+        &specs,
+        &vspace,
+        FlowVariant::Cab,
+        &venergy,
+        &SearchOptions::default(),
+    );
+    let frontier_match = vsearch.frontier == exhaustive_frontier;
+    let recall = if exhaustive_frontier.is_empty() {
+        1.0
+    } else {
+        exhaustive_frontier
+            .iter()
+            .filter(|ci| vsearch.frontier.contains(ci))
+            .count() as f64
+            / exhaustive_frontier.len() as f64
+    };
+    let feasible_points: Vec<(f64, u64)> = vpoints.iter().map(|&(_, e, c)| (e, c)).collect();
+    let hv_exhaustive = hypervolume(
+        &exhaustive_frontier
+            .iter()
+            .map(|&ci| totals[ci].expect("frontier members are feasible"))
+            .collect::<Vec<_>>(),
+        &feasible_points,
+    );
+    let hv_search = hypervolume(
+        &vsearch
+            .frontier
+            .iter()
+            .map(|&ci| {
+                let e = &vsearch.evaluated[ci];
+                (e.energy, e.cycles)
+            })
+            .collect::<Vec<_>>(),
+        &feasible_points,
+    );
+    let cache = engine.stats();
+
+    // Phase 3: resume — kill a search over a fresh small space, restart
+    // it over the same store, count re-executions.
+    let rdir = scratch_dir("resume");
+    let _ = std::fs::remove_dir_all(&rdir);
+    let rspace = generate_space(&SpaceParams {
+        target: 40,
+        seed: params.seed.wrapping_add(1),
+    });
+    let renergy = energy_fn(&specs, &rspace);
+    let rcached = |jobs: usize| {
+        Engine::new(EngineOptions {
+            jobs,
+            cache_dir: Some(rdir.clone()),
+            cache_bytes: None,
+        })
+    };
+    let killed = run_search(
+        &rcached(params.jobs),
+        &specs,
+        &rspace,
+        FlowVariant::Cab,
+        &renergy,
+        &SearchOptions {
+            max_jobs: Some(rspace.len() + 10),
+            ..SearchOptions::default()
+        },
+    );
+    let resumed = run_search(
+        &rcached(params.jobs),
+        &specs,
+        &rspace,
+        FlowVariant::Cab,
+        &renergy,
+        &SearchOptions::default(),
+    );
+    let _ = std::fs::remove_dir_all(&rdir);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let decided = result.evaluated.len();
+    DseBenchReport {
+        space_target: params.space,
+        space_generated: space.len(),
+        seed: params.seed,
+        kernels: nk,
+        search_wall_ms: wall.as_secs_f64() * 1e3,
+        configs_per_sec: if wall.as_secs_f64() > 0.0 {
+            decided as f64 / wall.as_secs_f64()
+        } else {
+            0.0
+        },
+        jobs_scheduled: result.stats.jobs_scheduled,
+        executed,
+        evals_ratio: executed as f64 / exhaustive_jobs as f64,
+        probed: result.stats.probed,
+        promoted: result.stats.promoted,
+        dominated: result.stats.dominated,
+        raced: result.stats.raced,
+        infeasible: result.stats.infeasible,
+        completed: result
+            .evaluated
+            .iter()
+            .filter(|e| e.status == cmam_engine::ConfigStatus::Completed)
+            .count(),
+        frontier_size: result.frontier.len(),
+        validation_configs: vspace.len(),
+        exhaustive_frontier: exhaustive_frontier
+            .iter()
+            .map(|&ci| vspace[ci].name().to_owned())
+            .collect(),
+        search_frontier: vsearch
+            .frontier
+            .iter()
+            .map(|&ci| vspace[ci].name().to_owned())
+            .collect(),
+        frontier_match,
+        recall,
+        hypervolume_exhaustive: hv_exhaustive,
+        hypervolume_search: hv_search,
+        cache_submitted: cache.submitted,
+        cache_memory_hits: cache.memory_hits,
+        cache_disk_hits: cache.disk_hits,
+        cache_hit_ratio: if cache.submitted > 0 {
+            (cache.memory_hits + cache.disk_hits) as f64 / cache.submitted as f64
+        } else {
+            0.0
+        },
+        resume_killed_executed: killed.stats.engine.executed,
+        resume_disk_hits: resumed.stats.engine.disk_hits,
+        resume_ok: resumed.stats.engine.disk_hits == killed.stats.engine.executed
+            && killed.stats.engine.executed > 0,
+    }
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.4}")
+    } else {
+        "0".to_owned()
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_str_arr(items: &[String]) -> String {
+    let mut s = String::from("[");
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&json_str(item));
+    }
+    s.push(']');
+    s
+}
+
+/// Renders the report as the `BENCH_dse.json` document.
+pub fn render_json(r: &DseBenchReport) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema\": {},", json_str(SCHEMA));
+    s.push_str("  \"search\": {\n");
+    let _ = writeln!(s, "    \"space_target\": {},", r.space_target);
+    let _ = writeln!(s, "    \"space_generated\": {},", r.space_generated);
+    let _ = writeln!(s, "    \"seed\": {},", r.seed);
+    let _ = writeln!(s, "    \"kernels\": {},", r.kernels);
+    let _ = writeln!(s, "    \"wall_ms\": {},", json_f64(r.search_wall_ms));
+    let _ = writeln!(
+        s,
+        "    \"configs_per_sec\": {},",
+        json_f64(r.configs_per_sec)
+    );
+    let _ = writeln!(s, "    \"jobs_scheduled\": {},", r.jobs_scheduled);
+    let _ = writeln!(s, "    \"executed\": {},", r.executed);
+    let _ = writeln!(s, "    \"evals_ratio\": {},", json_f64(r.evals_ratio));
+    let _ = writeln!(s, "    \"probed\": {},", r.probed);
+    let _ = writeln!(s, "    \"promoted\": {},", r.promoted);
+    let _ = writeln!(s, "    \"dominated\": {},", r.dominated);
+    let _ = writeln!(s, "    \"raced\": {},", r.raced);
+    let _ = writeln!(s, "    \"infeasible\": {},", r.infeasible);
+    let _ = writeln!(s, "    \"completed\": {},", r.completed);
+    let _ = writeln!(s, "    \"frontier_size\": {}", r.frontier_size);
+    s.push_str("  },\n");
+    s.push_str("  \"validation\": {\n");
+    let _ = writeln!(s, "    \"configs\": {},", r.validation_configs);
+    let _ = writeln!(
+        s,
+        "    \"exhaustive_frontier\": {},",
+        json_str_arr(&r.exhaustive_frontier)
+    );
+    let _ = writeln!(
+        s,
+        "    \"search_frontier\": {},",
+        json_str_arr(&r.search_frontier)
+    );
+    let _ = writeln!(s, "    \"frontier_match\": {},", r.frontier_match);
+    let _ = writeln!(s, "    \"recall\": {},", json_f64(r.recall));
+    let _ = writeln!(
+        s,
+        "    \"hypervolume_exhaustive\": {},",
+        json_f64(r.hypervolume_exhaustive)
+    );
+    let _ = writeln!(
+        s,
+        "    \"hypervolume_search\": {}",
+        json_f64(r.hypervolume_search)
+    );
+    s.push_str("  },\n");
+    s.push_str("  \"cache\": {\n");
+    let _ = writeln!(s, "    \"submitted\": {},", r.cache_submitted);
+    let _ = writeln!(s, "    \"memory_hits\": {},", r.cache_memory_hits);
+    let _ = writeln!(s, "    \"disk_hits\": {},", r.cache_disk_hits);
+    let _ = writeln!(s, "    \"hit_ratio\": {}", json_f64(r.cache_hit_ratio));
+    s.push_str("  },\n");
+    s.push_str("  \"resume\": {\n");
+    let _ = writeln!(s, "    \"killed_executed\": {},", r.resume_killed_executed);
+    let _ = writeln!(s, "    \"disk_hits\": {},", r.resume_disk_hits);
+    let _ = writeln!(s, "    \"ok\": {}", r.resume_ok);
+    s.push_str("  }\n");
+    s.push_str("}\n");
+    s
+}
+
+pub use cmam_obs::json;
+
+/// CI's gate over a freshly rendered document and the committed
+/// baseline. Exactness is absolute on the current document — frontier
+/// match, recall 1.0, evals ratio ≤ [`MAX_EVALS_RATIO`], resume with
+/// zero re-executions — and throughput (`configs_per_sec`) must reach
+/// `min_ratio` of the baseline's. Returns the verdict line on success.
+pub fn check_against_baseline(
+    current: &str,
+    baseline: &str,
+    min_ratio: f64,
+) -> Result<String, String> {
+    fn parse(doc: &str, what: &str) -> Result<json::Value, String> {
+        let doc = json::parse(doc).map_err(|e| format!("{what}: not valid JSON: {e}"))?;
+        let schema = doc.get("schema").and_then(json::Value::as_str);
+        if schema != Some(SCHEMA) {
+            return Err(format!("{what}: schema {schema:?}, want {SCHEMA:?}"));
+        }
+        Ok(doc)
+    }
+    fn f64_at(doc: &json::Value, section: &str, key: &str, what: &str) -> Result<f64, String> {
+        doc.get(section)
+            .and_then(|s| s.get(key))
+            .and_then(json::Value::as_f64)
+            .ok_or_else(|| format!("{what}: missing {section}.{key}"))
+    }
+    let cur = parse(current, "current")?;
+    let base = parse(baseline, "baseline")?;
+
+    let evals_ratio = f64_at(&cur, "search", "evals_ratio", "current")?;
+    if evals_ratio > MAX_EVALS_RATIO {
+        return Err(format!(
+            "search executed {:.1}% of exhaustive evaluations (budget {:.0}%)",
+            evals_ratio * 100.0,
+            MAX_EVALS_RATIO * 100.0
+        ));
+    }
+    let recall = f64_at(&cur, "validation", "recall", "current")?;
+    if recall < 1.0 {
+        return Err(format!("frontier recall {recall} < 1.0"));
+    }
+    if cur
+        .get("validation")
+        .and_then(|v| v.get("frontier_match"))
+        .and_then(json::Value::as_bool)
+        != Some(true)
+    {
+        return Err("searched frontier differs from exhaustive".to_owned());
+    }
+    if cur
+        .get("resume")
+        .and_then(|v| v.get("ok"))
+        .and_then(json::Value::as_bool)
+        != Some(true)
+    {
+        return Err("resumed search re-executed finished jobs".to_owned());
+    }
+    let cur_rate = f64_at(&cur, "search", "configs_per_sec", "current")?;
+    let base_rate = f64_at(&base, "search", "configs_per_sec", "baseline")?;
+    if base_rate <= 0.0 {
+        return Err(format!("baseline configs_per_sec is {base_rate}"));
+    }
+    let ratio = cur_rate / base_rate;
+    if ratio < min_ratio {
+        return Err(format!(
+            "search throughput regressed: {cur_rate:.1} configs/s vs baseline {base_rate:.1} \
+             (ratio {ratio:.3} < required {min_ratio})"
+        ));
+    }
+    Ok(format!(
+        "ok: {cur_rate:.1} configs/s vs baseline {base_rate:.1} (ratio {ratio:.3} >= \
+         {min_ratio}); evals ratio {:.3}, recall {recall}",
+        evals_ratio
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DseBenchReport {
+        DseBenchReport {
+            space_target: 100,
+            space_generated: 100,
+            seed: 7,
+            kernels: 7,
+            search_wall_ms: 1000.0,
+            configs_per_sec: 100.0,
+            jobs_scheduled: 250,
+            executed: 200,
+            evals_ratio: 200.0 / 700.0,
+            probed: 6,
+            promoted: 12,
+            dominated: 10,
+            raced: 60,
+            infeasible: 10,
+            completed: 20,
+            frontier_size: 5,
+            validation_configs: 24,
+            exhaustive_frontier: vec!["U16-L1".into(), "U64-L2".into()],
+            search_frontier: vec!["U16-L1".into(), "U64-L2".into()],
+            frontier_match: true,
+            recall: 1.0,
+            hypervolume_exhaustive: 0.51,
+            hypervolume_search: 0.51,
+            cache_submitted: 500,
+            cache_memory_hits: 150,
+            cache_disk_hits: 50,
+            cache_hit_ratio: 0.4,
+            resume_killed_executed: 50,
+            resume_disk_hits: 50,
+            resume_ok: true,
+        }
+    }
+
+    #[test]
+    fn json_schema_has_all_required_fields() {
+        let doc = json::parse(&render_json(&sample())).expect("valid JSON");
+        assert_eq!(
+            doc.get("schema").and_then(json::Value::as_str),
+            Some(SCHEMA)
+        );
+        let search = doc.get("search").expect("search");
+        for key in [
+            "space_target",
+            "space_generated",
+            "seed",
+            "kernels",
+            "wall_ms",
+            "configs_per_sec",
+            "jobs_scheduled",
+            "executed",
+            "evals_ratio",
+            "probed",
+            "promoted",
+            "dominated",
+            "raced",
+            "infeasible",
+            "completed",
+            "frontier_size",
+        ] {
+            assert!(search.get(key).is_some(), "search missing {key}");
+        }
+        let validation = doc.get("validation").expect("validation");
+        for key in [
+            "configs",
+            "exhaustive_frontier",
+            "search_frontier",
+            "frontier_match",
+            "recall",
+            "hypervolume_exhaustive",
+            "hypervolume_search",
+        ] {
+            assert!(validation.get(key).is_some(), "validation missing {key}");
+        }
+        let cache = doc.get("cache").expect("cache");
+        for key in ["submitted", "memory_hits", "disk_hits", "hit_ratio"] {
+            assert!(cache.get(key).is_some(), "cache missing {key}");
+        }
+        let resume = doc.get("resume").expect("resume");
+        for key in ["killed_executed", "disk_hits", "ok"] {
+            assert!(resume.get(key).is_some(), "resume missing {key}");
+        }
+    }
+
+    #[test]
+    fn baseline_gate_enforces_exactness_and_throughput() {
+        let good = render_json(&sample());
+        assert!(check_against_baseline(&good, &good, 0.5).is_ok());
+
+        // Throughput regression vs a faster baseline.
+        let mut fast = sample();
+        fast.configs_per_sec = 1000.0;
+        let fast = render_json(&fast);
+        assert!(check_against_baseline(&good, &fast, 0.5).is_err());
+        assert!(check_against_baseline(&good, &fast, 0.05).is_ok());
+
+        // Exactness failures are hard errors regardless of the baseline.
+        let mut bad = sample();
+        bad.recall = 0.5;
+        assert!(check_against_baseline(&render_json(&bad), &good, 0.01).is_err());
+        let mut bad = sample();
+        bad.frontier_match = false;
+        assert!(check_against_baseline(&render_json(&bad), &good, 0.01).is_err());
+        let mut bad = sample();
+        bad.evals_ratio = 0.9;
+        assert!(check_against_baseline(&render_json(&bad), &good, 0.01).is_err());
+        let mut bad = sample();
+        bad.resume_ok = false;
+        assert!(check_against_baseline(&render_json(&bad), &good, 0.01).is_err());
+
+        // Garbage fails loudly.
+        assert!(check_against_baseline("{}", &good, 0.5).is_err());
+        assert!(check_against_baseline(&good, "not json", 0.5).is_err());
+    }
+
+    #[test]
+    fn hypervolume_matches_hand_computed_rectangles() {
+        // Two points in a unit-ish box; reference = 1.05 x maxima.
+        let reference = [(1.0, 100u64), (2.0, 50u64)];
+        let frontier = [(1.0, 100u64), (2.0, 50u64)];
+        let hv = hypervolume(&frontier, &reference);
+        // ref = (2.1, 105); normalized points (0.476, 0.952), (0.952, 0.476).
+        // Sweep: first rect (0.952-0.476)*(1-0.952), then (1-0.952)*(1-0.476)...
+        // computed against the closed form below.
+        let e0 = 1.0 / 2.1;
+        let c0 = 100.0 / 105.0;
+        let e1 = 2.0 / 2.1;
+        let c1 = 50.0 / 105.0;
+        let want = (e1 - e0) * (1.0 - c0) + (1.0 - e1) * (1.0 - c1);
+        assert!((hv - want).abs() < 1e-12, "hv {hv} want {want}");
+        // A dominating frontier has strictly larger hypervolume.
+        let better = [(0.5, 25u64)];
+        assert!(hypervolume(&better, &reference) > hv);
+        // Degenerate inputs.
+        assert_eq!(hypervolume(&[], &reference), 0.0);
+        assert_eq!(hypervolume(&frontier, &[]), 0.0);
+    }
+}

@@ -22,6 +22,7 @@ use cmam_energy::{cpu_energy, EnergyBreakdown, EnergyParams};
 use cmam_kernels::KernelSpec;
 use std::sync::OnceLock;
 
+pub mod dse_bench;
 pub mod gen;
 pub mod mapper_bench;
 pub mod obs_session;

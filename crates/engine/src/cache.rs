@@ -46,17 +46,32 @@ pub struct DiskCache {
     /// Artifact bytes persisted by this process (feeds the
     /// `engine.disk_evictable_bytes` gauge).
     bytes_written: AtomicU64,
+    /// Byte budget for the whole store directory (`CMAM_CACHE_BYTES`);
+    /// `None` means unbounded — the pre-budget behaviour.
+    budget: Option<u64>,
+    /// Approximate directory size used to decide when a write must run
+    /// the (comparatively expensive) scan-and-evict pass. `u64::MAX`
+    /// means "not yet measured": the first budgeted write scans the
+    /// directory so artifacts surviving from earlier processes count
+    /// against the budget too.
+    approx_bytes: std::sync::Mutex<u64>,
 }
 
 impl DiskCache {
     /// Opens (creating if needed) the store under `dir`; `None` disables
-    /// persistence entirely.
-    pub fn new(dir: Option<PathBuf>) -> Self {
+    /// persistence entirely. A `budget` bounds the directory to that many
+    /// bytes: every write that pushes the store past the budget evicts
+    /// artifacts oldest-first (by modification time, then file name)
+    /// until it fits again. Eviction only ever deletes whole artifacts —
+    /// a surviving entry is always the exact bytes its writer stored.
+    pub fn new(dir: Option<PathBuf>, budget: Option<u64>) -> Self {
         let dir = dir.filter(|d| std::fs::create_dir_all(d).is_ok());
         DiskCache {
             dir,
             counter: AtomicU64::new(0),
             bytes_written: AtomicU64::new(0),
+            budget,
+            approx_bytes: std::sync::Mutex::new(u64::MAX),
         }
     }
 
@@ -130,6 +145,58 @@ impl DiskCache {
         cmam_obs::counter!("engine.disk_bytes_written").add(nbytes);
         let total = self.bytes_written.fetch_add(nbytes, Ordering::Relaxed) + nbytes;
         cmam_obs::gauge!("engine.disk_evictable_bytes").raise(total as i64);
+        self.enforce_budget(nbytes, &path);
+    }
+
+    /// Applies the byte budget after a successful write of `nbytes` to
+    /// `just_written`. Cheap path: bump the approximate directory size
+    /// and return while it stays under budget. Over budget: scan the
+    /// directory, delete artifacts oldest-first (modification time, file
+    /// name as the tie-break — deterministic on filesystems with coarse
+    /// mtimes) until the store fits, never deleting the entry that was
+    /// just written.
+    fn enforce_budget(&self, nbytes: u64, just_written: &std::path::Path) {
+        let Some(budget) = self.budget else { return };
+        let Some(dir) = self.dir.as_ref() else { return };
+        let mut approx = self.approx_bytes.lock().expect("budget state poisoned");
+        if *approx != u64::MAX {
+            *approx = approx.saturating_add(nbytes);
+            if *approx <= budget {
+                return;
+            }
+        }
+        // Scan: every regular file in the store counts against the
+        // budget, including temp files orphaned by a crashed process.
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return;
+        };
+        let mut files: Vec<(std::time::SystemTime, PathBuf, u64)> = entries
+            .flatten()
+            .filter_map(|e| {
+                let meta = e.metadata().ok()?;
+                if !meta.is_file() {
+                    return None;
+                }
+                let mtime = meta.modified().unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+                Some((mtime, e.path(), meta.len()))
+            })
+            .collect();
+        files.sort();
+        let mut total: u64 = files.iter().map(|(_, _, len)| len).sum();
+        for (_, path, len) in &files {
+            if total <= budget {
+                break;
+            }
+            if path == just_written {
+                continue;
+            }
+            if std::fs::remove_file(path).is_ok() {
+                total -= len;
+                cmam_obs::counter!("engine.cache_evictions").add(1);
+                cmam_obs::counter!("engine.cache_evicted_bytes").add(*len);
+            }
+        }
+        *approx = total;
     }
 }
 
@@ -835,7 +902,7 @@ mod tests {
 
     #[test]
     fn disk_cache_survives_a_missing_dir_gracefully() {
-        let cache = DiskCache::new(None);
+        let cache = DiskCache::new(None, None);
         assert!(!cache.enabled());
         assert!(cache.load(42).is_none());
         cache.store(

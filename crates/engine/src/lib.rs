@@ -36,10 +36,12 @@ pub mod cache;
 pub mod dse;
 pub mod fingerprint;
 pub mod job;
+pub mod search;
 
 pub use batch_sim::{BatchSimOutcome, BatchSimRequest, BatchSimResult};
 pub use fingerprint::{Fingerprint, Fnv64, FORMAT_VERSION};
 pub use job::{execute, smoke_matrix, FailStage, JobRequest, JobResult, RunFailure, RunOutcome};
+pub use search::{run_search, ConfigEval, ConfigStatus, SearchOptions, SearchResult, SearchStats};
 
 use cache::DiskCache;
 use cmam_arch::CgraConfig;
@@ -58,6 +60,10 @@ pub struct EngineOptions {
     /// On-disk artifact directory; `None` disables persistence (the
     /// in-memory memo table is always active).
     pub cache_dir: Option<PathBuf>,
+    /// Byte budget for the on-disk store (`CMAM_CACHE_BYTES`); writes
+    /// that push the store past it evict artifacts oldest-first. `None`
+    /// leaves the store unbounded.
+    pub cache_bytes: Option<u64>,
 }
 
 impl EngineOptions {
@@ -83,6 +89,24 @@ impl EngineOptions {
             }
         }
         PathBuf::from("target").join("cmam-cache")
+    }
+
+    /// The byte budget from `CMAM_CACHE_BYTES` (plain byte count).
+    /// Absent, empty or `0` means unbounded; a malformed value warns
+    /// through [`cmam_obs::warn!`] and is treated as unbounded.
+    pub fn cache_bytes_from_env() -> Option<u64> {
+        let raw = std::env::var("CMAM_CACHE_BYTES").ok()?;
+        if raw.is_empty() {
+            return None;
+        }
+        match raw.parse::<u64>() {
+            Ok(0) => None,
+            Ok(n) => Some(n),
+            Err(_) => {
+                cmam_obs::warn!("CMAM_CACHE_BYTES expects a byte count, got {raw:?}; unbounded");
+                None
+            }
+        }
     }
 
     /// Options parsed from the process arguments: `--jobs N` (or
@@ -114,6 +138,7 @@ impl EngineOptions {
         EngineOptions {
             jobs,
             cache_dir: cache.then(EngineOptions::default_cache_dir),
+            cache_bytes: EngineOptions::cache_bytes_from_env(),
         }
     }
 }
@@ -135,6 +160,7 @@ impl Default for EngineOptions {
         EngineOptions {
             jobs: 0,
             cache_dir: Some(EngineOptions::default_cache_dir()),
+            cache_bytes: EngineOptions::cache_bytes_from_env(),
         }
     }
 }
@@ -187,7 +213,10 @@ pub struct Engine {
 impl Engine {
     /// Builds an engine with the given options.
     pub fn new(options: EngineOptions) -> Self {
-        let disk = Arc::new(DiskCache::new(options.cache_dir.clone()));
+        let disk = Arc::new(DiskCache::new(
+            options.cache_dir.clone(),
+            options.cache_bytes,
+        ));
         Engine {
             options,
             disk,
@@ -437,6 +466,7 @@ mod tests {
         let engine = Engine::new(EngineOptions {
             jobs: 2,
             cache_dir: None,
+            cache_bytes: None,
         });
         let spec = cmam_kernels::dc::spec();
         let config = CgraConfig::hom64();
@@ -461,6 +491,7 @@ mod tests {
         let engine = Engine::new(EngineOptions {
             jobs: 1,
             cache_dir: None,
+            cache_bytes: None,
         });
         let spec = cmam_kernels::dc::spec();
         let config = CgraConfig::hom64();

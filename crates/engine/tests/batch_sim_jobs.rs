@@ -19,6 +19,7 @@ fn engine_batch_sim_matches_solo_simulation_per_lane() {
     let engine = Engine::new(EngineOptions {
         jobs: 1,
         cache_dir: None,
+        cache_bytes: None,
     });
     let spec = cmam_kernels::fir::spec();
     let config = CgraConfig::hom64();
@@ -55,6 +56,7 @@ fn batch_sim_outcomes_persist_and_round_trip_across_engines() {
     let first = Engine::new(EngineOptions {
         jobs: 1,
         cache_dir: Some(dir.clone()),
+        cache_bytes: None,
     });
     let a = first.run_batch_sim(&req).expect("DC maps");
     // The sweep artifact is on disk under its own extension.
@@ -74,6 +76,7 @@ fn batch_sim_outcomes_persist_and_round_trip_across_engines() {
     let second = Engine::new(EngineOptions {
         jobs: 1,
         cache_dir: Some(dir.clone()),
+        cache_bytes: None,
     });
     let b = second.run_batch_sim(&req).expect("DC maps");
     assert_eq!(a, b);
@@ -92,6 +95,7 @@ fn compile_failures_surface_as_job_failures() {
     let engine = Engine::new(EngineOptions {
         jobs: 1,
         cache_dir: None,
+        cache_bytes: None,
     });
     // The FIR does not fit the tiny uniform 16-word context memories
     // with a memory-unaware flow (T1 needs 17 context words).

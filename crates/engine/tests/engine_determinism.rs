@@ -57,10 +57,12 @@ fn parallel_run_is_bit_identical_to_sequential() {
     let sequential = Engine::new(EngineOptions {
         jobs: 1,
         cache_dir: None,
+        cache_bytes: None,
     });
     let parallel = Engine::new(EngineOptions {
         jobs: 4,
         cache_dir: None,
+        cache_bytes: None,
     });
     let seq = run_matrix(&sequential, &matrix);
     let par = run_matrix(&parallel, &matrix);
@@ -80,6 +82,7 @@ fn second_run_hits_the_disk_cache_with_identical_outcomes() {
     let first_engine = Engine::new(EngineOptions {
         jobs: 2,
         cache_dir: Some(dir.clone()),
+        cache_bytes: None,
     });
     let first = run_matrix(&first_engine, &matrix);
     let first_stats = first_engine.stats();
@@ -91,6 +94,7 @@ fn second_run_hits_the_disk_cache_with_identical_outcomes() {
     let second_engine = Engine::new(EngineOptions {
         jobs: 2,
         cache_dir: Some(dir.clone()),
+        cache_bytes: None,
     });
     let second = run_matrix(&second_engine, &matrix);
     let second_stats = second_engine.stats();

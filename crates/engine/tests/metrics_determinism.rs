@@ -48,6 +48,7 @@ fn counter_deltas_are_identical_across_worker_counts() {
         let engine = Engine::new(EngineOptions {
             jobs: 1,
             cache_dir: None,
+            cache_bytes: None,
         });
         engine.run_batch(&requests);
     });
@@ -55,6 +56,7 @@ fn counter_deltas_are_identical_across_worker_counts() {
         let engine = Engine::new(EngineOptions {
             jobs: 4,
             cache_dir: None,
+            cache_bytes: None,
         });
         engine.run_batch(&requests);
     });
