@@ -20,7 +20,11 @@
 //! `--check BASELINE [--min-ratio R]` — the CI observability-overhead
 //! gate: after writing the JSON, compare this run's sequential
 //! throughput against the committed baseline and exit nonzero when it
-//! fell below `R` (default 0.5) of the baseline.
+//! fell below `R` (default 0.5) of the baseline. A `--check` run also
+//! applies the fault-layer overhead gate (`--fault-min-ratio R`,
+//! default 0.995): the engine's fault-site checks, measured within this
+//! very run with no plan installed, must cost less than `1 - R` of a
+//! job's wall time.
 
 use cmam_bench::{mapper_bench, GenCli};
 
@@ -38,6 +42,7 @@ fn main() {
     let mut threads: Option<usize> = None;
     let mut check: Option<String> = None;
     let mut min_ratio = 0.5f64;
+    let mut fault_min_ratio = 0.995f64;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -74,6 +79,14 @@ fn main() {
                     .filter(|r: &f64| r.is_finite() && *r > 0.0)
                     .expect("--min-ratio needs a positive number");
             }
+            "--fault-min-ratio" => {
+                i += 1;
+                fault_min_ratio = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|r: &f64| r.is_finite() && *r > 0.0)
+                    .expect("--fault-min-ratio needs a positive number");
+            }
             // Parsed by GenCli below; skip their values here.
             "--generated" | "--seed" | "--profile" => i += 1,
             // Parsed by the obs session above; skip its value here.
@@ -83,8 +96,8 @@ fn main() {
             other => {
                 eprintln!(
                     "unknown flag {other} (known: --quick, --iters N, --threads N, --out PATH, \
-                     --check BASELINE, --min-ratio R, --generated N, --seed S, --profile P, \
-                     --trace-out FILE, --metrics)"
+                     --check BASELINE, --min-ratio R, --fault-min-ratio R, --generated N, \
+                     --seed S, --profile P, --trace-out FILE, --metrics)"
                 );
                 std::process::exit(2);
             }
@@ -156,6 +169,21 @@ fn main() {
             Ok(verdict) => eprintln!("bench_mapper: {verdict}"),
             Err(e) => {
                 eprintln!("bench_mapper: regression gate FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+        // The fault-layer overhead gate rides along with --check: with no
+        // plan installed, the engine's fault-site checks must cost less
+        // than 0.5% of a job's wall time (measured within this run, so
+        // cross-run machine noise cannot fake a pass or a fail).
+        let sequential = reports
+            .iter()
+            .find(|r| r.threads == 1)
+            .unwrap_or(&reports[0]);
+        match mapper_bench::check_fault_overhead(sequential, fault_min_ratio) {
+            Ok(verdict) => eprintln!("bench_mapper: {verdict}"),
+            Err(e) => {
+                eprintln!("bench_mapper: fault overhead gate FAILED: {e}");
                 std::process::exit(1);
             }
         }

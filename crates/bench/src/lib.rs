@@ -32,7 +32,8 @@ pub use gen::GenCli;
 pub use obs_session::{obs_session, ObsSession};
 
 pub use cmam_engine::{
-    smoke_matrix, Engine, EngineOptions, EngineStats, FailStage, JobRequest, RunFailure, RunOutcome,
+    smoke_matrix, Engine, EngineOptions, EngineStats, FailStage, JobFailure, JobRequest,
+    RunFailure, RunOutcome,
 };
 
 /// The process-wide compilation engine, configured once from the

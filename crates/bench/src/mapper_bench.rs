@@ -312,6 +312,71 @@ pub fn check_against_baseline(
     ))
 }
 
+/// How many fault-site checks one healthy engine job pays end-to-end:
+/// four `fires` probes on the cache paths (`cache.read`, `cache.write`,
+/// `cache.kill`, `cache.rename`), one corruption probe, and — per
+/// execution attempt, of which a healthy job makes exactly one — a
+/// `job.delay` roll and a `job.panic` check. [`measure_fault_surface_ns`]
+/// times exactly this bundle.
+pub const FAULT_HOOKS_PER_JOB: u32 = 7;
+
+/// Measures the wall-clock cost, in nanoseconds, of one job's worth of
+/// fault-site checks ([`FAULT_HOOKS_PER_JOB`] of them) with **no fault
+/// plan installed** — the production configuration, where every check
+/// must collapse to a single relaxed atomic load. Clears any installed
+/// plan first: hooks-off is precisely the state under test.
+pub fn measure_fault_surface_ns() -> f64 {
+    cmam_fault::clear();
+    const ITERS: u64 = 1_000_000;
+    let t0 = Instant::now();
+    let mut fired = 0u64;
+    for k in 0..ITERS {
+        // The key varies per iteration (and is laundered through
+        // black_box) so the checks cannot be hoisted out of the loop.
+        let key = std::hint::black_box(k);
+        fired += u64::from(cmam_fault::fires("cache.read", key));
+        fired += u64::from(cmam_fault::fires("cache.write", key));
+        fired += u64::from(cmam_fault::fires("cache.kill", key));
+        fired += u64::from(cmam_fault::fires("cache.rename", key));
+        fired += u64::from(cmam_fault::fires_attempt("job.panic", key, 1));
+        fired += u64::from(cmam_fault::roll("job.delay", key).is_some());
+        let mut bytes: Vec<u8> = Vec::new();
+        fired += u64::from(cmam_fault::corrupt_artifact(key, &mut bytes));
+    }
+    assert_eq!(fired, 0, "no plan is installed, nothing may fire");
+    t0.elapsed().as_secs_f64() * 1e9 / ITERS as f64
+}
+
+/// The fault-layer overhead gate: with the layer off, the per-job cost
+/// of the engine's fault-site checks (measured in this very process by
+/// [`measure_fault_surface_ns`]) must not tax job throughput below
+/// `min_ratio` (CI demands ≥ 0.995, i.e. hooks cost ≤ 0.5%). The
+/// comparison is within-run on purpose: the hook cost and the job wall
+/// come from the same machine under the same load, so the verdict is
+/// about the hooks — not about benchmark-machine noise, which dwarfs
+/// 0.5% across runs.
+pub fn check_fault_overhead(report: &MapperBenchReport, min_ratio: f64) -> Result<String, String> {
+    if report.jobs.is_empty() {
+        return Err("no jobs measured".to_owned());
+    }
+    let per_job_wall_ns = report.total_wall_ms() * 1e6 / report.jobs.len() as f64;
+    if per_job_wall_ns <= 0.0 {
+        return Err(format!("per-job wall is {per_job_wall_ns} ns"));
+    }
+    let hook_ns = measure_fault_surface_ns();
+    let ratio = per_job_wall_ns / (per_job_wall_ns + hook_ns);
+    if ratio < min_ratio {
+        return Err(format!(
+            "fault hooks cost {hook_ns:.1} ns per job against {per_job_wall_ns:.0} ns of work \
+             (throughput ratio {ratio:.5} < required {min_ratio})"
+        ));
+    }
+    Ok(format!(
+        "fault hooks off: {hook_ns:.1} ns per job ({FAULT_HOOKS_PER_JOB} checks) vs \
+         {per_job_wall_ns:.0} ns of mapper work (throughput ratio {ratio:.5} >= {min_ratio})"
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -436,6 +501,23 @@ mod tests {
         // Garbage inputs fail loudly instead of passing silently.
         assert!(check_against_baseline("{}", &current, 0.5).is_err());
         assert!(check_against_baseline(&current, "not json", 0.5).is_err());
+    }
+
+    #[test]
+    fn fault_overhead_gate_passes_real_work_and_fails_impossible_ratios() {
+        // Milliseconds of mapper work against nanoseconds of hook checks:
+        // the production gate (0.995) passes with room to spare...
+        let report = sample();
+        assert!(check_fault_overhead(&report, 0.995).is_ok());
+        // ...while a ratio above 1 is unsatisfiable by construction (the
+        // hooks cost a nonzero number of loads) and must fail loudly.
+        assert!(check_fault_overhead(&report, 1.1).is_err());
+        let empty = MapperBenchReport {
+            iterations: 1,
+            threads: 1,
+            jobs: vec![],
+        };
+        assert!(check_fault_overhead(&empty, 0.5).is_err());
     }
 
     #[test]

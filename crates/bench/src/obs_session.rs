@@ -90,6 +90,26 @@ impl ObsSession {
             stats.executed,
         ))
     }
+
+    /// The recovery summary line — only when something actually needed
+    /// recovering (faults fired, retries happened, jobs were quarantined
+    /// or artifacts healed), so ordinary runs stay quiet.
+    fn recovery_summary(&self) -> Option<String> {
+        let counter = |name| cmam_obs::metrics::registry().counter(name).get();
+        let fired = counter("fault.fired");
+        let retries = counter("engine.retries");
+        let quarantined = counter("engine.quarantined");
+        let healed = counter("engine.cache.corrupt_healed");
+        let swept = counter("engine.cache.orphans_swept");
+        if fired + retries + quarantined + healed + swept == 0 {
+            return None;
+        }
+        Some(format!(
+            "{}: engine recovery: {fired} faults injected, {retries} retries, \
+             {quarantined} quarantined, {healed} artifacts healed, {swept} orphans swept",
+            self.name,
+        ))
+    }
 }
 
 /// Classifies a run by its cache outcome: `cold` (everything executed),
@@ -110,6 +130,9 @@ fn temperature(stats: &cmam_engine::EngineStats) -> &'static str {
 impl Drop for ObsSession {
     fn drop(&mut self) {
         if let Some(line) = self.cache_summary() {
+            eprintln!("{line}");
+        }
+        if let Some(line) = self.recovery_summary() {
             eprintln!("{line}");
         }
         if self.metrics {
@@ -138,10 +161,10 @@ mod tests {
     fn temperature_distinguishes_cold_warm_mixed() {
         let stats = |submitted, memory_hits, disk_hits, executed| EngineStats {
             submitted,
-            deduped: 0,
             memory_hits,
             disk_hits,
             executed,
+            ..EngineStats::default()
         };
         assert_eq!(temperature(&stats(0, 0, 0, 0)), "idle");
         assert_eq!(temperature(&stats(10, 0, 0, 10)), "cold");

@@ -15,10 +15,29 @@
 //! does not consume a well-formed artifact — wrong magic, older version,
 //! truncated file, out-of-range tag — is treated as a clean cache miss
 //! and the entry is rewritten.
+//!
+//! ## Integrity and self-healing
+//!
+//! Every artifact ends with a trailing FNV-64 checksum over all the
+//! preceding bytes. FNV-1a's update `s' = (s ^ b) * P` is a bijection on
+//! `u64` for any fixed byte `b` (the prime is odd), so *any* single-byte
+//! difference provably changes the checksum — a bit-flipped integer in
+//! the payload can never parse back as a plausible-but-wrong result.
+//! A corrupt artifact (bad checksum, bad structure, or a real torn
+//! write) is counted, deleted and recomputed — the rewrite is the
+//! self-heal. [`DiskCache::new`] also sweeps stale `.tmp-*` files left
+//! behind by killed processes, so a SIGKILL mid-store never leaks
+//! orphans forever.
+//!
+//! The failure-prone paths are threaded with `cmam_fault` sites
+//! (`cache.read`, `cache.write`, `cache.rename`, `cache.kill`,
+//! `cache.corrupt.*`) so the chaos suite can drive every one of these
+//! recovery branches deterministically; with no fault plan installed
+//! each site check is a single relaxed atomic load.
 
 use crate::batch_sim::BatchSimOutcome;
 use crate::fingerprint::FORMAT_VERSION;
-use crate::job::{FailStage, JobResult, RunFailure, RunOutcome};
+use crate::job::{FailStage, JobFailure, JobResult, RunOutcome};
 use cmam_arch::Direction;
 use cmam_cdfg::Opcode;
 use cmam_isa::program::BinTerminator;
@@ -35,6 +54,34 @@ const MAGIC: &[u8; 8] = b"cmamrunb";
 /// Leading bytes of a batched-simulation artifact (`.bsim` files carry a
 /// different payload shape, so they get their own magic).
 const BATCH_MAGIC: &[u8; 8] = b"cmambsim";
+
+/// Unsalted FNV-1a over raw bytes: the artifact integrity checksum.
+/// (Unsalted on purpose — this is self-integrity of one file, not keyed
+/// identity; [`crate::fingerprint::Fnv64`] handles the latter.)
+fn artifact_checksum(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Appends the trailing checksum to a freshly serialized artifact.
+fn seal(mut buf: Vec<u8>) -> Vec<u8> {
+    let sum = artifact_checksum(&buf);
+    buf.extend_from_slice(&sum.to_le_bytes());
+    buf
+}
+
+/// Splits off and verifies the trailing checksum; `None` (a miss) on any
+/// mismatch or on inputs too short to carry one.
+fn verify_seal(bytes: &[u8]) -> Option<&[u8]> {
+    let split = bytes.len().checked_sub(8)?;
+    let (payload, tail) = bytes.split_at(split);
+    let want = u64::from_le_bytes(tail.try_into().ok()?);
+    (artifact_checksum(payload) == want).then_some(payload)
+}
 
 /// On-disk artifact store. Construction never fails: if the directory
 /// cannot be created the store silently degrades to a no-op (a cache must
@@ -66,6 +113,9 @@ impl DiskCache {
     /// a surviving entry is always the exact bytes its writer stored.
     pub fn new(dir: Option<PathBuf>, budget: Option<u64>) -> Self {
         let dir = dir.filter(|d| std::fs::create_dir_all(d).is_ok());
+        if let Some(d) = &dir {
+            sweep_orphans(d);
+        }
         DiskCache {
             dir,
             counter: AtomicU64::new(0),
@@ -90,17 +140,55 @@ impl DiskCache {
             .map(|d| d.join(format!("{key:016x}.bsim")))
     }
 
-    /// Loads the artifact for `key`, or `None` on miss/corruption.
+    /// Loads the artifact for `key`. `None` on a plain miss, a (real or
+    /// injected) read error, or corruption — and a corrupt artifact is
+    /// deleted on the way out, so the caller's recompute-and-store is
+    /// the self-heal that replaces it with a good one.
     pub fn load(&self, key: u64) -> Option<JobResult> {
-        let bytes = std::fs::read(self.path_for(key)?).ok()?;
-        parse_result(&bytes)
+        let path = self.path_for(key)?;
+        let mut bytes = std::fs::read(&path).ok()?;
+        if cmam_fault::fires("cache.read", key) {
+            // Injected read error: the file itself is fine, so it is a
+            // plain miss — no healing, the entry stays for next time.
+            return None;
+        }
+        cmam_fault::corrupt_artifact(key, &mut bytes);
+        match parse_result(&bytes) {
+            Some(result) => Some(result),
+            None => {
+                self.heal_corrupt(&path);
+                None
+            }
+        }
     }
 
-    /// Loads the batched-simulation artifact for `key`, or `None` on
-    /// miss/corruption.
+    /// Loads the batched-simulation artifact for `key`, with the same
+    /// miss/corruption/self-heal contract as [`DiskCache::load`].
     pub fn load_batch(&self, key: u64) -> Option<BatchSimOutcome> {
-        let bytes = std::fs::read(self.batch_path_for(key)?).ok()?;
-        parse_batch_outcome(&bytes)
+        let path = self.batch_path_for(key)?;
+        let mut bytes = std::fs::read(&path).ok()?;
+        if cmam_fault::fires("cache.read", key) {
+            return None;
+        }
+        cmam_fault::corrupt_artifact(key, &mut bytes);
+        match parse_batch_outcome(&bytes) {
+            Some(outcome) => Some(outcome),
+            None => {
+                self.heal_corrupt(&path);
+                None
+            }
+        }
+    }
+
+    /// A readable-but-unparseable artifact: count it and delete it so
+    /// the recompute path rewrites a good one in its place.
+    fn heal_corrupt(&self, path: &std::path::Path) {
+        cmam_obs::counter!("engine.cache.corrupt_healed").add(1);
+        cmam_obs::warn!(
+            "corrupt cache artifact {}: deleted for recompute",
+            path.display()
+        );
+        let _ = std::fs::remove_file(path);
     }
 
     /// Persists the batched-simulation artifact for `key`, with the same
@@ -109,20 +197,30 @@ impl DiskCache {
         let Some(path) = self.batch_path_for(key) else {
             return;
         };
-        self.store_bytes(path, serialize_batch_outcome(outcome));
+        self.store_bytes(key, path, serialize_batch_outcome(outcome));
     }
 
     /// Persists the artifact for `key`. Best-effort: write errors are
-    /// swallowed (the in-memory cache still holds the result).
+    /// swallowed (the in-memory cache still holds the result). Panic
+    /// quarantines are never persisted — a possibly-environmental
+    /// failure must not outlive the process that suffered it.
     pub fn store(&self, key: u64, result: &JobResult) {
+        if matches!(result, Err(f) if f.stage == FailStage::Panic) {
+            return;
+        }
         let Some(path) = self.path_for(key) else {
             return;
         };
-        self.store_bytes(path, serialize_result(result));
+        self.store_bytes(key, path, serialize_result(result));
     }
 
-    fn store_bytes(&self, path: PathBuf, bytes: Vec<u8>) {
+    fn store_bytes(&self, key: u64, path: PathBuf, bytes: Vec<u8>) {
         let Some(dir) = path.parent() else { return };
+        if cmam_fault::fires("cache.write", key) {
+            // Injected write error (disk full before the temp file even
+            // lands): the store is skipped wholesale.
+            return;
+        }
         // Write-then-rename so concurrent engines never observe a torn
         // artifact; the counter keeps temp names unique within a process.
         let tmp = dir.join(format!(
@@ -131,10 +229,18 @@ impl DiskCache {
             self.counter.fetch_add(1, Ordering::Relaxed)
         ));
         let nbytes = bytes.len() as u64;
-        let stored = std::fs::write(&tmp, bytes).is_ok() && std::fs::rename(&tmp, &path).is_ok();
-        if !stored {
-            // Clean up whether the write or the rename failed — a partial
-            // write (disk full) must not leave orphan temp files behind.
+        if std::fs::write(&tmp, &bytes).is_err() {
+            // A partial write (disk full) must not leave orphan temp
+            // files behind.
+            let _ = std::fs::remove_file(&tmp);
+            return;
+        }
+        if cmam_fault::fires("cache.kill", key) {
+            // Injected SIGKILL between write and rename: the temp file
+            // is deliberately left behind for the open-time sweep.
+            return;
+        }
+        if cmam_fault::fires("cache.rename", key) || std::fs::rename(&tmp, &path).is_err() {
             let _ = std::fs::remove_file(&tmp);
             return;
         }
@@ -158,7 +264,10 @@ impl DiskCache {
     fn enforce_budget(&self, nbytes: u64, just_written: &std::path::Path) {
         let Some(budget) = self.budget else { return };
         let Some(dir) = self.dir.as_ref() else { return };
-        let mut approx = self.approx_bytes.lock().expect("budget state poisoned");
+        let mut approx = self
+            .approx_bytes
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if *approx != u64::MAX {
             *approx = approx.saturating_add(nbytes);
             if *approx <= budget {
@@ -197,6 +306,53 @@ impl DiskCache {
             }
         }
         *approx = total;
+    }
+}
+
+/// Removes stale `.tmp-*` files at open. Temp names are
+/// `.tmp-{pid}-{counter}`; a file is stale when its name does not parse,
+/// when it was written by this very pid (anything predating this open is
+/// garbage by construction — in-flight stores racing an open lose their
+/// best-effort store, never their correctness), or when its writer pid
+/// is provably dead (`/proc/{pid}` absent). For other-pid files on
+/// systems without `/proc`, age is the tie-break: an hour-old temp file
+/// has no live writer (the write→rename window is milliseconds).
+fn sweep_orphans(dir: &std::path::Path) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let own_pid = std::process::id();
+    let mut swept = 0u64;
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(rest) = name.to_str().and_then(|n| n.strip_prefix(".tmp-")) else {
+            continue;
+        };
+        let writer_pid = rest.split('-').next().and_then(|p| p.parse::<u32>().ok());
+        let stale = match writer_pid {
+            None => true,
+            Some(pid) if pid == own_pid => true,
+            Some(pid) => {
+                let proc_root = std::path::Path::new("/proc");
+                if proc_root.is_dir() {
+                    !proc_root.join(pid.to_string()).is_dir()
+                } else {
+                    entry
+                        .metadata()
+                        .and_then(|m| m.modified())
+                        .ok()
+                        .and_then(|mtime| mtime.elapsed().ok())
+                        .is_some_and(|age| age > Duration::from_secs(3600))
+                }
+            }
+        };
+        if stale && std::fs::remove_file(entry.path()).is_ok() {
+            swept += 1;
+        }
+    }
+    if swept > 0 {
+        cmam_obs::counter!("engine.cache.orphans_swept").add(swept);
+        cmam_obs::warn!("swept {swept} orphan temp file(s) from {}", dir.display());
     }
 }
 
@@ -400,9 +556,14 @@ pub fn serialize_result(result: &JobResult) -> Vec<u8> {
                 FailStage::Map => 0,
                 FailStage::Assemble => 1,
                 FailStage::Execution => 2,
+                // Serialized for completeness; `DiskCache::store` never
+                // persists panic quarantines.
+                FailStage::Panic => 3,
             });
             w.duration(f.compile_time);
             w.str(&f.message);
+            w.u8(u8::from(f.retriable));
+            w.u32(f.attempts);
         }
         Ok(o) => {
             w.u8(1);
@@ -494,14 +655,15 @@ pub fn serialize_result(result: &JobResult) -> Vec<u8> {
             }
         }
     }
-    w.buf
+    seal(w.buf)
 }
 
 /// Parses an on-disk artifact back into a job result. `None` on any
-/// malformed, truncated or version-mismatched input (treated as a cache
-/// miss).
+/// malformed, truncated, checksum-failing or version-mismatched input
+/// (treated as a cache miss).
 pub fn parse_result(bytes: &[u8]) -> Option<JobResult> {
-    let mut r = Reader::new(bytes);
+    let payload = verify_seal(bytes)?;
+    let mut r = Reader::new(payload);
     if r.take(MAGIC.len())? != MAGIC || r.u32()? != FORMAT_VERSION {
         return None;
     }
@@ -511,14 +673,23 @@ pub fn parse_result(bytes: &[u8]) -> Option<JobResult> {
                 0 => FailStage::Map,
                 1 => FailStage::Assemble,
                 2 => FailStage::Execution,
+                3 => FailStage::Panic,
                 _ => return None,
             };
             let compile_time = r.duration()?;
             let message = r.str()?;
-            Err(RunFailure {
+            let retriable = match r.u8()? {
+                0 => false,
+                1 => true,
+                _ => return None,
+            };
+            let attempts = r.u32()?;
+            Err(JobFailure {
                 stage,
                 message,
                 compile_time,
+                retriable,
+                attempts,
             })
         }
         1 => {
@@ -729,13 +900,15 @@ pub fn serialize_batch_outcome(o: &BatchSimOutcome) -> Vec<u8> {
     for &d in &o.mem_digests {
         w.u64(d);
     }
-    w.buf
+    seal(w.buf)
 }
 
-/// Parses a `.bsim` artifact. `None` on any malformed, truncated or
-/// version-mismatched input (treated as a cache miss).
+/// Parses a `.bsim` artifact. `None` on any malformed, truncated,
+/// checksum-failing or version-mismatched input (treated as a cache
+/// miss).
 pub fn parse_batch_outcome(bytes: &[u8]) -> Option<BatchSimOutcome> {
-    let mut r = Reader::new(bytes);
+    let payload = verify_seal(bytes)?;
+    let mut r = Reader::new(payload);
     if r.take(BATCH_MAGIC.len())? != BATCH_MAGIC || r.u32()? != FORMAT_VERSION {
         return None;
     }
@@ -794,16 +967,18 @@ mod tests {
 
     #[test]
     fn failure_round_trips_through_binary() {
-        let f = RunFailure {
-            stage: FailStage::Assemble,
-            message: "tile T3 needs 99 words\nbut has 16".into(),
-            compile_time: Duration::from_nanos(123_456_789),
-        };
+        let f = JobFailure::pipeline(
+            FailStage::Assemble,
+            "tile T3 needs 99 words\nbut has 16".into(),
+            Duration::from_nanos(123_456_789),
+        );
         let parsed = parse_result(&serialize_result(&Err(f.clone()))).expect("parses");
         let back = parsed.expect_err("still err");
         assert_eq!(back.stage, f.stage);
         assert_eq!(back.message, f.message);
         assert_eq!(back.compile_time, f.compile_time);
+        assert_eq!(back.retriable, f.retriable);
+        assert_eq!(back.attempts, f.attempts);
     }
 
     #[test]
@@ -813,16 +988,17 @@ mod tests {
         assert!(parse_result(b"cmam-run v2\nok\ncompile_ns 12\n").is_none());
         assert!(parse_result(b"cmamrunbXXXX").is_none());
         // A version bump invalidates the artifact even with valid magic.
-        let f = RunFailure {
-            stage: FailStage::Map,
-            message: "x".into(),
-            compile_time: Duration::ZERO,
-        };
+        let f = JobFailure::pipeline(FailStage::Map, "x".into(), Duration::ZERO);
         let mut bytes = serialize_result(&Err(f));
         assert!(parse_result(&bytes).is_some());
         let bumped = (FORMAT_VERSION + 1).to_le_bytes();
         bytes[MAGIC.len()..MAGIC.len() + 4].copy_from_slice(&bumped);
+        // The in-place edit trips the checksum...
         assert!(parse_result(&bytes).is_none());
+        // ...and even a re-sealed (checksum-valid) wrong version is a miss.
+        bytes.truncate(bytes.len() - 8);
+        let resealed = seal(bytes);
+        assert!(parse_result(&resealed).is_none());
     }
 
     #[test]
@@ -907,11 +1083,84 @@ mod tests {
         assert!(cache.load(42).is_none());
         cache.store(
             42,
-            &Err(RunFailure {
-                stage: FailStage::Map,
-                message: "x".into(),
-                compile_time: Duration::ZERO,
-            }),
+            &Err(JobFailure::pipeline(
+                FailStage::Map,
+                "x".into(),
+                Duration::ZERO,
+            )),
         );
+    }
+
+    fn sweep_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("cmam-cache-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir
+    }
+
+    #[test]
+    fn open_sweeps_stale_tmp_orphans_and_keeps_live_files() {
+        let dir = sweep_dir("sweep");
+        // Stale: unparseable name, provably-dead pid (above Linux's
+        // PID_MAX_LIMIT), and this process's own leftovers (anything
+        // predating the open is garbage by construction).
+        std::fs::write(dir.join(".tmp-garbage"), b"x").unwrap();
+        std::fs::write(dir.join(".tmp-4294967294-0"), b"x").unwrap();
+        std::fs::write(dir.join(format!(".tmp-{}-7", std::process::id())), b"x").unwrap();
+        // Live: pid 1 always exists under /proc, and real artifacts are
+        // never touched by the sweep (however corrupt).
+        std::fs::write(dir.join(".tmp-1-0"), b"x").unwrap();
+        std::fs::write(dir.join("0123456789abcdef.run"), b"not an artifact").unwrap();
+        let _cache = DiskCache::new(Some(dir.clone()), None);
+        let mut names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        names.sort();
+        let mut want = vec!["0123456789abcdef.run".to_string()];
+        if std::path::Path::new("/proc").is_dir() {
+            // Without /proc the liveness probe falls back to age, and a
+            // freshly written file is young enough to keep either way.
+            want.insert(0, ".tmp-1-0".to_string());
+        } else {
+            names.retain(|n| n != ".tmp-1-0");
+        }
+        assert_eq!(names, want);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_artifact_on_disk_is_deleted_then_rewritten() {
+        let dir = sweep_dir("heal");
+        let cache = DiskCache::new(Some(dir.clone()), None);
+        let result: JobResult = Err(JobFailure::pipeline(
+            FailStage::Map,
+            "x".into(),
+            Duration::ZERO,
+        ));
+        cache.store(7, &result);
+        let path = dir.join(format!("{:016x}.run", 7u64));
+        assert!(cache.load(7).is_some());
+        // Flip one payload byte on disk: the checksum makes it a miss,
+        // and the miss deletes the file so a recompute heals it.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[MAGIC.len() + 6] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(cache.load(7).is_none(), "corrupt artifact must be a miss");
+        assert!(!path.exists(), "corrupt artifact must be deleted");
+        cache.store(7, &result);
+        assert!(cache.load(7).is_some(), "the rewrite is the heal");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn panic_quarantines_are_never_persisted() {
+        let dir = sweep_dir("panic");
+        let cache = DiskCache::new(Some(dir.clone()), None);
+        cache.store(9, &Err(JobFailure::panicked("boom".into(), 4)));
+        assert!(cache.load(9).is_none());
+        assert!(!dir.join(format!("{:016x}.run", 9u64)).exists());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

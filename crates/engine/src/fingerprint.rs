@@ -26,7 +26,12 @@ use cmam_kernels::KernelSpec;
 /// `sim_time`) and `SimStats::block_execs` became a dense per-block
 /// vector (serialized as a plain `u64` list in block order instead of
 /// sorted `(block, count)` pairs).
-pub const FORMAT_VERSION: u32 = 4;
+///
+/// v5: artifacts gained a trailing FNV-64 integrity checksum (any
+/// single-bit corruption is now a provable miss instead of a possible
+/// misparse) and failures carry their recovery fields (`retriable`,
+/// `attempts`) plus the `Panic` stage tag.
+pub const FORMAT_VERSION: u32 = 5;
 
 /// Build-time hash of every toolchain source file whose code influences a
 /// job outcome (mapper, assembler, simulator, kernels, arch, and the

@@ -100,15 +100,22 @@ pub enum FailStage {
     Assemble,
     /// Simulation failed or produced wrong results (always a bug).
     Execution,
+    /// The job panicked on every attempt of its retry budget and was
+    /// quarantined — the batch completed without it. Panic outcomes are
+    /// never persisted to the disk cache (a later run retries fresh).
+    Panic,
 }
 
 /// Why a run produced no data point (the "zero bars" of Figs 6-8).
 ///
 /// The failure is carried as a stage tag plus the rendered error message
 /// so it round-trips through the on-disk artifact cache; experiment
-/// binaries only ever display it.
+/// binaries only ever display it. The recovery fields say how the
+/// engine handled it: pipeline failures (`Map`/`Assemble`/`Execution`)
+/// are deterministic verdicts reached on the first attempt, while
+/// `Panic` failures record the exhausted retry budget.
 #[derive(Debug, Clone)]
-pub struct RunFailure {
+pub struct JobFailure {
     /// The stage that failed.
     pub stage: FailStage,
     /// The stage error, rendered.
@@ -117,22 +124,57 @@ pub struct RunFailure {
     /// time is consumed whether or not a mapping is found — Fig 9 counts
     /// failed searches too).
     pub compile_time: Duration,
+    /// Whether retrying this job could plausibly succeed. Pipeline
+    /// verdicts are deterministic (`false`); a panic may be environmental
+    /// (`true`) — the engine has already spent the in-process retry
+    /// budget, but a fresh run may still recover it.
+    pub retriable: bool,
+    /// How many attempts the engine made before settling on this failure.
+    pub attempts: u32,
 }
 
-impl std::fmt::Display for RunFailure {
+/// Former name of [`JobFailure`], kept so downstream callers compile.
+pub type RunFailure = JobFailure;
+
+impl JobFailure {
+    /// A deterministic pipeline failure: first attempt, not retriable.
+    pub fn pipeline(stage: FailStage, message: String, compile_time: Duration) -> Self {
+        JobFailure {
+            stage,
+            message,
+            compile_time,
+            retriable: false,
+            attempts: 1,
+        }
+    }
+
+    /// A quarantined panic: the job died on all `attempts` attempts.
+    pub fn panicked(message: String, attempts: u32) -> Self {
+        JobFailure {
+            stage: FailStage::Panic,
+            message,
+            compile_time: Duration::ZERO,
+            retriable: true,
+            attempts,
+        }
+    }
+}
+
+impl std::fmt::Display for JobFailure {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self.stage {
             FailStage::Map => write!(f, "no mapping: {}", self.message),
             FailStage::Assemble => write!(f, "does not fit: {}", self.message),
             FailStage::Execution => write!(f, "execution failure: {}", self.message),
+            FailStage::Panic => write!(f, "job panicked: {}", self.message),
         }
     }
 }
 
-impl std::error::Error for RunFailure {}
+impl std::error::Error for JobFailure {}
 
 /// What a job evaluates to: a full outcome or a displayable failure.
-pub type JobResult = Result<RunOutcome, RunFailure>;
+pub type JobResult = Result<RunOutcome, JobFailure>;
 
 /// The canonical smoke matrix: per kernel, the basic flow on HOM64 plus
 /// the full context-aware flow on HET1 and HET2. The `smoke`,
@@ -204,11 +246,7 @@ pub fn execute(req: &JobRequest<'_>) -> JobResult {
     // Per-phase latency histograms, fed from the wall times this function
     // already measures (so tracing on/off changes nothing here).
     cmam_obs::histogram!("phase.map_us").record(compile_time.as_micros() as u64);
-    let fail = |stage, message: String| RunFailure {
-        stage,
-        message,
-        compile_time,
-    };
+    let fail = |stage, message: String| JobFailure::pipeline(stage, message, compile_time);
     let result = match map_result {
         Ok(r) => r,
         Err(e) => return Err(fail(FailStage::Map, e.to_string())),
@@ -242,24 +280,65 @@ pub fn execute(req: &JobRequest<'_>) -> JobResult {
     })
 }
 
+/// In-process retry budget for panicking jobs: the first attempt plus
+/// three retries. Transient injected faults clear within this bound by
+/// construction ([`cmam_fault::TRANSIENT_CLEARS_BY`]); a job that dies on
+/// every attempt is quarantined as a [`FailStage::Panic`] failure.
+pub const MAX_JOB_ATTEMPTS: u32 = 4;
+
+/// Runs [`execute`] with panic isolation, bounded retry + backoff, and
+/// quarantine: a panicking attempt is caught, counted and retried up to
+/// [`MAX_JOB_ATTEMPTS`] times with a small exponential backoff; a job
+/// that panics on every attempt settles as a structured
+/// [`FailStage::Panic`] failure instead of unwinding the batch. Returns
+/// the result plus the number of attempts consumed.
+///
+/// `key` is the job's content hash; it salts the `job.panic` /
+/// `job.delay` fault sites so chaos schedules are stable per job, not
+/// per batch position.
+pub fn execute_with_recovery(req: &JobRequest<'_>, key: u64) -> (JobResult, u32) {
+    let mut attempt: u32 = 0;
+    loop {
+        attempt += 1;
+        cmam_fault::delay("job.delay", key.wrapping_add(u64::from(attempt)));
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cmam_fault::panic_if("job.panic", key, attempt);
+            execute(req)
+        }));
+        match outcome {
+            Ok(result) => return (result, attempt),
+            Err(payload) => {
+                let message = cmam_pool::panic_message(payload.as_ref());
+                cmam_obs::counter!("engine.job_panics").add(1);
+                if attempt >= MAX_JOB_ATTEMPTS {
+                    return (Err(JobFailure::panicked(message, attempt)), attempt);
+                }
+                cmam_obs::warn!(
+                    "job {key:#018x} panicked on attempt {attempt}/{MAX_JOB_ATTEMPTS}: \
+                     {message}; retrying"
+                );
+                // Tiny exponential backoff: enough for transient resource
+                // pressure to clear, negligible against a job's runtime.
+                std::thread::sleep(Duration::from_micros(100 << attempt));
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn failure_display_matches_legacy_wording() {
-        let f = RunFailure {
-            stage: FailStage::Map,
-            message: "x".into(),
-            compile_time: Duration::ZERO,
-        };
+        let f = JobFailure::pipeline(FailStage::Map, "x".into(), Duration::ZERO);
         assert_eq!(f.to_string(), "no mapping: x");
-        let f = RunFailure {
-            stage: FailStage::Assemble,
-            message: "y".into(),
-            compile_time: Duration::ZERO,
-        };
+        let f = JobFailure::pipeline(FailStage::Assemble, "y".into(), Duration::ZERO);
         assert_eq!(f.to_string(), "does not fit: y");
+        let f = JobFailure::panicked("z".into(), 4);
+        assert_eq!(f.to_string(), "job panicked: z");
+        assert!(f.retriable, "a panic may be environmental");
+        assert_eq!(f.attempts, 4);
     }
 
     #[test]

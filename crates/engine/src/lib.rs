@@ -30,6 +30,19 @@
 //! engine's tests assert this over the full smoke sweep. Experiment
 //! binaries therefore accept `--jobs N` and `--no-cache` without any
 //! change in output.
+//!
+//! ## Failure model
+//!
+//! A batch always completes. Pipeline failures (no mapping, does not
+//! fit, execution error) are deterministic per-job verdicts carried as
+//! [`JobFailure`] values. A *panicking* job is retried in-process with
+//! backoff up to [`job::MAX_JOB_ATTEMPTS`] attempts and then
+//! quarantined as a [`FailStage::Panic`] failure — sibling jobs are
+//! never affected (the pool isolates each panic), the engine's locks
+//! recover from poisoning, and the disk cache self-heals corrupt
+//! artifacts (see [`cache`]). The whole surface is driven by the
+//! seeded `cmam_fault` chaos suite, which asserts that fault-laden runs
+//! converge to bit-identical results.
 
 pub mod batch_sim;
 pub mod cache;
@@ -40,7 +53,10 @@ pub mod search;
 
 pub use batch_sim::{BatchSimOutcome, BatchSimRequest, BatchSimResult};
 pub use fingerprint::{Fingerprint, Fnv64, FORMAT_VERSION};
-pub use job::{execute, smoke_matrix, FailStage, JobRequest, JobResult, RunFailure, RunOutcome};
+pub use job::{
+    execute, execute_with_recovery, smoke_matrix, FailStage, JobFailure, JobRequest, JobResult,
+    RunFailure, RunOutcome,
+};
 pub use search::{run_search, ConfigEval, ConfigStatus, SearchOptions, SearchResult, SearchStats};
 
 use cache::DiskCache;
@@ -49,7 +65,15 @@ use cmam_core::MapperOptions;
 use cmam_kernels::KernelSpec;
 use std::collections::{HashMap, HashSet};
 use std::path::PathBuf;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// Locks a mutex, recovering from poisoning. The engine's critical
+/// sections (memo inserts, stats merges) never panic mid-mutation, so a
+/// poisoned lock only ever means "a job panicked while a guard was
+/// alive somewhere" — the state is intact and recovery is sound.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Engine construction knobs.
 #[derive(Debug, Clone)]
@@ -178,6 +202,12 @@ pub struct EngineStats {
     pub disk_hits: u64,
     /// Jobs actually executed (mapped, assembled, simulated).
     pub executed: u64,
+    /// Panicking job attempts that were retried (attempts beyond the
+    /// first, across all executed jobs).
+    pub retries: u64,
+    /// Jobs that panicked on every attempt of their retry budget and
+    /// settled as a structured [`FailStage::Panic`] failure.
+    pub quarantined: u64,
 }
 
 /// Lock shards of the in-memory memo table. Shard choice is the low bits
@@ -269,7 +299,7 @@ impl Engine {
 
     /// Lifetime counters.
     pub fn stats(&self) -> EngineStats {
-        *self.stats.lock().expect("stats poisoned")
+        *lock_recover(&self.stats)
     }
 
     /// Runs a batch of jobs, returning results in submission order.
@@ -297,12 +327,7 @@ impl Engine {
             for (i, &key) in keys.iter().enumerate() {
                 if !seen_in_batch.insert(key) {
                     batch_stats.deduped += 1;
-                } else if self
-                    .memo_shard(key)
-                    .lock()
-                    .expect("memo poisoned")
-                    .contains_key(&key)
-                {
+                } else if lock_recover(self.memo_shard(key)).contains_key(&key) {
                     batch_stats.memory_hits += 1;
                 } else {
                     probes.push(i);
@@ -314,10 +339,7 @@ impl Engine {
             match self.disk.load(keys[i]) {
                 Some(result) => {
                     batch_stats.disk_hits += 1;
-                    self.memo_shard(keys[i])
-                        .lock()
-                        .expect("memo poisoned")
-                        .insert(keys[i], result);
+                    lock_recover(self.memo_shard(keys[i])).insert(keys[i], result);
                 }
                 None => pending.push(i),
             }
@@ -350,7 +372,11 @@ impl Engine {
         // on the tail — the last `< workers` maps soak up the idle
         // workers instead of leaving them parked.
         let unstarted = Arc::new(std::sync::atomic::AtomicUsize::new(jobs.len()));
-        let computed = cmam_pool::global().run_indexed(jobs.len(), workers, move |p| {
+        // `try_run_indexed`: a job panic is retried and quarantined
+        // inside `execute_with_recovery`, and even a panic that escapes
+        // that net (a bug, or an injected worker fault) only costs its
+        // own slot — the batch still completes with N-1 real results.
+        let computed = cmam_pool::global().try_run_indexed(jobs.len(), workers, move |p| {
             let remaining = unstarted.fetch_sub(1, std::sync::atomic::Ordering::Relaxed);
             let j = &job_list[p];
             let mut options = j.options.clone();
@@ -364,23 +390,40 @@ impl Engine {
                 config: &j.config,
                 options,
             };
-            let result = job::execute(&request);
+            let (result, attempts) = job::execute_with_recovery(&request, j.key);
             disk.store(j.key, &result);
-            result
+            (result, attempts)
         });
-        for (j, result) in jobs.iter().zip(computed) {
-            self.memo_shard(j.key)
-                .lock()
-                .expect("memo poisoned")
-                .insert(j.key, result);
+        for (j, slot) in jobs.iter().zip(computed) {
+            let (result, attempts) = match slot {
+                Ok(pair) => pair,
+                // Defense in depth: `execute_with_recovery` already
+                // quarantines panics, so an escaped one means the
+                // recovery wrapper itself died; quarantine it the same
+                // way rather than aborting the batch.
+                Err(p) => (
+                    Err(JobFailure::panicked(
+                        format!("escaped job recovery: {}", p.message()),
+                        1,
+                    )),
+                    1,
+                ),
+            };
+            batch_stats.retries += u64::from(attempts.saturating_sub(1));
+            if matches!(&result, Err(f) if f.stage == FailStage::Panic) {
+                batch_stats.quarantined += 1;
+            }
+            lock_recover(self.memo_shard(j.key)).insert(j.key, result);
         }
         {
-            let mut stats = self.stats.lock().expect("stats poisoned");
+            let mut stats = lock_recover(&self.stats);
             stats.submitted += batch_stats.submitted;
             stats.deduped += batch_stats.deduped;
             stats.memory_hits += batch_stats.memory_hits;
             stats.disk_hits += batch_stats.disk_hits;
             stats.executed += batch_stats.executed;
+            stats.retries += batch_stats.retries;
+            stats.quarantined += batch_stats.quarantined;
         }
         // Flush this batch's cache outcome to the global metrics — once
         // per batch, at the same merge point as the lifetime counters.
@@ -390,12 +433,12 @@ impl Engine {
         cmam_obs::counter!("engine.memory_hits").add(batch_stats.memory_hits);
         cmam_obs::counter!("engine.disk_hits").add(batch_stats.disk_hits);
         cmam_obs::counter!("engine.executed").add(batch_stats.executed);
+        cmam_obs::counter!("engine.retries").add(batch_stats.retries);
+        cmam_obs::counter!("engine.quarantined").add(batch_stats.quarantined);
         cmam_obs::histogram!("batch.wall_us").record(batch_start.elapsed().as_micros() as u64);
         keys.iter()
             .map(|k| {
-                self.memo_shard(*k)
-                    .lock()
-                    .expect("memo poisoned")
+                lock_recover(self.memo_shard(*k))
                     .get(k)
                     .expect("every key resolved")
                     .clone()
@@ -426,31 +469,30 @@ impl Engine {
         cmam_obs::counter!("engine.batch_sim.submitted").add(1);
         let images = request.images();
         let key = request.key_for(&images);
-        if let Some(hit) = self
-            .batch_memo
-            .lock()
-            .expect("batch memo poisoned")
-            .get(&key)
-        {
+        if let Some(hit) = lock_recover(&self.batch_memo).get(&key) {
             cmam_obs::counter!("engine.batch_sim.memory_hits").add(1);
             return Ok(hit.clone());
         }
         if let Some(outcome) = self.disk.load_batch(key) {
             cmam_obs::counter!("engine.batch_sim.disk_hits").add(1);
-            self.batch_memo
-                .lock()
-                .expect("batch memo poisoned")
-                .insert(key, outcome.clone());
+            lock_recover(&self.batch_memo).insert(key, outcome.clone());
             return Ok(outcome);
         }
         let compiled = self.run_one(&request.compile_request())?;
-        let outcome = batch_sim::execute_batch_sim(request, &compiled, images);
+        // Same quarantine discipline as per-job execution: a panic in
+        // the batched simulator becomes a structured failure, not an
+        // unwound sweep.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            batch_sim::execute_batch_sim(request, &compiled, images)
+        }))
+        .map_err(|payload| {
+            lock_recover(&self.stats).quarantined += 1;
+            cmam_obs::counter!("engine.quarantined").add(1);
+            JobFailure::panicked(cmam_pool::panic_message(payload.as_ref()), 1)
+        })?;
         cmam_obs::counter!("engine.batch_sim.executed").add(1);
         self.disk.store_batch(key, &outcome);
-        self.batch_memo
-            .lock()
-            .expect("batch memo poisoned")
-            .insert(key, outcome.clone());
+        lock_recover(&self.batch_memo).insert(key, outcome.clone());
         Ok(outcome)
     }
 }

@@ -1,0 +1,187 @@
+//! Corruption fuzz: every truncation and every byte-level bit-flip of a
+//! valid on-disk artifact must be a **clean miss** — never a panic,
+//! never a plausible-but-wrong parse. The trailing FNV-64 seal makes
+//! this provable (its byte update is a bijection on the hash state, so
+//! any single-byte difference changes the checksum), and this suite
+//! checks the proof against real artifacts byte by byte.
+
+use cmam_arch::CgraConfig;
+use cmam_core::FlowVariant;
+use cmam_engine::cache::{
+    parse_batch_outcome, parse_result, serialize_batch_outcome, serialize_result,
+};
+use cmam_engine::{BatchSimOutcome, Engine, EngineOptions, FailStage, JobFailure, JobRequest};
+use cmam_sim::{SimStats, TileStats};
+use std::time::Duration;
+
+/// A real success artifact: the smallest paper kernel compiled through
+/// the actual pipeline, so the fuzz covers every section of the format
+/// (stats, report, map counters, binary, instruction stream).
+fn real_run_artifact() -> Vec<u8> {
+    let spec = cmam_kernels::dc::spec();
+    let config = CgraConfig::hom64();
+    let req = JobRequest::flow(&spec, FlowVariant::Basic, &config);
+    serialize_result(&cmam_engine::execute(&req))
+}
+
+fn failure_artifact() -> Vec<u8> {
+    serialize_result(&Err(JobFailure::pipeline(
+        FailStage::Assemble,
+        "tile T3 needs 99 words\nbut has 16".into(),
+        Duration::from_nanos(123_456_789),
+    )))
+}
+
+fn bsim_artifact() -> Vec<u8> {
+    serialize_batch_outcome(&BatchSimOutcome {
+        lanes: vec![
+            Ok(SimStats {
+                cycles: 123,
+                stall_cycles: 4,
+                block_execs: vec![1, 7, 0],
+                tiles: vec![TileStats {
+                    active_cycles: 9,
+                    ..TileStats::default()
+                }],
+            }),
+            Err("address -3 out of bounds".into()),
+        ],
+        mem_digests: vec![0xDEAD, 0xBEEF],
+        agg_cycles: 123,
+        decode_time: Duration::from_nanos(5_000),
+        sim_time: Duration::from_nanos(987_654_321),
+    })
+}
+
+/// Exhaustive truncation: every strict prefix of the artifact is a miss;
+/// only the full byte string parses.
+fn assert_all_truncations_miss<T>(bytes: &[u8], parse: impl Fn(&[u8]) -> Option<T>, what: &str) {
+    assert!(parse(bytes).is_some(), "{what}: the intact artifact parses");
+    for cut in 0..bytes.len() {
+        assert!(
+            parse(&bytes[..cut]).is_none(),
+            "{what}: truncation to {cut}/{} bytes parsed",
+            bytes.len()
+        );
+    }
+}
+
+/// Single-bit corruption in every byte (the rotating bit position covers
+/// all eight lanes across the file): every variant is a miss.
+fn assert_all_bitflips_miss<T>(bytes: &[u8], parse: impl Fn(&[u8]) -> Option<T>, what: &str) {
+    let mut work = bytes.to_vec();
+    for i in 0..work.len() {
+        let mask = 1u8 << (i % 8);
+        work[i] ^= mask;
+        assert!(
+            parse(&work).is_none(),
+            "{what}: flipping bit {} of byte {i} parsed",
+            i % 8
+        );
+        work[i] ^= mask;
+    }
+    assert_eq!(work, bytes, "fuzz must restore the artifact");
+}
+
+#[test]
+fn every_truncation_of_a_run_artifact_is_a_clean_miss() {
+    assert_all_truncations_miss(&real_run_artifact(), parse_result, "run(ok)");
+    assert_all_truncations_miss(&failure_artifact(), parse_result, "run(err)");
+}
+
+#[test]
+fn every_bitflip_of_a_run_artifact_is_a_clean_miss() {
+    assert_all_bitflips_miss(&real_run_artifact(), parse_result, "run(ok)");
+    // The failure artifact is small enough to flip every bit of every
+    // byte, not just one per byte.
+    let bytes = failure_artifact();
+    let mut work = bytes.clone();
+    for i in 0..work.len() {
+        for bit in 0..8 {
+            work[i] ^= 1 << bit;
+            assert!(
+                parse_result(&work).is_none(),
+                "run(err): flipping bit {bit} of byte {i} parsed"
+            );
+            work[i] ^= 1 << bit;
+        }
+    }
+    assert_eq!(work, bytes);
+}
+
+#[test]
+fn every_truncation_and_bitflip_of_a_bsim_artifact_is_a_clean_miss() {
+    let bytes = bsim_artifact();
+    assert_all_truncations_miss(&bytes, parse_batch_outcome, "bsim");
+    let mut work = bytes.clone();
+    for i in 0..work.len() {
+        for bit in 0..8 {
+            work[i] ^= 1 << bit;
+            assert!(
+                parse_batch_outcome(&work).is_none(),
+                "bsim: flipping bit {bit} of byte {i} parsed"
+            );
+            work[i] ^= 1 << bit;
+        }
+    }
+    assert_eq!(work, bytes);
+}
+
+/// End-to-end self-heal: corrupt the artifact a real engine wrote, and a
+/// fresh engine over the same store must treat it as a miss, delete it,
+/// recompute the identical result and rewrite a good artifact in place.
+#[test]
+fn engine_self_heals_a_corrupted_artifact_end_to_end() {
+    let dir = std::env::temp_dir().join(format!("cmam-fuzz-heal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let engine_over = |d: &std::path::Path| {
+        Engine::new(EngineOptions {
+            jobs: 2,
+            cache_dir: Some(d.to_path_buf()),
+            cache_bytes: None,
+        })
+    };
+    let spec = cmam_kernels::dc::spec();
+    let config = CgraConfig::hom64();
+    let req = JobRequest::flow(&spec, FlowVariant::Basic, &config);
+
+    let want = engine_over(&dir)
+        .run_one(&req)
+        .expect("DC maps on HOM64")
+        .content_digest();
+    let path = dir.join(format!("{:016x}.run", req.key()));
+    assert!(path.exists(), "the first run persists an artifact");
+
+    // Corrupt one payload byte on disk (past the magic, inside the data).
+    let healed_before = cmam_obs::metrics::registry()
+        .counter("engine.cache.corrupt_healed")
+        .get();
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    std::fs::write(&path, &bytes).unwrap();
+
+    let healer = engine_over(&dir);
+    let got = healer
+        .run_one(&req)
+        .expect("DC still maps")
+        .content_digest();
+    assert_eq!(got, want, "the recomputed result must be bit-identical");
+    assert_eq!(
+        healer.stats().executed,
+        1,
+        "the corrupt artifact must recompute, not hit"
+    );
+    let healed_after = cmam_obs::metrics::registry()
+        .counter("engine.cache.corrupt_healed")
+        .get();
+    assert_eq!(healed_after, healed_before + 1, "the heal must be counted");
+
+    // The rewrite is the heal: the artifact on disk is good again.
+    let rewritten = std::fs::read(&path).expect("artifact rewritten");
+    assert!(parse_result(&rewritten).is_some());
+    let third = engine_over(&dir);
+    assert_eq!(third.run_one(&req).expect("hit").content_digest(), want);
+    assert_eq!(third.stats().disk_hits, 1, "the healed artifact now hits");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -35,11 +35,82 @@
 //! `threads <= 1` (or fewer than two jobs) everything runs inline on the
 //! calling thread without touching the pool at all: the degenerate case
 //! the equivalence tests compare the parallel pool against.
+//!
+//! ## Panic isolation
+//!
+//! A panicking job never takes a sibling's result down with it:
+//! [`ThreadPool::try_run_indexed`] captures each job's panic
+//! individually and returns per-index `Result<T, JobPanic>`s, so a batch
+//! always completes. [`ThreadPool::run_indexed`] is the re-panicking
+//! wrapper (it resumes the lowest-index panic's original payload), and
+//! every pool lock recovers from poisoning — a worker that dies
+//! mid-batch can never wedge the pool for subsequent batches.
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+
+/// Locks a mutex, recovering the guard if a panicking holder poisoned
+/// it. Pool state is only ever mutated in small, panic-free critical
+/// sections (slot writes, queue pushes/pops), so a poisoned lock means
+/// "a *job* panicked", not "the state is torn" — recovery is sound.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// One job's captured panic: the index that died, a best-effort message,
+/// and the original payload so callers can re-raise it untouched.
+pub struct JobPanic {
+    index: usize,
+    message: String,
+    payload: Box<dyn std::any::Any + Send>,
+}
+
+impl JobPanic {
+    /// The batch index whose job panicked.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Best-effort rendering of the panic message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// The original panic payload, for [`std::panic::resume_unwind`].
+    pub fn into_payload(self) -> Box<dyn std::any::Any + Send> {
+        self.payload
+    }
+}
+
+impl std::fmt::Debug for JobPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobPanic")
+            .field("index", &self.index)
+            .field("message", &self.message)
+            .finish_non_exhaustive()
+    }
+}
+
+impl std::fmt::Display for JobPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job {} panicked: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for JobPanic {}
+
+/// Best-effort extraction of a panic payload's message (`panic!` with a
+/// format string yields `String`, a literal yields `&str`; anything else
+/// is opaque).
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+        .unwrap_or_else(|| "opaque panic payload".to_string())
+}
 
 /// Type-erased view of one submitted batch: workers only need to drain
 /// chunks, not to know the job's input/output types.
@@ -48,14 +119,11 @@ trait Task: Send + Sync {
 }
 
 /// Mutable state of a batch, behind one mutex: the result slots and the
-/// completion count the submitter waits on.
+/// completion count the submitter waits on. A panicking job fills its
+/// own slot with `Err(JobPanic)` — sibling results are untouched.
 struct BatchState<T> {
-    results: Vec<Option<T>>,
+    results: Vec<Option<Result<T, JobPanic>>>,
     completed: usize,
-    /// Payload of the first job panic, kept so the submitter can
-    /// [`std::panic::resume_unwind`] the *original* panic (message
-    /// intact) instead of a generic "a job panicked" stand-in.
-    panic: Option<Box<dyn std::any::Any + Send>>,
 }
 
 /// One fork-join batch over `0..n`.
@@ -80,7 +148,6 @@ impl<T: Send, F: Fn(usize) -> T + Send + Sync> Batch<T, F> {
             state: Mutex::new(BatchState {
                 results: (0..n).map(|_| None).collect(),
                 completed: 0,
-                panic: None,
             }),
             done: Condvar::new(),
         }
@@ -104,17 +171,17 @@ impl<T: Send, F: Fn(usize) -> T + Send + Sync> Batch<T, F> {
                 // A panicking job must not take the whole (persistent)
                 // worker down with it, and must still count as completed —
                 // otherwise the submitter would wait forever. The panic is
-                // re-raised on the submitting thread instead.
-                let out = catch_unwind(AssertUnwindSafe(|| (self.job)(i)));
-                let mut st = self.state.lock().expect("pool batch poisoned");
-                match out {
-                    Ok(v) => st.results[i] = Some(v),
-                    Err(payload) => {
-                        // Keep the first payload; later panics of the same
-                        // batch are secondary casualties.
-                        st.panic.get_or_insert(payload);
+                // captured into the job's own result slot.
+                let entry = catch_unwind(AssertUnwindSafe(|| (self.job)(i))).map_err(|payload| {
+                    cmam_obs::counter!("pool.job_panics").add(1);
+                    JobPanic {
+                        index: i,
+                        message: panic_message(payload.as_ref()),
+                        payload,
                     }
-                }
+                });
+                let mut st = lock_recover(&self.state);
+                st.results[i] = Some(entry);
                 st.completed += 1;
                 if st.completed == self.n {
                     self.done.notify_all();
@@ -127,15 +194,17 @@ impl<T: Send, F: Fn(usize) -> T + Send + Sync> Batch<T, F> {
         }
     }
 
-    /// Blocks until every index reported, then takes the results (and
-    /// the first panic payload, if any job panicked).
+    /// Blocks until every index reported, then takes the result slots.
     #[allow(clippy::type_complexity)]
-    fn wait(&self) -> (Vec<Option<T>>, Option<Box<dyn std::any::Any + Send>>) {
-        let mut st = self.state.lock().expect("pool batch poisoned");
+    fn wait(&self) -> Vec<Option<Result<T, JobPanic>>> {
+        let mut st = lock_recover(&self.state);
         while st.completed < self.n {
-            st = self.done.wait(st).expect("pool batch poisoned");
+            st = match self.done.wait(st) {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
         }
-        (std::mem::take(&mut st.results), st.panic.take())
+        std::mem::take(&mut st.results)
     }
 }
 
@@ -219,16 +288,64 @@ impl ThreadPool {
     ///
     /// # Panics
     ///
-    /// Resumes the first panicking job's unwind on the calling thread —
-    /// the original payload, so its message survives; the worker that
-    /// ran the job itself survives too.
+    /// Resumes the lowest-index panicking job's unwind on the calling
+    /// thread — the original payload, so its message survives; the
+    /// worker that ran the job itself survives too. Callers that need
+    /// sibling results despite a panic use [`ThreadPool::try_run_indexed`].
     pub fn run_indexed<T, F>(&self, n: usize, threads: usize, job: F) -> Vec<T>
     where
         T: Send + 'static,
         F: Fn(usize) -> T + Send + Sync + 'static,
     {
         if threads <= 1 || n <= 1 {
+            // Inline: a panic propagates natively, payload untouched.
             return (0..n).map(job).collect();
+        }
+        let mut out = Vec::with_capacity(n);
+        let mut first_panic: Option<JobPanic> = None;
+        for slot in self.try_run_indexed(n, threads, job) {
+            match slot {
+                Ok(v) => out.push(v),
+                Err(p) => {
+                    // Lowest index wins; later panics of the same batch
+                    // are secondary casualties.
+                    first_panic.get_or_insert(p);
+                }
+            }
+        }
+        if let Some(p) = first_panic {
+            std::panic::resume_unwind(p.into_payload());
+        }
+        out
+    }
+
+    /// Like [`ThreadPool::run_indexed`], but captures each job's panic
+    /// individually: the batch always completes, and index `i` reports
+    /// either `Ok(job(i))` or the [`JobPanic`] that killed it — one
+    /// poisoned job of N leaves N−1 results intact.
+    pub fn try_run_indexed<T, F>(
+        &self,
+        n: usize,
+        threads: usize,
+        job: F,
+    ) -> Vec<Result<T, JobPanic>>
+    where
+        T: Send + 'static,
+        F: Fn(usize) -> T + Send + Sync + 'static,
+    {
+        if threads <= 1 || n <= 1 {
+            return (0..n)
+                .map(|i| {
+                    catch_unwind(AssertUnwindSafe(|| job(i))).map_err(|payload| {
+                        cmam_obs::counter!("pool.job_panics").add(1);
+                        JobPanic {
+                            index: i,
+                            message: panic_message(payload.as_ref()),
+                            payload,
+                        }
+                    })
+                })
+                .collect();
         }
         let helpers = (threads - 1).min(n - 1);
         self.ensure_spawned(helpers);
@@ -237,7 +354,7 @@ impl ThreadPool {
         let chunk = (n / (threads * 4)).max(1);
         let batch = Arc::new(Batch::new(job, n, chunk));
         {
-            let mut q = self.inner.queue.lock().expect("pool queue poisoned");
+            let mut q = lock_recover(&self.inner.queue);
             for _ in 0..helpers {
                 q.push_back(Arc::clone(&batch) as Arc<dyn Task>);
             }
@@ -245,11 +362,8 @@ impl ThreadPool {
         self.inner.work_ready.notify_all();
         cmam_obs::counter!("pool.batches").add(1);
         batch.drain_chunks(false);
-        let (slots, panic) = batch.wait();
-        if let Some(payload) = panic {
-            std::panic::resume_unwind(payload);
-        }
-        slots
+        batch
+            .wait()
             .into_iter()
             .map(|s| s.expect("every index reported a result"))
             .collect()
@@ -263,12 +377,15 @@ fn worker_loop(inner: &Inner, worker_id: usize) {
     cmam_obs::gauge!("pool.workers_spawned").raise(worker_id as i64 + 1);
     loop {
         let task = {
-            let mut q = inner.queue.lock().expect("pool queue poisoned");
+            let mut q = lock_recover(&inner.queue);
             loop {
                 if let Some(t) = q.pop_front() {
                     break t;
                 }
-                q = inner.work_ready.wait(q).expect("pool queue poisoned");
+                q = match inner.work_ready.wait(q) {
+                    Ok(guard) => guard,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
             }
         };
         task.drain();
@@ -291,6 +408,16 @@ where
     F: Fn(usize) -> T + Send + Sync + 'static,
 {
     global().run_indexed(n, threads, job)
+}
+
+/// Runs `job` over `0..n` on the [`global`] pool with per-job panic
+/// capture (see [`ThreadPool::try_run_indexed`]).
+pub fn try_run_indexed<T, F>(n: usize, threads: usize, job: F) -> Vec<Result<T, JobPanic>>
+where
+    T: Send + 'static,
+    F: Fn(usize) -> T + Send + Sync + 'static,
+{
+    global().try_run_indexed(n, threads, job)
 }
 
 /// Available hardware parallelism (1 when it cannot be determined).
@@ -403,5 +530,44 @@ mod tests {
         // The worker that ran the panicking job is still serving batches.
         let out = pool.run_indexed(8, 2, |i| i + 1);
         assert_eq!(out, (1..9).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn one_poisoned_job_leaves_the_other_results_intact() {
+        let pool = ThreadPool::new();
+        // Inline (threads=1) and parallel paths must isolate identically.
+        for threads in [1, 2, 4, 8] {
+            let out = pool.try_run_indexed(16, threads, |i| {
+                assert!(i != 5, "boom at {i}");
+                i * 3
+            });
+            assert_eq!(out.len(), 16);
+            for (i, slot) in out.into_iter().enumerate() {
+                if i == 5 {
+                    let p = slot.expect_err("index 5 panicked");
+                    assert_eq!(p.index(), 5);
+                    assert!(p.message().contains("boom at 5"), "got {:?}", p.message());
+                    assert!(p.to_string().contains("job 5 panicked"));
+                    // The original payload survives for re-raising.
+                    let payload = p.into_payload();
+                    assert!(panic_message(payload.as_ref()).contains("boom at 5"));
+                } else {
+                    assert_eq!(slot.expect("sibling result intact"), i * 3);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn many_panics_still_complete_the_batch() {
+        let out = try_run_indexed(32, 4, |i| {
+            assert!(i % 3 != 0, "multiple of three");
+            i
+        });
+        let (ok, err): (Vec<_>, Vec<_>) = out.iter().partition(|r| r.is_ok());
+        assert_eq!(err.len(), 11, "every multiple of 3 in 0..32 panics");
+        assert_eq!(ok.len(), 21);
+        // And the pool still serves clean batches afterwards.
+        assert_eq!(run_indexed(4, 4, |i| i), vec![0, 1, 2, 3]);
     }
 }

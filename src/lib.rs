@@ -21,7 +21,9 @@
 //! * [`cpu`] — or1k-like scalar CPU baseline;
 //! * [`energy`] — area and energy models (Fig 11, Table II);
 //! * [`engine`] — parallel, content-addressed batch compilation engine
-//!   (job dedup, work-stealing pool, in-memory + on-disk memoisation).
+//!   (job dedup, work-stealing pool, in-memory + on-disk memoisation);
+//! * [`fault`] — seeded deterministic fault injection (chaos testing of
+//!   the engine's retry/quarantine and self-healing cache paths).
 //!
 //! See the repository README for a quickstart and `DESIGN.md` for the
 //! system inventory and experiment index.
@@ -32,6 +34,7 @@ pub use cmam_core as core;
 pub use cmam_cpu as cpu;
 pub use cmam_energy as energy;
 pub use cmam_engine as engine;
+pub use cmam_fault as fault;
 pub use cmam_isa as isa;
 pub use cmam_kernels as kernels;
 pub use cmam_pool as pool;
